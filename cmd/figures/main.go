@@ -1,0 +1,74 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (§4) from the reproduction's synthetic-iPod experiment and
+// writes them to stdout (ASCII) and an output directory (CSV + SVG).
+//
+// Artefacts (see DESIGN.md §4 and EXPERIMENTS.md):
+//
+//	table-overhead   §4.2 overhead comparison (5.7 / 1.9 / <1.1 %)
+//	table-memory     §4.1 table sizes (8,323 and 99,876 integers)
+//	fig3             speed-diagram trajectory of a controlled frame
+//	fig4             quality region borders tD(s_i, q)
+//	fig6             control relaxation region borders
+//	fig7             average quality level per frame, 3 managers
+//	fig8             per-action management overhead, actions 200–700
+//
+// Usage:
+//
+//	figures [-out results] [-seed 1] [-frames 29]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiment"
+	"repro/internal/plot"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	out := flag.String("out", "results", "output directory for CSV/SVG artefacts")
+	seed := flag.Uint64("seed", 1, "content seed for the execution model")
+	frames := flag.Int("frames", 0, "override frame count (default: the paper's 29)")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	s := experiment.Paper(*seed)
+	if *frames > 0 {
+		s.Cycles = *frames
+	}
+	traces := report.Traces(s)
+
+	fmt.Println(report.OverheadTable(traces))
+	fmt.Println(report.MemoryTable(s))
+
+	emit(report.Fig7(traces), *out, "fig7")
+	fig8, bands := report.Fig8(s)
+	emit(fig8, *out, "fig8")
+	fmt.Println(report.BandsText(bands))
+	fig3, err := report.Fig3(s, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	emit(fig3, *out, "fig3")
+	emit(report.Fig4(s), *out, "fig4")
+	emit(report.Fig6(s, 4), *out, "fig6")
+	fmt.Printf("artefacts written to %s/\n", *out)
+}
+
+func emit(chart *plot.Chart, out, name string) {
+	fmt.Println(chart.ASCII(72, 18))
+	if err := os.WriteFile(filepath.Join(out, name+".csv"), []byte(chart.CSV()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(out, name+".svg"), []byte(chart.SVG(640, 420)), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}

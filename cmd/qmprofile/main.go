@@ -1,0 +1,60 @@
+// Command qmprofile profiles the real Go encoder on the host machine —
+// the paper's "estimated worst-case and average execution times by
+// profiling" step — and emits the per-class timing tables as JSON,
+// suitable for building a parameterized system for live control
+// (see examples/liveencoder).
+//
+// Usage:
+//
+//	qmprofile [-frames 4] [-margin 1.3] [-levels 7] [-w 352 -h 288] [-o tables.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/encoder"
+	"repro/internal/frame"
+	"repro/internal/profiler"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qmprofile: ")
+	frames := flag.Int("frames", 4, "frames to profile per quality level (≥2)")
+	margin := flag.Float64("margin", 1.3, "worst-case safety margin over the observed maximum")
+	levels := flag.Int("levels", 7, "quality levels")
+	width := flag.Int("w", frame.CIFWidth, "frame width (multiple of 16)")
+	height := flag.Int("h", frame.CIFHeight, "frame height (multiple of 16)")
+	out := flag.String("o", "", "output file (default stdout)")
+	seed := flag.Uint64("seed", 1, "video source seed")
+	flag.Parse()
+
+	src := &frame.Source{W: *width, H: *height, Seed: *seed}
+	enc, err := encoder.New(src, *levels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "profiling %d×%d, %d levels, %d frames per level...\n",
+		*width, *height, *levels, *frames)
+	tabs, err := profiler.Profile(enc, *frames, *margin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := json.MarshalIndent(tabs, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

@@ -1,0 +1,114 @@
+// Command qmsim runs the controlled encoder workload on the simulated
+// platform under a chosen Quality Manager and prints the run's metrics
+// (and optionally the full trace).
+//
+// Usage:
+//
+//	qmsim [-manager numeric|symbolic|relaxed|safe|fixed:N|pid|skip]
+//	      [-frames 29] [-seed 1] [-trace] [-bands]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qmsim: ")
+	manager := flag.String("manager", "relaxed", "quality manager: numeric, symbolic, relaxed, safe, fixed:N, pid, skip")
+	frames := flag.Int("frames", 29, "number of frames (cycles)")
+	seed := flag.Uint64("seed", 1, "content seed")
+	showTrace := flag.Bool("trace", false, "dump the per-action trace")
+	showBands := flag.Bool("bands", false, "dump relaxation bands of frame 0")
+	csvPath := flag.String("csv", "", "write the full trace as CSV to this file")
+	flag.Parse()
+
+	s := experiment.Paper(*seed)
+	s.Cycles = *frames
+	m, err := pick(s, *manager)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := s.Run(m)
+	sum := metrics.Summarize(tr)
+
+	fmt.Printf("manager           %s\n", sum.Manager)
+	fmt.Printf("frames            %d (period %v)\n", sum.Cycles, tr.Period)
+	fmt.Printf("final clock       %v\n", sum.Final)
+	fmt.Printf("deadline misses   %d\n", sum.Misses)
+	fmt.Printf("avg quality       %.3f (min %v, max %v)\n", sum.AvgQuality, sum.MinQuality, sum.MaxQuality)
+	fmt.Printf("decisions         %d (mean relaxation %.2f steps)\n", sum.Decisions, sum.MeanRelaxSteps)
+	fmt.Printf("overhead          %v (%.2f%% of busy time)\n", sum.TotalOverhead, 100*sum.OverheadFraction)
+	fmt.Printf("exec / idle       %v / %v\n", sum.TotalExec, sum.TotalIdle)
+	fmt.Printf("utilization       %.3f\n", metrics.Utilization(tr))
+	fmt.Printf("smoothness        mean |Δq| %.4f, %d switches\n", sum.Smooth.MeanAbsDelta, sum.Smooth.Switches)
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := metrics.WriteTraceCSV(f, tr); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace CSV       %s (%d rows)\n", *csvPath, len(tr.Records))
+	}
+	if *showBands {
+		fmt.Println("\nrelaxation bands (frame 0):")
+		for _, b := range metrics.Bands(tr, 0) {
+			fmt.Printf("  r = %-3d a%d..a%d\n", b.Steps, b.From, b.To)
+		}
+	}
+	if *showTrace {
+		fmt.Println("\ncycle action class      q   start            exec       overhead")
+		for _, r := range tr.Records {
+			mark := " "
+			if r.Decision {
+				mark = "*"
+			}
+			if r.Missed {
+				mark = "!"
+			}
+			fmt.Printf("%5d %6d %s %v  %-15v %-10v %v\n",
+				r.Cycle, r.Index, mark, r.Q, r.Start, r.Exec, r.Overhead)
+		}
+	}
+}
+
+func pick(s *experiment.Setup, name string) (core.Manager, error) {
+	switch {
+	case name == "numeric":
+		return s.Numeric(), nil
+	case name == "symbolic":
+		return s.Symbolic(), nil
+	case name == "relaxed":
+		return s.Relaxed(), nil
+	case name == "safe":
+		return core.NewSafeManager(s.Sys), nil
+	case name == "pid":
+		return baseline.NewPIDManager(s.Sys, 4, 0.5, 0.05, 0.1), nil
+	case name == "skip":
+		return baseline.NewSkipManager(s.Sys, s.Sys.QMax()), nil
+	case strings.HasPrefix(name, "fixed:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "fixed:"))
+		if err != nil {
+			return nil, fmt.Errorf("bad fixed level %q: %v", name, err)
+		}
+		return core.FixedManager{Level: core.Level(n).Clamp(s.Sys.NumLevels())}, nil
+	default:
+		return nil, fmt.Errorf("unknown manager %q", name)
+	}
+}

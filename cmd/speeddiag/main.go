@@ -1,0 +1,76 @@
+// Command speeddiag renders the speed diagram (Fig. 3) of a controlled
+// run as an ASCII chart: the trajectory of (actual time, virtual time)
+// through one frame, against the 45° ideal line, plus the per-level ideal
+// speeds.
+//
+// Usage:
+//
+//	speeddiag [-manager relaxed] [-seed 1] [-refq 4] [-frame 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/plot"
+	"repro/internal/speed"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("speeddiag: ")
+	manager := flag.String("manager", "relaxed", "numeric, symbolic or relaxed")
+	seed := flag.Uint64("seed", 1, "content seed")
+	refQ := flag.Int("refq", 4, "reference quality level for virtual time")
+	frameIdx := flag.Int("frame", 0, "frame (cycle) to plot")
+	flag.Parse()
+
+	s := experiment.Paper(*seed)
+	var m core.Manager
+	switch *manager {
+	case "numeric":
+		m = s.Numeric()
+	case "symbolic":
+		m = s.Symbolic()
+	case "relaxed":
+		m = s.Relaxed()
+	default:
+		log.Fatalf("unknown manager %q", *manager)
+	}
+	d, err := speed.NewFinalDiagram(s.Sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := s.RunCycles(m, *frameIdx+1)
+	ref := core.Level(*refQ).Clamp(s.Sys.NumLevels())
+
+	traj := plot.Series{Name: "trajectory (" + m.Name() + ")"}
+	for _, r := range tr.Records {
+		if r.Cycle != *frameIdx || r.Index%20 != 0 {
+			continue
+		}
+		traj.X = append(traj.X, r.RelStart(s.Period).Millis())
+		traj.Y = append(traj.Y, d.VirtualTime(r.Index, ref)/float64(core.Millisecond))
+	}
+	ideal := plot.Series{Name: "45° optimum"}
+	D := d.Deadline().Millis()
+	for f := 0.0; f <= 1.0; f += 0.02 {
+		ideal.X = append(ideal.X, f*D)
+		ideal.Y = append(ideal.Y, f*D)
+	}
+	chart := &plot.Chart{
+		Title:  fmt.Sprintf("Speed diagram, frame %d (virtual time at %v)", *frameIdx, ref),
+		XLabel: "actual time (ms)",
+		YLabel: "virtual time (ms)",
+		Series: []plot.Series{ideal, traj},
+	}
+	fmt.Println(chart.ASCII(78, 24))
+
+	fmt.Println("ideal speeds v_idl(q) = D / Cav(a_1..a_k, q):")
+	for q := core.Level(0); q <= s.Sys.QMax(); q++ {
+		fmt.Printf("  %v: %.3f\n", q, d.IdealSpeed(q))
+	}
+}

@@ -1,0 +1,182 @@
+// Integration tests spanning the whole tool flow of the paper's Figure 1:
+// schedule construction → timing estimation → controller compilation →
+// (serialisation) → controlled execution → metrics, plus the end-to-end
+// encode/decode loop on the real substrate.
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/decoder"
+	"repro/internal/encoder"
+	"repro/internal/experiment"
+	"repro/internal/frame"
+	"repro/internal/metrics"
+	"repro/internal/profiler"
+	"repro/internal/regions"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// TestFigure1ToolFlow drives the full compiler pipeline: a task graph is
+// scheduled, compiled into a controller bundle, shipped through bytes,
+// reloaded, and the loaded controller runs the workload safely.
+func TestFigure1ToolFlow(t *testing.T) {
+	// 1. Schedule: the encoder pipeline as a task graph (12 MBs).
+	levels := 7
+	mkRow := func(base, slope int64) ([]core.Time, []core.Time) {
+		av := make([]core.Time, levels)
+		wc := make([]core.Time, levels)
+		for q := 0; q < levels; q++ {
+			av[q] = core.Time(base+slope*int64(q)) * core.Microsecond
+			wc[q] = av[q] * 8 / 5
+		}
+		return av, wc
+	}
+	setupAv, setupWC := mkRow(3000, 0)
+	meAv, meWC := mkRow(400, 150)
+	tqAv, tqWC := mkRow(500, 80)
+	vlAv, vlWC := mkRow(300, 70)
+	graph := &sched.Graph{
+		Levels: levels,
+		Nodes: []sched.Node{
+			{Name: "setup", Av: setupAv, WC: setupWC},
+			{Name: "me", Av: meAv, WC: meWC, After: []string{"setup"}, Repeat: 12},
+			{Name: "tq", Av: tqAv, WC: tqWC, After: []string{"me"}, Repeat: 12},
+			{Name: "vlc", Av: vlAv, WC: vlWC, After: []string{"tq"}, Repeat: 12, Deadline: 40 * core.Millisecond},
+		},
+	}
+	sys, err := graph.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Compile into a bundle and ship it through serialisation.
+	bundle, err := controller.Compile(controller.SpecFromSystem("pipeline", sys, []int{1, 4, 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := bundle.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := controller.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Run the loaded controller under adversarial execution.
+	trc := (&sim.Runner{
+		Sys: loaded.System(), Mgr: loaded.Relaxed(),
+		Exec:     sim.WorstCase{Sys: loaded.System()},
+		Overhead: sim.FreeOverhead, Cycles: 5,
+	}).MustRun()
+	if trc.Misses != 0 {
+		t.Fatalf("loaded controller missed %d deadlines", trc.Misses)
+	}
+
+	// 4. Metrics come out coherent and exportable.
+	sum := metrics.Summarize(trc)
+	if sum.Decisions == 0 || sum.AvgQuality < 0 {
+		t.Fatalf("degenerate summary: %+v", sum)
+	}
+	var csv strings.Builder
+	if err := metrics.WriteTraceCSV(&csv, trc); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(csv.String(), "\n") != len(trc.Records)+1 {
+		t.Fatal("trace CSV row count mismatch")
+	}
+}
+
+// TestPaperPipelineEndToEnd exercises the reproduction experiment exactly
+// as cmd/figures does, and asserts the headline claims in one place.
+func TestPaperPipelineEndToEnd(t *testing.T) {
+	s := experiment.Paper(3) // a seed the unit tests don't use
+	var prevOverhead float64 = 1
+	var prevQuality float64
+	for _, m := range s.Managers() {
+		tr := s.Run(m)
+		if tr.Misses != 0 {
+			t.Fatalf("%s missed deadlines", m.Name())
+		}
+		oh := tr.OverheadFraction()
+		q := metrics.Summarize(tr).AvgQuality
+		if oh >= prevOverhead {
+			t.Fatalf("%s overhead %.4f did not improve on previous %.4f", m.Name(), oh, prevOverhead)
+		}
+		if q < prevQuality {
+			t.Fatalf("%s quality %.3f fell below previous %.3f", m.Name(), q, prevQuality)
+		}
+		prevOverhead, prevQuality = oh, q
+	}
+}
+
+// TestProfiledLiveSystemControlsRealEncoder closes the loop on the real
+// substrate: profile → system → tables → drive the actual encoder with
+// the symbolic manager using *simulated* time drawn from the profile, and
+// verify the produced bitstream decodes bit-exactly.
+func TestProfiledLiveSystemControlsRealEncoder(t *testing.T) {
+	src := &frame.Source{W: 64, H: 48, Seed: 21}
+	const levels = 5
+	prof, err := profiler.Profile(encoder.MustNew(src, levels), 2, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := encoder.MustNew(src, levels)
+	// Budget: halfway between qmin worst case and qmax average.
+	var wmin, avmax core.Time
+	for i := 0; i < enc.NumActions(); i++ {
+		ct := prof.Classes[encoder.ActionClass(i)]
+		wmin += ct.WC[0]
+		avmax += ct.Av[levels-1]
+	}
+	sys, err := prof.System(enc.NumMB(), (wmin*2+avmax)/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := regions.BuildTDTable(sys)
+	mgr := regions.NewSymbolicManager(tab)
+
+	// Drive the real encoder with simulated clock advances from the
+	// profiled averages (deterministic stand-in for the live clock).
+	frames := 3
+	var perMB [][]core.Level
+	var recons []*frame.Frame
+	for f := 0; f < frames; f++ {
+		mbQ := make([]core.Level, enc.NumMB())
+		tm := core.Time(0)
+		for i := 0; i < enc.NumActions(); i++ {
+			d := mgr.Decide(i, tm)
+			enc.Exec(i, d.Q)
+			if encoder.ActionClass(i) == encoder.ClassTransform {
+				mbQ[encoder.ActionMB(i)] = d.Q
+			}
+			tm += sys.Av(i, d.Q)
+		}
+		if tm > sys.LastDeadline() {
+			t.Fatalf("frame %d: average-time completion %v past deadline %v", f, tm, sys.LastDeadline())
+		}
+		perMB = append(perMB, mbQ)
+		recons = append(recons, enc.Recon().Clone())
+	}
+	dec, err := decoder.New(enc.Bitstream(), 64, 48, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < frames; f++ {
+		got, err := dec.DecodeFrame(perMB[f])
+		if err != nil {
+			t.Fatalf("frame %d: %v", f, err)
+		}
+		for i := range got.Y {
+			if got.Y[i] != recons[f].Y[i] {
+				t.Fatalf("frame %d: decode mismatch at pixel %d", f, i)
+			}
+		}
+	}
+}

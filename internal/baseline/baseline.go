@@ -1,0 +1,113 @@
+// Package baseline implements the related-work controllers the paper
+// positions itself against (§1): open-loop constant quality, skip-over
+// overload handling (Koren & Shasha), and PID feedback scheduling
+// (Lu et al.). None of them offers the mixed policy's guarantee; the
+// ablation benchmarks quantify the difference on the encoder workload
+// (deadline misses, average quality, smoothness).
+//
+// Unlike the policy managers, the feedback controllers carry run-local
+// state; construct a fresh instance per run.
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// SkipManager approximates skip-over scheduling: it runs at a fixed
+// target quality while on schedule and drops to qmin (the cheapest
+// admissible execution — our stand-in for a skipped instance) whenever
+// the run falls behind its proportional schedule. It knows nothing about
+// worst cases, so deadline misses remain possible.
+type SkipManager struct {
+	sys    *core.System
+	target core.Level
+	// schedule[i] is the proportional time budget consumed before
+	// action i at the target quality.
+	schedule []core.Time
+}
+
+// NewSkipManager builds a skip-over controller targeting level target.
+func NewSkipManager(sys *core.System, target core.Level) *SkipManager {
+	n := sys.NumActions()
+	d := sys.LastDeadline()
+	total := sys.AvPrefix(n, target)
+	schedule := make([]core.Time, n)
+	for i := 0; i < n; i++ {
+		if total > 0 {
+			schedule[i] = core.Time(float64(sys.AvPrefix(i, target)) / float64(total) * float64(d))
+		}
+	}
+	return &SkipManager{sys: sys, target: target, schedule: schedule}
+}
+
+// Name implements core.Manager.
+func (m *SkipManager) Name() string { return "skip-over" }
+
+// Decide implements core.Manager.
+func (m *SkipManager) Decide(i int, t core.Time) core.Decision {
+	q := m.target
+	if t > m.schedule[i] {
+		q = 0 // behind: skip (cheapest execution)
+	}
+	return core.Decision{Q: q, Steps: 1, Work: 2}
+}
+
+// PIDManager is a feedback scheduler in the style of Lu et al.: it
+// observes the lateness error against a proportional schedule at a
+// reference quality and applies a PID correction to the quality level.
+// Misses remain possible ("deadline misses remain possible", §1).
+type PIDManager struct {
+	sys      *core.System
+	ref      core.Level
+	schedule []core.Time
+	kp, ki   float64
+	kd       float64
+	integral float64
+	prevErr  float64
+	started  bool
+}
+
+// NewPIDManager builds a PID controller around reference level ref with
+// the given gains. Positive error (late) lowers quality.
+func NewPIDManager(sys *core.System, ref core.Level, kp, ki, kd float64) *PIDManager {
+	n := sys.NumActions()
+	d := sys.LastDeadline()
+	total := sys.AvPrefix(n, ref)
+	schedule := make([]core.Time, n)
+	for i := 0; i < n; i++ {
+		if total > 0 {
+			schedule[i] = core.Time(float64(sys.AvPrefix(i, ref)) / float64(total) * float64(d))
+		}
+	}
+	return &PIDManager{sys: sys, ref: ref, schedule: schedule, kp: kp, ki: ki, kd: kd}
+}
+
+// Name implements core.Manager.
+func (m *PIDManager) Name() string { return "pid" }
+
+// Decide implements core.Manager.
+func (m *PIDManager) Decide(i int, t core.Time) core.Decision {
+	// Error in units of the mean action budget: positive = late.
+	n := m.sys.NumActions()
+	unit := float64(m.sys.LastDeadline()) / float64(n)
+	e := float64(t-m.schedule[i]) / unit
+	m.integral += e
+	d := 0.0
+	if m.started {
+		d = e - m.prevErr
+	}
+	m.prevErr = e
+	m.started = true
+	u := m.kp*e + m.ki*m.integral + m.kd*d
+	q := core.Level(math.Round(float64(m.ref) - u)).Clamp(m.sys.NumLevels())
+	return core.Decision{Q: q, Steps: 1, Work: 4}
+}
+
+// Reset clears the controller state for reuse in a fresh run.
+func (m *PIDManager) Reset() {
+	m.integral = 0
+	m.prevErr = 0
+	m.started = false
+}

@@ -1,0 +1,110 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func tightSystem(seed int64) *core.System {
+	rng := rand.New(rand.NewSource(seed))
+	return core.RandomSystem(rng, core.RandomSystemConfig{
+		Actions: 40, Levels: 5, DeadlineEvery: 10, SlackNum: 3, SlackDen: 2,
+	})
+}
+
+func TestSkipManagerOnSchedule(t *testing.T) {
+	sys := tightSystem(1)
+	m := NewSkipManager(sys, 3)
+	// At t=0 the controller is on schedule and keeps the target.
+	if d := m.Decide(0, 0); d.Q != 3 {
+		t.Fatalf("on-schedule decision = %v", d.Q)
+	}
+	// Far behind: skip to qmin.
+	if d := m.Decide(10, sys.LastDeadline()); d.Q != 0 {
+		t.Fatalf("behind-schedule decision = %v", d.Q)
+	}
+}
+
+func TestSkipManagerRecovers(t *testing.T) {
+	// Skip-over must pull a behind-schedule run back by degrading.
+	sys := tightSystem(2)
+	trc := (&sim.Runner{
+		Sys: sys, Mgr: NewSkipManager(sys, sys.QMax()),
+		Exec:     sim.WorstCase{Sys: sys},
+		Overhead: sim.FreeOverhead, Cycles: 2,
+	}).MustRun()
+	sawSkip := false
+	for _, r := range trc.Records {
+		if r.Q == 0 {
+			sawSkip = true
+			break
+		}
+	}
+	if !sawSkip {
+		t.Fatal("skip-over never skipped under worst-case load")
+	}
+}
+
+func TestPIDReactsToLateness(t *testing.T) {
+	sys := tightSystem(3)
+	m := NewPIDManager(sys, 2, 0.5, 0.05, 0.1)
+	early := m.Decide(5, 0)
+	m.Reset()
+	late := m.Decide(5, sys.LastDeadline())
+	if late.Q >= early.Q {
+		t.Fatalf("PID did not degrade under lateness: early %v late %v", early.Q, late.Q)
+	}
+}
+
+func TestPIDResetClearsState(t *testing.T) {
+	sys := tightSystem(4)
+	m := NewPIDManager(sys, 2, 0.4, 0.1, 0)
+	for i := 0; i < 10; i++ {
+		m.Decide(i, sys.LastDeadline()) // accumulate integral
+	}
+	biased := m.Decide(10, 0)
+	m.Reset()
+	fresh := m.Decide(10, 0)
+	if fresh.Q <= biased.Q {
+		t.Fatalf("reset ineffective: fresh %v biased %v", fresh.Q, biased.Q)
+	}
+}
+
+func TestBaselinesCanMissWhereMixedCannot(t *testing.T) {
+	// The ablation's central claim: on tight systems under adversarial
+	// load, at least one baseline misses deadlines somewhere while the
+	// mixed-policy manager never does.
+	baselineMissed := false
+	for seed := int64(0); seed < 20; seed++ {
+		sys := tightSystem(seed)
+		run := func(m core.Manager) int {
+			return (&sim.Runner{Sys: sys, Mgr: m, Exec: sim.WorstCase{Sys: sys},
+				Overhead: sim.FreeOverhead, Cycles: 2}).MustRun().Misses
+		}
+		if run(NewSkipManager(sys, sys.QMax())) > 0 {
+			baselineMissed = true
+		}
+		if run(NewPIDManager(sys, sys.QMax(), 0.5, 0.05, 0.1)) > 0 {
+			baselineMissed = true
+		}
+		if m := run(core.NewNumericManager(sys)); m != 0 {
+			t.Fatalf("seed %d: mixed policy missed %d deadlines", seed, m)
+		}
+	}
+	if !baselineMissed {
+		t.Fatal("no baseline ever missed; ablation has no contrast")
+	}
+}
+
+func TestManagerNames(t *testing.T) {
+	sys := tightSystem(5)
+	if NewSkipManager(sys, 1).Name() != "skip-over" {
+		t.Fatal("skip name")
+	}
+	if NewPIDManager(sys, 1, 1, 0, 0).Name() != "pid" {
+		t.Fatal("pid name")
+	}
+}

@@ -1,0 +1,161 @@
+// Package bitstream provides MSB-first bit-level writing and reading,
+// the substrate of the entropy coder.
+package bitstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Writer accumulates bits MSB-first into a byte buffer.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // pending bits, left-aligned within nbit
+	nbit uint   // number of pending bits in cur
+}
+
+// NewWriter returns an empty writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// WriteBits appends the n low-order bits of v, most significant first.
+// n must be in [0, 32].
+func (w *Writer) WriteBits(v uint32, n uint) {
+	if n > 32 {
+		panic(fmt.Sprintf("bitstream: WriteBits n=%d > 32", n))
+	}
+	if n == 0 {
+		return
+	}
+	w.cur = w.cur<<n | uint64(v&((1<<n)-1))
+	w.nbit += n
+	for w.nbit >= 8 {
+		w.nbit -= 8
+		w.buf = append(w.buf, byte(w.cur>>w.nbit))
+	}
+}
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(b uint32) { w.WriteBits(b&1, 1) }
+
+// WriteUE appends v as an Exp-Golomb code (universal code for
+// non-negative integers), used for values without a dedicated table.
+func (w *Writer) WriteUE(v uint32) {
+	x := uint64(v) + 1
+	n := uint(0)
+	for y := x; y > 1; y >>= 1 {
+		n++
+	}
+	w.WriteBits(0, n)
+	// Write the value with its leading one bit, in two halves if wide.
+	if n+1 > 32 {
+		panic("bitstream: UE value too wide")
+	}
+	w.WriteBits(uint32(x), n+1)
+}
+
+// WriteSE appends v as a signed Exp-Golomb code (zigzag mapping).
+func (w *Writer) WriteSE(v int32) {
+	if v <= 0 {
+		w.WriteUE(uint32(-2 * v))
+	} else {
+		w.WriteUE(uint32(2*v - 1))
+	}
+}
+
+// Len returns the number of complete bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// BitLen returns the total number of bits written so far.
+func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.nbit) }
+
+// Bytes flushes the pending bits (padding with zeros) and returns the
+// buffer. The writer remains usable; padding bits become part of the
+// stream.
+func (w *Writer) Bytes() []byte {
+	if w.nbit > 0 {
+		pad := 8 - w.nbit
+		w.cur <<= pad
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur = 0
+		w.nbit = 0
+	}
+	return w.buf
+}
+
+// Reset discards all written data.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur = 0
+	w.nbit = 0
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos uint // bit position
+}
+
+// ErrOutOfBits is returned when a read crosses the end of the stream.
+var ErrOutOfBits = errors.New("bitstream: out of bits")
+
+// NewReader wraps a byte slice.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// ReadBits reads n bits MSB-first. n must be in [0, 32].
+func (r *Reader) ReadBits(n uint) (uint32, error) {
+	if n > 32 {
+		panic(fmt.Sprintf("bitstream: ReadBits n=%d > 32", n))
+	}
+	if r.pos+n > uint(len(r.buf))*8 {
+		return 0, ErrOutOfBits
+	}
+	var v uint32
+	for i := uint(0); i < n; i++ {
+		byteIdx := (r.pos + i) / 8
+		bitIdx := 7 - (r.pos+i)%8
+		v = v<<1 | uint32(r.buf[byteIdx]>>bitIdx&1)
+	}
+	r.pos += n
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint32, error) { return r.ReadBits(1) }
+
+// ReadUE reads an Exp-Golomb coded non-negative integer.
+func (r *Reader) ReadUE() (uint32, error) {
+	zeros := uint(0)
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros > 31 {
+			return 0, errors.New("bitstream: malformed UE code")
+		}
+	}
+	rest, err := r.ReadBits(zeros)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(1)<<zeros - 1 + rest, nil
+}
+
+// ReadSE reads a signed Exp-Golomb coded integer.
+func (r *Reader) ReadSE() (int32, error) {
+	u, err := r.ReadUE()
+	if err != nil {
+		return 0, err
+	}
+	if u%2 == 0 {
+		return -int32(u / 2), nil
+	}
+	return int32(u+1) / 2, nil
+}
+
+// BitsLeft returns the number of unread bits.
+func (r *Reader) BitsLeft() int { return len(r.buf)*8 - int(r.pos) }

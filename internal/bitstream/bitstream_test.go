@@ -1,0 +1,158 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0, 5)
+	w.WriteBits(0b11, 2)
+	b := w.Bytes()
+	r := NewReader(b)
+	if v, _ := r.ReadBits(3); v != 0b101 {
+		t.Fatalf("first read %b", v)
+	}
+	if v, _ := r.ReadBits(8); v != 0xFF {
+		t.Fatalf("second read %x", v)
+	}
+	if v, _ := r.ReadBits(5); v != 0 {
+		t.Fatalf("third read %b", v)
+	}
+	if v, _ := r.ReadBits(2); v != 0b11 {
+		t.Fatalf("fourth read %b", v)
+	}
+}
+
+func TestBitLenAndLen(t *testing.T) {
+	w := NewWriter()
+	if w.BitLen() != 0 || w.Len() != 0 {
+		t.Fatal("fresh writer not empty")
+	}
+	w.WriteBits(1, 1)
+	if w.BitLen() != 1 || w.Len() != 0 {
+		t.Fatalf("after 1 bit: bitlen %d len %d", w.BitLen(), w.Len())
+	}
+	w.WriteBits(0x7F, 7)
+	if w.BitLen() != 8 || w.Len() != 1 {
+		t.Fatalf("after 8 bits: bitlen %d len %d", w.BitLen(), w.Len())
+	}
+}
+
+func TestReset(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xABC, 12)
+	w.Reset()
+	if w.BitLen() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	w.WriteBits(0xF, 4)
+	b := w.Bytes()
+	if len(b) != 1 || b[0] != 0xF0 {
+		t.Fatalf("post-reset bytes % X", b)
+	}
+}
+
+func TestOutOfBits(t *testing.T) {
+	r := NewReader([]byte{0xAA})
+	if _, err := r.ReadBits(9); err != ErrOutOfBits {
+		t.Fatalf("expected ErrOutOfBits, got %v", err)
+	}
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatalf("8-bit read should work: %v", err)
+	}
+	if r.BitsLeft() != 0 {
+		t.Fatalf("bits left %d", r.BitsLeft())
+	}
+	if _, err := r.ReadBit(); err != ErrOutOfBits {
+		t.Fatal("read past end must fail")
+	}
+}
+
+func TestWriteBitsPanicsOver32(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WriteBits(>32) must panic")
+		}
+	}()
+	NewWriter().WriteBits(0, 33)
+}
+
+func TestUERoundTripSmall(t *testing.T) {
+	w := NewWriter()
+	for v := uint32(0); v < 300; v++ {
+		w.WriteUE(v)
+	}
+	r := NewReader(w.Bytes())
+	for v := uint32(0); v < 300; v++ {
+		got, err := r.ReadUE()
+		if err != nil {
+			t.Fatalf("ReadUE(%d): %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("UE roundtrip %d → %d", v, got)
+		}
+	}
+}
+
+func TestSERoundTrip(t *testing.T) {
+	vals := []int32{0, 1, -1, 2, -2, 100, -100, 30000, -30000}
+	w := NewWriter()
+	for _, v := range vals {
+		w.WriteSE(v)
+	}
+	r := NewReader(w.Bytes())
+	for _, v := range vals {
+		got, err := r.ReadSE()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("SE roundtrip %d → %d", v, got)
+		}
+	}
+}
+
+func TestBitstreamPropertyRoundTrip(t *testing.T) {
+	// Property: any sequence of (value, width) writes reads back
+	// identically.
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count%64) + 1
+		type item struct {
+			v uint32
+			n uint
+		}
+		items := make([]item, n)
+		w := NewWriter()
+		for i := range items {
+			width := uint(rng.Intn(32) + 1)
+			v := uint32(rng.Int63()) & ((1 << width) - 1)
+			items[i] = item{v, width}
+			w.WriteBits(v, width)
+		}
+		r := NewReader(w.Bytes())
+		for _, it := range items {
+			got, err := r.ReadBits(it.n)
+			if err != nil || got != it.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMalformedUE(t *testing.T) {
+	// 40 zero bits: no terminating 1 within the 32-bit budget.
+	r := NewReader(make([]byte, 5))
+	if _, err := r.ReadUE(); err == nil {
+		t.Fatal("malformed UE accepted")
+	}
+}

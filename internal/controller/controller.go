@@ -1,0 +1,241 @@
+// Package controller is the reproduction of the paper's Figure 1 tool
+// flow: a "compiler" that takes the application description (actions,
+// timing functions Cav/Cwc, deadline function D) plus the controller
+// parameters (relaxation set ρ), validates the quality-management
+// problem, pre-computes the speed-diagram tables, and packages
+// everything into one self-contained, serialisable **Bundle** — the
+// moral equivalent of the binary the BIP/THINK chain loaded onto the
+// iPod. A bundle can be saved, shipped, reloaded, and instantiated into
+// any of the three Quality Managers without access to the original
+// timing sources.
+package controller
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/regions"
+)
+
+// Spec is the compiler input: a full description of the application and
+// the controller parameters.
+type Spec struct {
+	// Name identifies the application (diagnostics only).
+	Name string `json:"name"`
+	// Actions of one cycle, in scheduled order.
+	Actions []ActionSpec `json:"actions"`
+	// Levels is the quality level count |Q|.
+	Levels int `json:"levels"`
+	// Rho is the control relaxation set; empty means {1} (no
+	// multi-step relaxation).
+	Rho []int `json:"rho,omitempty"`
+}
+
+// ActionSpec describes one action: per-level timing rows and an optional
+// deadline (0 = none, matching the JSON-friendly convention).
+type ActionSpec struct {
+	Name     string  `json:"name"`
+	Av       []int64 `json:"av"` // ns per level
+	WC       []int64 `json:"wc"` // ns per level
+	Deadline int64   `json:"deadline,omitempty"`
+}
+
+// SpecFromSystem converts an existing parameterized system into a Spec
+// (e.g. to compile a bundle from profiler output).
+func SpecFromSystem(name string, sys *core.System, rho []int) Spec {
+	spec := Spec{Name: name, Levels: sys.NumLevels(), Rho: append([]int(nil), rho...)}
+	for i := 0; i < sys.NumActions(); i++ {
+		a := sys.Action(i)
+		as := ActionSpec{
+			Name: a.Name,
+			Av:   make([]int64, sys.NumLevels()),
+			WC:   make([]int64, sys.NumLevels()),
+		}
+		for q := 0; q < sys.NumLevels(); q++ {
+			as.Av[q] = int64(sys.Av(i, core.Level(q)))
+			as.WC[q] = int64(sys.WC(i, core.Level(q)))
+		}
+		if a.HasDeadline() {
+			as.Deadline = int64(a.Deadline)
+		}
+		spec.Actions = append(spec.Actions, as)
+	}
+	return spec
+}
+
+// Bundle is the compiled controller: the validated system plus the
+// pre-computed symbolic tables.
+type Bundle struct {
+	spec  Spec
+	sys   *core.System
+	tab   *regions.TDTable
+	relax *regions.RelaxTables
+}
+
+// Compile validates the spec (Definition 1 monotonicity, Cav ≤ Cwc,
+// qmin-feasibility — the conditions under which the mixed policy is
+// safe) and pre-computes the tables with the parallel builders.
+func Compile(spec Spec) (*Bundle, error) {
+	sys, err := buildSystem(spec)
+	if err != nil {
+		return nil, err
+	}
+	rho := spec.Rho
+	if len(rho) == 0 {
+		rho = []int{1}
+	}
+	tab := regions.BuildTDTableParallel(sys)
+	relax, err := regions.BuildRelaxTablesParallel(tab, rho)
+	if err != nil {
+		return nil, fmt.Errorf("controller: %w", err)
+	}
+	return &Bundle{spec: spec, sys: sys, tab: tab, relax: relax}, nil
+}
+
+// buildSystem validates the spec into a parameterized system (no table
+// construction).
+func buildSystem(spec Spec) (*core.System, error) {
+	if len(spec.Actions) == 0 {
+		return nil, errors.New("controller: no actions")
+	}
+	if spec.Levels < 2 {
+		return nil, fmt.Errorf("controller: need ≥2 quality levels, got %d", spec.Levels)
+	}
+	tt := core.NewTimingTable(len(spec.Actions), spec.Levels)
+	actions := make([]core.Action, len(spec.Actions))
+	for i, a := range spec.Actions {
+		if len(a.Av) != spec.Levels || len(a.WC) != spec.Levels {
+			return nil, fmt.Errorf("controller: action %d (%s): timing rows must have %d entries", i, a.Name, spec.Levels)
+		}
+		for q := 0; q < spec.Levels; q++ {
+			tt.Set(i, core.Level(q), core.Time(a.Av[q]), core.Time(a.WC[q]))
+		}
+		d := core.TimeInf
+		if a.Deadline > 0 {
+			d = core.Time(a.Deadline)
+		}
+		actions[i] = core.Action{Name: a.Name, Deadline: d}
+	}
+	sys, err := core.NewSystem(actions, tt)
+	if err != nil {
+		return nil, fmt.Errorf("controller: %w", err)
+	}
+	if err := sys.Feasible(); err != nil {
+		return nil, fmt.Errorf("controller: %w", err)
+	}
+	return sys, nil
+}
+
+// Spec returns the bundle's originating spec.
+func (b *Bundle) Spec() Spec { return b.spec }
+
+// System returns the validated parameterized system.
+func (b *Bundle) System() *core.System { return b.sys }
+
+// Tables returns the quality-region table.
+func (b *Bundle) Tables() *regions.TDTable { return b.tab }
+
+// RelaxTables returns the control-relaxation tables.
+func (b *Bundle) RelaxTables() *regions.RelaxTables { return b.relax }
+
+// Numeric instantiates the on-line manager (kept mostly for comparison
+// runs; the whole point of the bundle is to avoid it).
+func (b *Bundle) Numeric() core.Manager { return core.NewNumericManager(b.sys) }
+
+// Symbolic instantiates the quality-region manager.
+func (b *Bundle) Symbolic() core.Manager { return regions.NewSymbolicManager(b.tab) }
+
+// Relaxed instantiates the control-relaxation manager.
+func (b *Bundle) Relaxed() core.Manager { return regions.NewRelaxedManager(b.relax) }
+
+// bundleJSON is the wire format: the spec plus both table payloads, so a
+// loaded bundle needs no recomputation.
+type bundleJSON struct {
+	Spec   Spec            `json:"spec"`
+	Tables json.RawMessage `json:"tables"`
+	Relax  json.RawMessage `json:"relax"`
+}
+
+// WriteTo serialises the bundle (spec + pre-computed tables) as JSON.
+func (b *Bundle) WriteTo(w io.Writer) (int64, error) {
+	var tabBuf, relaxBuf bytesBuffer
+	if _, err := b.tab.WriteTo(&tabBuf); err != nil {
+		return 0, err
+	}
+	if _, err := b.relax.WriteTo(&relaxBuf); err != nil {
+		return 0, err
+	}
+	j := bundleJSON{Spec: b.spec, Tables: tabBuf.data, Relax: relaxBuf.data}
+	cw := &countWriter{w: w}
+	err := json.NewEncoder(cw).Encode(j)
+	return cw.n, err
+}
+
+// Load reads a bundle written by WriteTo, revalidates the spec and
+// re-binds the stored tables (verifying dimensions). The tables are NOT
+// recomputed: load cost is parsing only, mirroring the paper's
+// pre-computed deployment.
+func Load(r io.Reader) (*Bundle, error) {
+	var j bundleJSON
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("controller: decode bundle: %w", err)
+	}
+	// Rebuild the system from the spec (cheap), then attach tables.
+	skeleton, err := compileSystemOnly(j.Spec)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := regions.LoadTDTable(bytesReader(j.Tables), skeleton)
+	if err != nil {
+		return nil, fmt.Errorf("controller: %w", err)
+	}
+	relax, err := regions.LoadRelaxTables(bytesReader(j.Relax), tab)
+	if err != nil {
+		return nil, fmt.Errorf("controller: %w", err)
+	}
+	return &Bundle{spec: j.Spec, sys: skeleton, tab: tab, relax: relax}, nil
+}
+
+func compileSystemOnly(spec Spec) (*core.System, error) {
+	return buildSystem(spec)
+}
+
+// countWriter mirrors the regions package's helper.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// bytesBuffer is a minimal in-memory io.Writer (avoiding a bytes import
+// cycle is not a concern; this keeps allocations explicit).
+type bytesBuffer struct{ data []byte }
+
+func (b *bytesBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func bytesReader(b []byte) io.Reader { return &byteReader{data: b} }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.pos:])
+	r.pos += n
+	return n, nil
+}

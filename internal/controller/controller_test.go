@@ -1,0 +1,157 @@
+package controller
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profiler"
+	"repro/internal/sim"
+)
+
+// validSpec builds a small, feasible spec.
+func validSpec() Spec {
+	const n, levels = 12, 4
+	spec := Spec{Name: "test-app", Levels: levels, Rho: []int{1, 3, 6}}
+	for i := 0; i < n; i++ {
+		a := ActionSpec{Name: "op", Av: make([]int64, levels), WC: make([]int64, levels)}
+		for q := 0; q < levels; q++ {
+			a.Av[q] = int64(100+40*q) * 1000 // ns
+			a.WC[q] = a.Av[q] * 3 / 2
+		}
+		spec.Actions = append(spec.Actions, a)
+	}
+	spec.Actions[n-1].Deadline = int64(n) * 260 * 1000
+	return spec
+}
+
+func TestCompileValidSpec(t *testing.T) {
+	b, err := Compile(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.System().NumActions() != 12 || b.System().NumLevels() != 4 {
+		t.Fatalf("compiled dimensions wrong")
+	}
+	if got := b.RelaxTables().Rho(); len(got) != 3 {
+		t.Fatalf("rho = %v", got)
+	}
+	if b.Spec().Name != "test-app" {
+		t.Fatal("spec not retained")
+	}
+}
+
+func TestCompileRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"no actions", func(s *Spec) { s.Actions = nil }, "no actions"},
+		{"one level", func(s *Spec) { s.Levels = 1 }, "levels"},
+		{"row length", func(s *Spec) { s.Actions[0].Av = s.Actions[0].Av[:2] }, "entries"},
+		{"no deadline", func(s *Spec) { s.Actions[len(s.Actions)-1].Deadline = 0 }, "no deadlines"},
+		{"infeasible", func(s *Spec) { s.Actions[len(s.Actions)-1].Deadline = 1 }, "infeasible"},
+		{"av above wc", func(s *Spec) { s.Actions[3].Av[1] = s.Actions[3].WC[1] + 1 }, "exceeds"},
+		{"bad rho", func(s *Spec) { s.Rho = []int{4} }, "relaxation"},
+	}
+	for _, c := range cases {
+		spec := validSpec()
+		c.mutate(&spec)
+		_, err := Compile(spec)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestCompileDefaultsRhoToOne(t *testing.T) {
+	spec := validSpec()
+	spec.Rho = nil
+	b, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.RelaxTables().Rho(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("default rho = %v", got)
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	b, err := Compile(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loaded managers must decide identically to the originals.
+	sys := b.System()
+	rng := rand.New(rand.NewSource(1))
+	m1, m2 := b.Relaxed(), loaded.Relaxed()
+	s1, s2 := b.Symbolic(), loaded.Symbolic()
+	for trial := 0; trial < 300; trial++ {
+		i := rng.Intn(sys.NumActions())
+		tm := core.Time(rng.Int63n(int64(sys.LastDeadline() * 2)))
+		if d1, d2 := m1.Decide(i, tm), m2.Decide(i, tm); d1 != d2 {
+			t.Fatalf("relaxed decisions diverge at (%d, %v): %+v vs %+v", i, tm, d1, d2)
+		}
+		if d1, d2 := s1.Decide(i, tm), s2.Decide(i, tm); d1 != d2 {
+			t.Fatalf("symbolic decisions diverge at (%d, %v)", i, tm)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"spec":{"levels":0},"tables":{},"relax":{}}`)); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestSpecFromSystemRoundTrip(t *testing.T) {
+	// profiler system → spec → compile → identical decisions.
+	sys := profiler.IPodSystem()
+	spec := SpecFromSystem("ipod-encoder", sys, []int{1, 10, 20})
+	b, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.System().NumActions() != sys.NumActions() {
+		t.Fatal("action count changed")
+	}
+	orig := core.NewNumericManager(sys)
+	comp := b.Numeric()
+	for _, i := range []int{0, 100, 594, 1188} {
+		for _, tm := range []core.Time{0, 300 * core.Millisecond, core.Second} {
+			if orig.Decide(i, tm).Q != comp.Decide(i, tm).Q {
+				t.Fatalf("decision changed at (%d, %v)", i, tm)
+			}
+		}
+	}
+}
+
+func TestCompiledControllerRunsSafely(t *testing.T) {
+	b, err := Compile(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trc := (&sim.Runner{Sys: b.System(), Mgr: b.Relaxed(),
+		Exec: sim.WorstCase{Sys: b.System()}, Overhead: sim.FreeOverhead, Cycles: 3}).MustRun()
+	if trc.Misses != 0 {
+		t.Fatalf("compiled controller missed %d deadlines", trc.Misses)
+	}
+}

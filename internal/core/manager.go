@@ -1,0 +1,103 @@
+package core
+
+// Decision is the output of one Quality Manager invocation.
+type Decision struct {
+	// Q is the quality level chosen for the next action(s).
+	Q Level
+	// Steps is the number of consecutive actions that may run at Q
+	// without consulting the manager again (control relaxation,
+	// Definition 5). Always ≥ 1; plain managers return 1.
+	Steps int
+	// Work counts the abstract operations the decision performed
+	// (policy evaluations, table probes). Platform models translate
+	// Work into management overhead time; see the sim package. The unit is
+	// "one table access or arithmetic comparison".
+	Work int
+}
+
+// Manager is a Quality Manager Γ (Definition 2): a function from the
+// observed state (action index i, elapsed cycle-relative time t) to the
+// quality level of the next action. Managers must be deterministic and
+// must not retain cross-call mutable state: control relaxation is
+// expressed through Decision.Steps and enforced by the executor, so that
+// the same Manager value can be shared across runs.
+type Manager interface {
+	// Name identifies the manager in traces and benchmark output.
+	Name() string
+	// Decide picks the quality for action i at elapsed time t.
+	// 0 ≤ i < system.NumActions().
+	Decide(i int, t Time) Decision
+}
+
+// NumericManager evaluates the mixed quality-management policy on line at
+// every call, exactly as the "numeric Quality Manager" of §4.1: for each
+// candidate level from qmax downward it computes tD(s_i, q) over the
+// remaining actions until the constraint tD ≥ t holds. Per-call cost is
+// O(|Q|·(n−i)); the Work field accounts for it.
+type NumericManager struct {
+	sys *System
+}
+
+// NewNumericManager returns the on-line mixed-policy manager for sys.
+func NewNumericManager(sys *System) *NumericManager {
+	return &NumericManager{sys: sys}
+}
+
+// Name implements Manager.
+func (m *NumericManager) Name() string { return "numeric" }
+
+// Decide implements Manager. If even qmin violates the constraint (which
+// cannot happen on states actually reached by a feasible controlled
+// system; see System.Feasible), it conservatively returns qmin.
+func (m *NumericManager) Decide(i int, t Time) Decision {
+	n := m.sys.NumActions()
+	work := 0
+	for q := m.sys.QMax(); q > 0; q-- {
+		work += n - i // one O(n−i) pass of TD
+		if m.sys.TD(i, q) >= t {
+			return Decision{Q: q, Steps: 1, Work: work}
+		}
+	}
+	work += n - i
+	return Decision{Q: 0, Steps: 1, Work: work}
+}
+
+// SafeManager applies the pure safe policy (Csf instead of CD). It is the
+// §2.2.2 strawman: deadline-safe but with poor smoothness. Used by the
+// policy-ablation benchmarks.
+type SafeManager struct {
+	sys *System
+}
+
+// NewSafeManager returns the on-line safe-policy manager for sys.
+func NewSafeManager(sys *System) *SafeManager { return &SafeManager{sys: sys} }
+
+// Name implements Manager.
+func (m *SafeManager) Name() string { return "safe" }
+
+// Decide implements Manager.
+func (m *SafeManager) Decide(i int, t Time) Decision {
+	n := m.sys.NumActions()
+	work := 0
+	for q := m.sys.QMax(); q > 0; q-- {
+		work += n - i
+		if m.sys.SafeTD(i, q) >= t {
+			return Decision{Q: q, Steps: 1, Work: work}
+		}
+	}
+	work += n - i
+	return Decision{Q: 0, Steps: 1, Work: work}
+}
+
+// FixedManager always returns the same level; the open-loop baseline.
+type FixedManager struct {
+	Level Level
+}
+
+// Name implements Manager.
+func (m FixedManager) Name() string { return "fixed-" + m.Level.String() }
+
+// Decide implements Manager.
+func (m FixedManager) Decide(int, Time) Decision {
+	return Decision{Q: m.Level, Steps: 1, Work: 1}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNumericManagerPicksMaximalFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 25; trial++ {
+		s := RandomSystem(rng, RandomSystemConfig{DeadlineEvery: 5})
+		m := NewNumericManager(s)
+		for i := 0; i < s.NumActions(); i++ {
+			// Probe a spread of times around the region boundaries.
+			probes := []Time{0}
+			for q := Level(0); q <= s.QMax(); q++ {
+				td := s.TD(i, q)
+				if !td.IsInf() {
+					probes = append(probes, td, td+1, td-1)
+				}
+			}
+			for _, tm := range probes {
+				if tm < 0 {
+					continue
+				}
+				d := m.Decide(i, tm)
+				// Γ(s,t) = max{ q | tD(s,q) ≥ t }, or qmin if empty.
+				want := Level(0)
+				for q := s.QMax(); q >= 0; q-- {
+					if s.TD(i, q) >= tm {
+						want = q
+						break
+					}
+				}
+				if d.Q != want {
+					t.Fatalf("trial %d i=%d t=%v: Decide=%v want %v", trial, i, tm, d.Q, want)
+				}
+				if d.Steps != 1 {
+					t.Fatalf("numeric manager must return Steps=1, got %d", d.Steps)
+				}
+				if d.Work <= 0 {
+					t.Fatal("Work must be positive")
+				}
+			}
+		}
+	}
+}
+
+func TestNumericManagerAtTimeZeroMatchesFeasibility(t *testing.T) {
+	// At t=0 a feasible system always admits at least qmin.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		s := RandomSystem(rng, RandomSystemConfig{})
+		m := NewNumericManager(s)
+		d := m.Decide(0, 0)
+		if d.Q < 0 || d.Q > s.QMax() {
+			t.Fatalf("quality out of range: %v", d.Q)
+		}
+		if s.TD(0, d.Q) < 0 && d.Q != 0 {
+			t.Fatal("chosen non-qmin level violates the constraint at t=0")
+		}
+	}
+}
+
+func TestNumericManagerMonotoneInTime(t *testing.T) {
+	// Later arrival at the same state can only lower the chosen quality.
+	rng := rand.New(rand.NewSource(22))
+	s := RandomSystem(rng, RandomSystemConfig{DeadlineEvery: 4})
+	m := NewNumericManager(s)
+	for i := 0; i < s.NumActions(); i++ {
+		prev := s.QMax() + 1
+		for tm := Time(0); tm < 40*Microsecond; tm += 3 * Microsecond {
+			d := m.Decide(i, tm)
+			if d.Q > prev {
+				t.Fatalf("quality increased with time at i=%d t=%v", i, tm)
+			}
+			prev = d.Q
+		}
+	}
+}
+
+func TestNumericManagerWorkGrowsWithRemaining(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := RandomSystem(rng, RandomSystemConfig{Actions: 60})
+	m := NewNumericManager(s)
+	early := m.Decide(0, 0)
+	late := m.Decide(55, 0)
+	if early.Work <= late.Work {
+		t.Fatalf("Work at state 0 (%d) should exceed state 55 (%d)", early.Work, late.Work)
+	}
+}
+
+func TestSafeManagerIsSafeButGreedy(t *testing.T) {
+	// The safe manager chooses at least the numeric manager's quality at
+	// t=0 (Csf ≤ CD ⇒ tDsf ≥ tD ⇒ weaker constraint ⇒ ≥ quality).
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 20; trial++ {
+		s := RandomSystem(rng, RandomSystemConfig{DeadlineEvery: 6})
+		num := NewNumericManager(s)
+		safe := NewSafeManager(s)
+		for i := 0; i < s.NumActions(); i += 3 {
+			for _, tm := range []Time{0, 2 * Microsecond, 8 * Microsecond} {
+				dn := num.Decide(i, tm)
+				ds := safe.Decide(i, tm)
+				if ds.Q < dn.Q {
+					t.Fatalf("safe picked %v < mixed %v at i=%d t=%v", ds.Q, dn.Q, i, tm)
+				}
+			}
+		}
+	}
+}
+
+func TestFixedManager(t *testing.T) {
+	m := FixedManager{Level: 3}
+	d := m.Decide(5, 123)
+	if d.Q != 3 || d.Steps != 1 {
+		t.Fatalf("fixed manager decision = %+v", d)
+	}
+	if m.Name() != "fixed-q3" {
+		t.Fatalf("name = %q", m.Name())
+	}
+}
+
+func TestManagerNames(t *testing.T) {
+	s := tinySystem(t)
+	if NewNumericManager(s).Name() != "numeric" {
+		t.Fatal("numeric name")
+	}
+	if NewSafeManager(s).Name() != "safe" {
+		t.Fatal("safe name")
+	}
+}

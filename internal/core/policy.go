@@ -1,0 +1,134 @@
+package core
+
+// This file implements the quality-management policies of §2.2.
+//
+// The mixed policy evaluates, at state i (just before action i) and for a
+// candidate level q,
+//
+//	tD(s_i, q) = min_{k ≥ i, a_k has a deadline} D(a_k) − CD(a_i..a_k, q)
+//
+// with CD = Cav + δmax, where
+//
+//	Csf(a_j..a_k, q)  = Cwc(a_j, q) + Σ_{m=j+1..k} Cwc(a_m, qmin)
+//	δ(a_j..a_k, q)    = Csf(a_j..a_k, q) − Cav(a_j..a_k, q)
+//	δmax(a_i..a_k, q) = max_{i ≤ j ≤ k} δ(a_j..a_k, q).
+//
+// Substituting prefix sums A_q[·] (average) and W[·] (worst case at qmin),
+//
+//	Cav(a_i..a_k, q) + δ(a_j..a_k, q)
+//	  = Cav(a_i..a_{j-1}, q) + Cwc(a_j, q) + Σ_{m=j+1..k} Cwc(a_m, qmin)
+//	  = h_q(j) + W[k+1] − A_q[i],   h_q(j) = Cwc(a_j,q) + A_q[j] − W[j+1],
+//
+// so that
+//
+//	CD(a_i..a_k, q) = max_{i ≤ j ≤ k} h_q(j) + W[k+1] − A_q[i]
+//	tD(s_i, q)      = A_q[i] + min_{k ≥ i, dl} ( D(a_k) − W[k+1] − max_{i≤j≤k} h_q(j) ).
+//
+// Each term of the max is a sum of functions non-decreasing in q, which
+// proves the paper's claim that tD is non-increasing in q; and enlarging
+// the window [i, k] as i decreases only grows the inner max, which proves
+// that tD is non-decreasing in i. Both facts are property-tested.
+//
+// The single-pass form lets the numeric Quality Manager evaluate tD(s_i, q)
+// in O(n − i) and is also the seed of the symbolic table builders in the
+// regions package.
+
+// Csf returns the safe execution-time estimate Csf(a_i..a_k, q) of §2.2.2:
+// worst case for the first action at level q, worst case at qmin for the
+// rest (the manager may lower quality after the first action).
+func (s *System) Csf(i, k int, q Level) Time {
+	if i > k {
+		return 0
+	}
+	return s.timing.WC(i, q) + (s.wminPrefix[k+1] - s.wminPrefix[i+1])
+}
+
+// Delta returns δ(a_j..a_k, q) = Csf(a_j..a_k, q) − Cav(a_j..a_k, q), the
+// gap between the safe and the average estimate of the suffix j..k.
+func (s *System) Delta(j, k int, q Level) Time {
+	return s.Csf(j, k, q) - s.AvRange(j, k, q)
+}
+
+// DeltaMax returns δmax(a_i..a_k, q) = max_{i≤j≤k} δ(a_j..a_k, q), the
+// safety margin of the mixed policy over the window i..k. O(k−i+1).
+func (s *System) DeltaMax(i, k int, q Level) Time {
+	m := TimeNegInf
+	for j := i; j <= k; j++ {
+		if d := s.Delta(j, k, q); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// CD returns the mixed execution-time estimate CD(a_i..a_k, q)
+// = Cav(a_i..a_k, q) + δmax(a_i..a_k, q). O(k−i+1).
+func (s *System) CD(i, k int, q Level) Time {
+	return s.AvRange(i, k, q) + s.DeltaMax(i, k, q)
+}
+
+// TD evaluates tD(s_i, q) in a single O(n−i) pass using the prefix-sum
+// form above. It returns TimeInf when no deadline remains at or after
+// action i (the policy constraint is then vacuous and the manager is free
+// to choose qmax). i may equal NumActions(), denoting the final state.
+func (s *System) TD(i int, q Level) Time {
+	n := len(s.actions)
+	hq := s.h[q]
+	best := TimeInf
+	maxh := TimeNegInf
+	for k := i; k < n; k++ {
+		if hq[k] > maxh {
+			maxh = hq[k]
+		}
+		if d := s.actions[k].Deadline; d < TimeInf {
+			if term := d - s.wminPrefix[k+1] - maxh; term < best {
+				best = term
+			}
+		}
+	}
+	if best >= TimeInf {
+		return TimeInf
+	}
+	return best + s.avPrefix[q][i]
+}
+
+// TDNaive evaluates tD(s_i, q) directly from Definition-level formulas
+// (min over deadlines of D − CD with the quadratic δmax scan). It exists
+// as an executable specification for tests; use TD in production code.
+func (s *System) TDNaive(i int, q Level) Time {
+	n := len(s.actions)
+	best := TimeInf
+	for k := i; k < n; k++ {
+		if !s.actions[k].HasDeadline() {
+			continue
+		}
+		if v := s.actions[k].Deadline - s.CD(i, k, q); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// PolicyConstraint reports whether quality q satisfies the mixed-policy
+// constraint tD(s_i, q) ≥ t at state (i, t).
+func (s *System) PolicyConstraint(i int, t Time, q Level) bool {
+	return s.TD(i, q) >= t
+}
+
+// SafeTD evaluates the *safe* policy's horizon (CD replaced by Csf):
+// tDsf(s_i, q) = min_{k≥i, dl} D(a_k) − Csf(a_i..a_k, q). The safe policy
+// guarantees deadlines but ignores average behaviour, which makes quality
+// fluctuate (start high, end low) — the motivation for the mixed policy.
+func (s *System) SafeTD(i int, q Level) Time {
+	n := len(s.actions)
+	best := TimeInf
+	for k := i; k < n; k++ {
+		if !s.actions[k].HasDeadline() {
+			continue
+		}
+		if v := s.actions[k].Deadline - s.Csf(i, k, q); v < best {
+			best = v
+		}
+	}
+	return best
+}

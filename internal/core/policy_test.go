@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCsfHandComputed(t *testing.T) {
+	s := tinySystem(t)
+	// Csf(a0..a3, q=2) = Cwc(a0,2) + Cwc(a1..a3, qmin) = 4 + (1+2+2) = 9µs.
+	if got := s.Csf(0, 3, 2); got != 9*Microsecond {
+		t.Fatalf("Csf(0,3,2) = %v, want 9µs", got)
+	}
+	// Single action window: Csf(a2..a2, q) = Cwc(a2, q) = 2µs.
+	if got := s.Csf(2, 2, 1); got != 2*Microsecond {
+		t.Fatalf("Csf(2,2,1) = %v", got)
+	}
+	if got := s.Csf(3, 2, 0); got != 0 {
+		t.Fatalf("empty Csf = %v", got)
+	}
+}
+
+func TestDeltaNonNegativeOnSingletons(t *testing.T) {
+	// δ(a_k..a_k, q) = Cwc(a_k,q) − Cav(a_k,q) ≥ 0 because Cav ≤ Cwc.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		s := RandomSystem(rng, RandomSystemConfig{})
+		for k := 0; k < s.NumActions(); k++ {
+			for q := Level(0); q <= s.QMax(); q++ {
+				if s.Delta(k, k, q) < 0 {
+					t.Fatalf("negative singleton delta at k=%d q=%v", k, q)
+				}
+			}
+		}
+	}
+}
+
+func TestDeltaMaxDominatesDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := RandomSystem(rng, RandomSystemConfig{Actions: 16})
+	for i := 0; i < s.NumActions(); i++ {
+		for k := i; k < s.NumActions(); k++ {
+			for q := Level(0); q <= s.QMax(); q++ {
+				dm := s.DeltaMax(i, k, q)
+				for j := i; j <= k; j++ {
+					if s.Delta(j, k, q) > dm {
+						t.Fatalf("δmax(%d,%d,%v) < δ(%d..%d)", i, k, q, j, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCDAlternativeForm(t *testing.T) {
+	// CD(a_i..a_k, q) = max_{i≤j≤k} [Cav(a_i..a_{j-1},q) + Cwc(a_j,q)
+	//                    + Wmin(a_{j+1}..a_k)] — the form that proves
+	// monotonicity in q. Check both agree on random systems.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		s := RandomSystem(rng, RandomSystemConfig{Actions: 12})
+		for i := 0; i < s.NumActions(); i++ {
+			for k := i; k < s.NumActions(); k++ {
+				for q := Level(0); q <= s.QMax(); q++ {
+					want := TimeNegInf
+					for j := i; j <= k; j++ {
+						v := s.AvRange(i, j-1, q) + s.WC(j, q) + (s.wminPrefix[k+1] - s.wminPrefix[j+1])
+						if v > want {
+							want = v
+						}
+					}
+					if got := s.CD(i, k, q); got != want {
+						t.Fatalf("CD(%d,%d,%v) = %v, alt form %v", i, k, q, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCDDominatesCsfAndCav(t *testing.T) {
+	// Cav ≤ CD and Csf ≤ CD: the mixed estimate is at least as
+	// conservative as the safe estimate over the same window start.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		s := RandomSystem(rng, RandomSystemConfig{Actions: 12})
+		for i := 0; i < s.NumActions(); i++ {
+			for k := i; k < s.NumActions(); k++ {
+				for q := Level(0); q <= s.QMax(); q++ {
+					cd := s.CD(i, k, q)
+					if cd < s.Csf(i, k, q) {
+						t.Fatalf("CD < Csf at (%d,%d,%v)", i, k, q)
+					}
+					if cd < s.AvRange(i, k, q) {
+						t.Fatalf("CD < Cav at (%d,%d,%v)", i, k, q)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTDMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		s := RandomSystem(rng, RandomSystemConfig{Actions: 20, DeadlineEvery: 6})
+		for i := 0; i <= s.NumActions(); i++ {
+			for q := Level(0); q <= s.QMax(); q++ {
+				fast := s.TD(i, q)
+				naive := s.TDNaive(i, q)
+				if fast != naive {
+					t.Fatalf("trial %d: TD(%d,%v) = %v, naive %v", trial, i, q, fast, naive)
+				}
+			}
+		}
+	}
+}
+
+func TestTDMonotoneInQuality(t *testing.T) {
+	// Paper §3.2: "tD is a non-increasing function of q".
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		s := RandomSystem(rng, RandomSystemConfig{DeadlineEvery: 4})
+		for i := 0; i < s.NumActions(); i++ {
+			for q := Level(1); q <= s.QMax(); q++ {
+				if s.TD(i, q) > s.TD(i, q-1) {
+					t.Fatalf("tD increasing in q at i=%d q=%v", i, q)
+				}
+			}
+		}
+	}
+}
+
+func TestTDMonotoneInState(t *testing.T) {
+	// §3.3: "tD(s_j, q+1) is increasing with j" — more precisely
+	// non-decreasing, which the relaxation lower bound relies on.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		s := RandomSystem(rng, RandomSystemConfig{DeadlineEvery: 4})
+		for q := Level(0); q <= s.QMax(); q++ {
+			for i := 1; i <= s.NumActions(); i++ {
+				if s.TD(i, q) < s.TD(i-1, q) {
+					t.Fatalf("tD decreasing in i at i=%d q=%v", i, q)
+				}
+			}
+		}
+	}
+}
+
+func TestTDPastLastDeadlineIsInf(t *testing.T) {
+	s := tinySystem(t)
+	if got := s.TD(4, 0); got != TimeInf {
+		t.Fatalf("tD at final state = %v, want inf", got)
+	}
+}
+
+func TestTDHandComputed(t *testing.T) {
+	s := tinySystem(t)
+	// State 3 (only a3 left), q=2: CD(3,3,2) = Cav + δmax = 5 + (6−5) = 6.
+	// tD = D(a3) − 6 = 14µs.
+	if got := s.TD(3, 2); got != 14*Microsecond {
+		t.Fatalf("tD(3,2) = %v, want 14µs", got)
+	}
+	// State 3, q=0: CD = 1 + (2−1) = 2; tD = 18µs.
+	if got := s.TD(3, 0); got != 18*Microsecond {
+		t.Fatalf("tD(3,0) = %v, want 18µs", got)
+	}
+}
+
+func TestSafeTDDominatedByTD(t *testing.T) {
+	// Csf ≤ CD ⇒ tDsf ≥ tD: the safe policy is *less* conservative per
+	// window start... but CD ≥ Csf means D − CD ≤ D − Csf, so tD ≤ tDsf.
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		s := RandomSystem(rng, RandomSystemConfig{DeadlineEvery: 5})
+		for i := 0; i < s.NumActions(); i++ {
+			for q := Level(0); q <= s.QMax(); q++ {
+				if s.TD(i, q) > s.SafeTD(i, q) {
+					t.Fatalf("tD > tDsf at i=%d q=%v", i, q)
+				}
+			}
+		}
+	}
+}
+
+func TestPolicyConstraint(t *testing.T) {
+	s := tinySystem(t)
+	td := s.TD(0, 1)
+	if !s.PolicyConstraint(0, td, 1) {
+		t.Fatal("constraint must hold at exactly tD")
+	}
+	if s.PolicyConstraint(0, td+1, 1) {
+		t.Fatal("constraint must fail just above tD")
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// qcfg derives a RandomSystemConfig from fuzzed bytes, keeping sizes
+// small enough for exhaustive inner loops.
+func qcfg(a, b, c byte) RandomSystemConfig {
+	return RandomSystemConfig{
+		Actions:       int(a%28) + 2,
+		Levels:        int(b%6) + 2,
+		DeadlineEvery: int(c % 7), // 0 = final only
+	}
+}
+
+// TestQuickTDEquivalence: the prefix-sum single-pass evaluator agrees
+// with the definition-level evaluator on arbitrary systems and states.
+func TestQuickTDEquivalence(t *testing.T) {
+	f := func(seed int64, a, b, c byte, stateRaw, levelRaw uint8) bool {
+		sys := RandomSystem(rand.New(rand.NewSource(seed)), qcfg(a, b, c))
+		i := int(stateRaw) % (sys.NumActions() + 1)
+		q := Level(int(levelRaw) % sys.NumLevels())
+		return sys.TD(i, q) == sys.TDNaive(i, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTDMonotone: tD non-increasing in q and non-decreasing in i,
+// at fuzzed positions.
+func TestQuickTDMonotone(t *testing.T) {
+	f := func(seed int64, a, b, c byte, stateRaw, levelRaw uint8) bool {
+		sys := RandomSystem(rand.New(rand.NewSource(seed)), qcfg(a, b, c))
+		i := int(stateRaw) % sys.NumActions()
+		q := Level(int(levelRaw) % sys.NumLevels())
+		if q > 0 && sys.TD(i, q) > sys.TD(i, q-1) {
+			return false
+		}
+		return sys.TD(i+1, q) >= sys.TD(i, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSafetyInductionStep is the inductive lemma behind the safety
+// theorem (Definition 3): if the state (i, t) satisfies the policy
+// constraint for the chosen level q, then after executing action i at q
+// with ANY actual time ≤ Cwc(a_i, q), the successor state satisfies the
+// constraint at qmin. Together with qmin-feasibility at t = 0 this gives
+// deadline safety by induction; the simulator tests check the composed
+// statement, this checks the step itself.
+func TestQuickSafetyInductionStep(t *testing.T) {
+	f := func(seed int64, a, b, c byte, stateRaw, levelRaw uint8, frac float64) bool {
+		sys := RandomSystem(rand.New(rand.NewSource(seed)), qcfg(a, b, c))
+		i := int(stateRaw) % sys.NumActions()
+		q := Level(int(levelRaw) % sys.NumLevels())
+		td := sys.TD(i, q)
+		if td.IsInf() {
+			return true // no remaining deadline: nothing to show
+		}
+		if td < 0 {
+			return true // constraint unsatisfiable at this level
+		}
+		// Any admissible arrival time for level q...
+		frac = unitFrac(frac) // [0,1)
+		tm := Time(frac * float64(td))
+		// ...and any admissible execution time.
+		actual := Time(frac * float64(sys.WC(i, q)))
+		next := tm + actual
+		return sys.TD(i+1, 0) >= next
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickManagerMaximality: the numeric manager's choice satisfies its
+// constraint and the next level up violates it.
+func TestQuickManagerMaximality(t *testing.T) {
+	f := func(seed int64, a, b, c byte, stateRaw uint8, tRaw uint32) bool {
+		sys := RandomSystem(rand.New(rand.NewSource(seed)), qcfg(a, b, c))
+		m := NewNumericManager(sys)
+		i := int(stateRaw) % sys.NumActions()
+		tm := Time(tRaw) * Microsecond / 4
+		d := m.Decide(i, tm)
+		if d.Q < 0 || d.Q > sys.QMax() {
+			return false
+		}
+		// Chosen level satisfies the constraint unless even qmin fails.
+		if sys.TD(i, d.Q) < tm && d.Q != 0 {
+			return false
+		}
+		// Maximality: the next level up must violate it.
+		if d.Q < sys.QMax() && sys.TD(i, d.Q+1) >= tm {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCsfDecomposition: Csf over a window equals Cwc of the head
+// plus the qmin worst case of the tail — the §2.2.2 definition restated
+// as an algebraic identity over the prefix sums.
+func TestQuickCsfDecomposition(t *testing.T) {
+	f := func(seed int64, a, b, c byte, loRaw, hiRaw, levelRaw uint8) bool {
+		sys := RandomSystem(rand.New(rand.NewSource(seed)), qcfg(a, b, c))
+		i := int(loRaw) % sys.NumActions()
+		k := i + int(hiRaw)%(sys.NumActions()-i)
+		q := Level(int(levelRaw) % sys.NumLevels())
+		want := sys.WC(i, q)
+		for j := i + 1; j <= k; j++ {
+			want += sys.WC(j, 0)
+		}
+		return sys.Csf(i, k, q) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// unitFrac maps an arbitrary fuzzed float into [0, 1), treating
+// non-finite values as 0.5 (float→int conversion of huge values is
+// platform-defined in Go, so plain truncation is unsafe here).
+func unitFrac(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0.5
+	}
+	f = math.Abs(f)
+	return f - math.Floor(f)
+}

@@ -1,0 +1,114 @@
+package core
+
+import "math/rand"
+
+// RandomSystemConfig parameterises RandomSystem. Zero values are replaced
+// by the documented defaults.
+type RandomSystemConfig struct {
+	// Actions is the number of actions n (default 24).
+	Actions int
+	// Levels is the number of quality levels |Q| (default 5).
+	Levels int
+	// MaxAv bounds the per-action average execution time increment per
+	// level, in nanoseconds (default 1000).
+	MaxAv int64
+	// WCFactorNum/WCFactorDen give Cwc = Cav * Num/Den (+jitter)
+	// (default 8/5, i.e. 1.6×).
+	WCFactorNum, WCFactorDen int64
+	// DeadlineEvery places a deadline on every k-th action in addition
+	// to the mandatory final one (default 0: final action only).
+	DeadlineEvery int
+	// SlackNum/SlackDen scale deadlines relative to the qmin worst-case
+	// workload: D(a_k) = Wmin(0..k) * Num/Den (default 2/1), which
+	// guarantees qmin-feasibility.
+	SlackNum, SlackDen int64
+}
+
+func (c *RandomSystemConfig) fill() {
+	if c.Actions == 0 {
+		c.Actions = 24
+	}
+	if c.Levels == 0 {
+		c.Levels = 5
+	}
+	if c.MaxAv == 0 {
+		c.MaxAv = 1000
+	}
+	if c.WCFactorNum == 0 {
+		c.WCFactorNum, c.WCFactorDen = 8, 5
+	}
+	if c.SlackNum == 0 {
+		c.SlackNum, c.SlackDen = 2, 1
+	}
+}
+
+// RandomSystem builds a structurally valid, qmin-feasible parameterized
+// system from a seeded PRNG. It is shared by the property-based tests of
+// every package (core invariants, region equivalence, simulator safety),
+// so its distribution deliberately exercises corner cases: zero-cost
+// actions, flat quality curves, and clustered deadlines.
+func RandomSystem(rng *rand.Rand, cfg RandomSystemConfig) *System {
+	cfg.fill()
+	n, nq := cfg.Actions, cfg.Levels
+	tt := NewTimingTable(n, nq)
+	for i := 0; i < n; i++ {
+		av := Time(rng.Int63n(cfg.MaxAv))
+		flat := rng.Intn(4) == 0 // some actions ignore quality entirely
+		for q := 0; q < nq; q++ {
+			if q > 0 {
+				if !flat {
+					av += Time(rng.Int63n(cfg.MaxAv))
+				}
+			}
+			wc := av * Time(cfg.WCFactorNum) / Time(cfg.WCFactorDen)
+			// Extra jitter on the worst case, kept monotone by
+			// construction since av is monotone and jitter ≥ 0.
+			wc += Time(rng.Int63n(cfg.MaxAv / 2))
+			if q > 0 && wc < tt.WC(i, Level(q-1)) {
+				wc = tt.WC(i, Level(q-1))
+			}
+			if wc < av {
+				wc = av
+			}
+			tt.Set(i, Level(q), av, wc)
+		}
+	}
+	actions := make([]Action, n)
+	wmin := Time(0)
+	for i := 0; i < n; i++ {
+		wmin += tt.WC(i, 0)
+		actions[i] = Action{Name: "a" + itoa(i), Deadline: TimeInf}
+		isLast := i == n-1
+		periodic := cfg.DeadlineEvery > 0 && (i+1)%cfg.DeadlineEvery == 0
+		if isLast || periodic {
+			d := wmin * Time(cfg.SlackNum) / Time(cfg.SlackDen)
+			if d < wmin {
+				d = wmin
+			}
+			actions[i].Deadline = d
+		}
+	}
+	return MustNewSystem(actions, tt)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		pos--
+		buf[pos] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		pos--
+		buf[pos] = '-'
+	}
+	return string(buf[pos:])
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Action is one atomic block of the scheduled application software.
+// Deadline is the completion deadline of the action relative to the start
+// of the cycle, or TimeInf when the action carries no deadline.
+type Action struct {
+	Name     string
+	Deadline Time
+}
+
+// HasDeadline reports whether the action carries a finite deadline.
+func (a Action) HasDeadline() bool { return a.Deadline < TimeInf }
+
+// TimingTable stores the platform-dependent worst-case (Cwc) and average
+// (Cav) execution-time functions of Definition 1, as dense per-action,
+// per-level tables. Both functions must be non-decreasing in the quality
+// level, and Cav must never exceed Cwc.
+type TimingTable struct {
+	wc [][]Time // wc[i][q]: worst-case execution time of action i at level q
+	av [][]Time // av[i][q]: average execution time of action i at level q
+}
+
+// NewTimingTable builds a timing table for n actions and nq quality
+// levels, all entries zero. Fill it with SetWC/SetAv or Set.
+func NewTimingTable(n, nq int) *TimingTable {
+	if n <= 0 || nq <= 0 {
+		panic("core: timing table dimensions must be positive")
+	}
+	wc := make([][]Time, n)
+	av := make([][]Time, n)
+	for i := range wc {
+		wc[i] = make([]Time, nq)
+		av[i] = make([]Time, nq)
+	}
+	return &TimingTable{wc: wc, av: av}
+}
+
+// NumActions returns the number of actions covered by the table.
+func (tt *TimingTable) NumActions() int { return len(tt.wc) }
+
+// NumLevels returns the number of quality levels covered by the table.
+func (tt *TimingTable) NumLevels() int { return len(tt.wc[0]) }
+
+// WC returns the worst-case execution time Cwc(a_i, q).
+func (tt *TimingTable) WC(i int, q Level) Time { return tt.wc[i][q] }
+
+// Av returns the average execution time Cav(a_i, q).
+func (tt *TimingTable) Av(i int, q Level) Time { return tt.av[i][q] }
+
+// Set assigns both the average and worst-case execution time of action i
+// at level q.
+func (tt *TimingTable) Set(i int, q Level, av, wc Time) {
+	tt.av[i][q] = av
+	tt.wc[i][q] = wc
+}
+
+// SetWC assigns the worst-case execution time of action i at level q.
+func (tt *TimingTable) SetWC(i int, q Level, wc Time) { tt.wc[i][q] = wc }
+
+// SetAv assigns the average execution time of action i at level q.
+func (tt *TimingTable) SetAv(i int, q Level, av Time) { tt.av[i][q] = av }
+
+// Validate checks the structural requirements of Definition 1:
+// non-negative entries, monotonicity in the quality level, and Cav ≤ Cwc.
+func (tt *TimingTable) Validate() error {
+	for i := range tt.wc {
+		for q := 0; q < len(tt.wc[i]); q++ {
+			if tt.wc[i][q] < 0 || tt.av[i][q] < 0 {
+				return fmt.Errorf("core: action %d level %d: negative execution time", i, q)
+			}
+			if tt.av[i][q] > tt.wc[i][q] {
+				return fmt.Errorf("core: action %d level %d: Cav %v exceeds Cwc %v", i, q, tt.av[i][q], tt.wc[i][q])
+			}
+			if q > 0 {
+				if tt.wc[i][q] < tt.wc[i][q-1] {
+					return fmt.Errorf("core: action %d: Cwc not non-decreasing at level %d", i, q)
+				}
+				if tt.av[i][q] < tt.av[i][q-1] {
+					return fmt.Errorf("core: action %d: Cav not non-decreasing at level %d", i, q)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// System is a parameterized system PS (Definition 1): a finite, already
+// scheduled sequence of actions together with its timing functions and
+// deadline function. A System describes one cycle of the application;
+// cyclic execution is handled by the sim package.
+//
+// A System pre-computes the prefix sums that both the on-line (numeric)
+// policy evaluation and the symbolic table construction rely on.
+type System struct {
+	actions []Action
+	timing  *TimingTable
+	nq      int
+
+	// avPrefix[q][i] = sum of Cav(a_j, q) for j < i; length n+1 per level.
+	avPrefix [][]Time
+	// wcPrefix[q][i] = sum of Cwc(a_j, q) for j < i; length n+1 per level.
+	wcPrefix [][]Time
+	// wminPrefix[i] = sum of Cwc(a_j, qmin) for j < i (equals wcPrefix[0]).
+	wminPrefix []Time
+	// h[q][j] = Cwc(a_j, q) + avPrefix[q][j] - wminPrefix[j+1]; the
+	// per-position summand of the δmax maximisation (DESIGN.md,
+	// derivation in policy.go).
+	h [][]Time
+
+	// deadlineIdx lists the indices of actions with finite deadlines,
+	// in increasing order.
+	deadlineIdx []int
+}
+
+// NewSystem assembles a parameterized system from its action sequence and
+// timing table. It fails if the table dimensions do not match the action
+// count or violate Definition 1, or if no action carries a deadline.
+func NewSystem(actions []Action, timing *TimingTable) (*System, error) {
+	if len(actions) == 0 {
+		return nil, errors.New("core: system has no actions")
+	}
+	if timing.NumActions() != len(actions) {
+		return nil, fmt.Errorf("core: timing table covers %d actions, system has %d", timing.NumActions(), len(actions))
+	}
+	if err := timing.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		actions: actions,
+		timing:  timing,
+		nq:      timing.NumLevels(),
+	}
+	for i, a := range actions {
+		if a.HasDeadline() {
+			if a.Deadline < 0 {
+				return nil, fmt.Errorf("core: action %d has negative deadline", i)
+			}
+			s.deadlineIdx = append(s.deadlineIdx, i)
+		}
+	}
+	if len(s.deadlineIdx) == 0 {
+		return nil, errors.New("core: system has no deadlines; quality management is vacuous")
+	}
+	s.buildPrefixes()
+	return s, nil
+}
+
+// MustNewSystem is NewSystem that panics on error; intended for tests,
+// examples and generators with statically valid inputs.
+func MustNewSystem(actions []Action, timing *TimingTable) *System {
+	s, err := NewSystem(actions, timing)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *System) buildPrefixes() {
+	n := len(s.actions)
+	s.avPrefix = make([][]Time, s.nq)
+	s.wcPrefix = make([][]Time, s.nq)
+	for q := 0; q < s.nq; q++ {
+		ap := make([]Time, n+1)
+		wp := make([]Time, n+1)
+		for i := 0; i < n; i++ {
+			ap[i+1] = ap[i] + s.timing.Av(i, Level(q))
+			wp[i+1] = wp[i] + s.timing.WC(i, Level(q))
+		}
+		s.avPrefix[q] = ap
+		s.wcPrefix[q] = wp
+	}
+	s.wminPrefix = s.wcPrefix[0]
+	s.h = make([][]Time, s.nq)
+	for q := 0; q < s.nq; q++ {
+		hq := make([]Time, n)
+		for j := 0; j < n; j++ {
+			hq[j] = s.timing.WC(j, Level(q)) + s.avPrefix[q][j] - s.wminPrefix[j+1]
+		}
+		s.h[q] = hq
+	}
+}
+
+// NumActions returns n, the length of the scheduled action sequence.
+func (s *System) NumActions() int { return len(s.actions) }
+
+// NumLevels returns |Q|, the number of quality levels.
+func (s *System) NumLevels() int { return s.nq }
+
+// QMin returns the minimal quality level (always 0).
+func (s *System) QMin() Level { return 0 }
+
+// QMax returns the maximal quality level.
+func (s *System) QMax() Level { return Level(s.nq - 1) }
+
+// Action returns the i-th action.
+func (s *System) Action(i int) Action { return s.actions[i] }
+
+// Timing returns the system's timing table.
+func (s *System) Timing() *TimingTable { return s.timing }
+
+// WC returns Cwc(a_i, q).
+func (s *System) WC(i int, q Level) Time { return s.timing.WC(i, q) }
+
+// Av returns Cav(a_i, q).
+func (s *System) Av(i int, q Level) Time { return s.timing.Av(i, q) }
+
+// AvPrefix returns the sum of Cav(a_j, q) over j < i (0 ≤ i ≤ n).
+func (s *System) AvPrefix(i int, q Level) Time { return s.avPrefix[q][i] }
+
+// WCPrefix returns the sum of Cwc(a_j, q) over j < i (0 ≤ i ≤ n).
+func (s *System) WCPrefix(i int, q Level) Time { return s.wcPrefix[q][i] }
+
+// AvRange returns Cav(a_i..a_k, q), the total average execution time of
+// actions i..k inclusive.
+func (s *System) AvRange(i, k int, q Level) Time {
+	if i > k {
+		return 0
+	}
+	return s.avPrefix[q][k+1] - s.avPrefix[q][i]
+}
+
+// WCRange returns Cwc(a_i..a_k, q), the total worst-case execution time of
+// actions i..k inclusive.
+func (s *System) WCRange(i, k int, q Level) Time {
+	if i > k {
+		return 0
+	}
+	return s.wcPrefix[q][k+1] - s.wcPrefix[q][i]
+}
+
+// DeadlineIndices returns the indices of actions with finite deadlines in
+// increasing order. The returned slice must not be modified.
+func (s *System) DeadlineIndices() []int { return s.deadlineIdx }
+
+// LastDeadline returns the largest finite deadline of the cycle. This is
+// the cycle's natural period when the system is executed cyclically.
+func (s *System) LastDeadline() Time {
+	d := Time(0)
+	for _, k := range s.deadlineIdx {
+		if s.actions[k].Deadline > d {
+			d = s.actions[k].Deadline
+		}
+	}
+	return d
+}
+
+// Feasible checks qmin-feasibility: running every action at the minimal
+// quality level must meet every deadline even under worst-case execution
+// times. This is the precondition of the safety theorem (Definition 3);
+// the mixed policy preserves it inductively at every reached state.
+func (s *System) Feasible() error {
+	for _, k := range s.deadlineIdx {
+		need := s.wminPrefix[k+1]
+		if need > s.actions[k].Deadline {
+			return fmt.Errorf("core: infeasible: worst-case qmin completion of a_%d is %v, deadline %v",
+				k, need, s.actions[k].Deadline)
+		}
+	}
+	return nil
+}

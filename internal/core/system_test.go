@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// tinySystem builds the 4-action, 3-level system used by the hand-checked
+// unit tests. Deadlines on a1 (10µs) and a3 (20µs).
+func tinySystem(t *testing.T) *System {
+	t.Helper()
+	tt := NewTimingTable(4, 3)
+	// action 0: av 1,2,3 / wc 2,3,4 (µs)
+	// action 1: av 1,1,2 / wc 1,2,3
+	// action 2: av 2,2,2 / wc 2,2,2 (quality-insensitive)
+	// action 3: av 1,3,5 / wc 2,4,6
+	av := [4][3]int64{{1, 2, 3}, {1, 1, 2}, {2, 2, 2}, {1, 3, 5}}
+	wc := [4][3]int64{{2, 3, 4}, {1, 2, 3}, {2, 2, 2}, {2, 4, 6}}
+	for i := 0; i < 4; i++ {
+		for q := 0; q < 3; q++ {
+			tt.Set(i, Level(q), Time(av[i][q])*Microsecond, Time(wc[i][q])*Microsecond)
+		}
+	}
+	actions := []Action{
+		{Name: "a0", Deadline: TimeInf},
+		{Name: "a1", Deadline: 10 * Microsecond},
+		{Name: "a2", Deadline: TimeInf},
+		{Name: "a3", Deadline: 20 * Microsecond},
+	}
+	return MustNewSystem(actions, tt)
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	tt := NewTimingTable(2, 2)
+	for i := 0; i < 2; i++ {
+		for q := 0; q < 2; q++ {
+			tt.Set(i, Level(q), Microsecond, 2*Microsecond)
+		}
+	}
+	if _, err := NewSystem(nil, tt); err == nil {
+		t.Error("empty action list must fail")
+	}
+	acts := []Action{{Deadline: TimeInf}, {Deadline: TimeInf}}
+	if _, err := NewSystem(acts, tt); err == nil {
+		t.Error("no deadline must fail")
+	}
+	acts[1].Deadline = 10 * Microsecond
+	if _, err := NewSystem(acts, tt); err != nil {
+		t.Errorf("valid system rejected: %v", err)
+	}
+	if _, err := NewSystem(acts[:1], tt); err == nil {
+		t.Error("dimension mismatch must fail")
+	}
+	acts[1].Deadline = -Microsecond
+	if _, err := NewSystem(acts, tt); err == nil {
+		t.Error("negative deadline must fail")
+	}
+}
+
+func TestTimingTableValidate(t *testing.T) {
+	tt := NewTimingTable(1, 3)
+	tt.Set(0, 0, 5, 10)
+	tt.Set(0, 1, 6, 12)
+	tt.Set(0, 2, 7, 14)
+	if err := tt.Validate(); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	tt.SetAv(0, 2, 20) // Cav > Cwc
+	if err := tt.Validate(); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("Cav > Cwc not caught: %v", err)
+	}
+	tt.SetAv(0, 2, 3) // breaks monotonicity
+	if err := tt.Validate(); err == nil {
+		t.Error("Cav monotonicity violation not caught")
+	}
+	tt.SetAv(0, 2, 7)
+	tt.SetWC(0, 2, 11) // breaks WC monotonicity
+	if err := tt.Validate(); err == nil {
+		t.Error("Cwc monotonicity violation not caught")
+	}
+	tt.SetWC(0, 2, 14)
+	tt.SetAv(0, 0, -1)
+	if err := tt.Validate(); err == nil {
+		t.Error("negative entry not caught")
+	}
+}
+
+func TestPrefixSums(t *testing.T) {
+	s := tinySystem(t)
+	for q := Level(0); q <= s.QMax(); q++ {
+		var av, wc Time
+		for i := 0; i < s.NumActions(); i++ {
+			if s.AvPrefix(i, q) != av || s.WCPrefix(i, q) != wc {
+				t.Fatalf("prefix mismatch at i=%d q=%v", i, q)
+			}
+			av += s.Av(i, q)
+			wc += s.WC(i, q)
+		}
+		if s.AvPrefix(s.NumActions(), q) != av {
+			t.Fatalf("final prefix mismatch q=%v", q)
+		}
+	}
+}
+
+func TestRangeSums(t *testing.T) {
+	s := tinySystem(t)
+	if got := s.AvRange(1, 3, 1); got != (1+2+3)*Microsecond {
+		t.Fatalf("AvRange(1,3,1) = %v", got)
+	}
+	if got := s.WCRange(0, 2, 0); got != (2+1+2)*Microsecond {
+		t.Fatalf("WCRange(0,2,0) = %v", got)
+	}
+	if got := s.AvRange(2, 1, 0); got != 0 {
+		t.Fatalf("empty range = %v", got)
+	}
+}
+
+func TestDeadlineIndices(t *testing.T) {
+	s := tinySystem(t)
+	idx := s.DeadlineIndices()
+	if len(idx) != 2 || idx[0] != 1 || idx[1] != 3 {
+		t.Fatalf("deadline indices = %v", idx)
+	}
+	if s.LastDeadline() != 20*Microsecond {
+		t.Fatalf("LastDeadline = %v", s.LastDeadline())
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	s := tinySystem(t)
+	if err := s.Feasible(); err != nil {
+		t.Fatalf("tiny system should be feasible: %v", err)
+	}
+	// Shrink the first deadline below the qmin worst case (2+1 = 3µs).
+	tt := s.Timing()
+	acts := []Action{
+		{Name: "a0", Deadline: TimeInf},
+		{Name: "a1", Deadline: 2 * Microsecond},
+		{Name: "a2", Deadline: TimeInf},
+		{Name: "a3", Deadline: 20 * Microsecond},
+	}
+	s2 := MustNewSystem(acts, tt)
+	if err := s2.Feasible(); err == nil {
+		t.Fatal("infeasible system not detected")
+	}
+}
+
+func TestRandomSystemAlwaysValid(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := RandomSystem(rng, RandomSystemConfig{DeadlineEvery: 5})
+		if err := s.Timing().Validate(); err != nil {
+			t.Fatalf("seed %d: invalid timing: %v", seed, err)
+		}
+		if err := s.Feasible(); err != nil {
+			t.Fatalf("seed %d: infeasible: %v", seed, err)
+		}
+	}
+}
+
+func TestRandomSystemShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := RandomSystem(rng, RandomSystemConfig{Actions: 40, Levels: 3, DeadlineEvery: 8})
+	if s.NumActions() != 40 || s.NumLevels() != 3 {
+		t.Fatalf("shape = %d actions, %d levels", s.NumActions(), s.NumLevels())
+	}
+	if !s.Action(39).HasDeadline() {
+		t.Fatal("final action must carry a deadline")
+	}
+	if s.QMin() != 0 || s.QMax() != 2 {
+		t.Fatalf("level range = [%v, %v]", s.QMin(), s.QMax())
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", 42: "42", 1189: "1189", -5: "-5"}
+	for v, want := range cases {
+		if got := itoa(v); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", v, got, want)
+		}
+	}
+}

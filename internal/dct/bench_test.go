@@ -1,0 +1,37 @@
+package dct
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchBlock() *[64]int32 {
+	rng := rand.New(rand.NewSource(1))
+	return randomBlock(rng, 255)
+}
+
+func BenchmarkForward(b *testing.B) {
+	in := benchBlock()
+	var out [64]int32
+	for i := 0; i < b.N; i++ {
+		Forward(in, &out)
+	}
+}
+
+func BenchmarkForwardInt(b *testing.B) {
+	in := benchBlock()
+	var out [64]int32
+	for i := 0; i < b.N; i++ {
+		ForwardInt(in, &out)
+	}
+}
+
+func BenchmarkInverse(b *testing.B) {
+	in := benchBlock()
+	var coef, out [64]int32
+	Forward(in, &coef)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Inverse(&coef, &out)
+	}
+}

@@ -1,0 +1,128 @@
+// Package dct implements the 8×8 type-II discrete cosine transform and
+// its inverse, the transform stage of the encoder substrate. Two
+// implementations are provided: a float64 reference (separable, matrix
+// form) and a faster scaled-integer variant whose output matches the
+// reference within ±1 after rounding; tests pin both accuracy and the
+// DC/energy identities.
+package dct
+
+import "math"
+
+// N is the transform edge length.
+const N = 8
+
+// cosTable[u][x] = cos((2x+1)uπ/16) · c(u) · 1/2, the separable DCT-II
+// basis including normalisation.
+var cosTable [N][N]float64
+
+func init() {
+	for u := 0; u < N; u++ {
+		for x := 0; x < N; x++ {
+			cosTable[u][x] = math.Cos(float64(2*x+1) * float64(u) * math.Pi / 16)
+		}
+	}
+}
+
+func alpha(u int) float64 {
+	if u == 0 {
+		return 1 / math.Sqrt2
+	}
+	return 1
+}
+
+// Forward computes the 2-D DCT-II of an 8×8 block (row-major). Input
+// samples are typically centred (e.g. pixel−128 or prediction residuals);
+// output coefficients follow the standard orthonormal scaling with
+// out[0] = 8·mean for a flat block of value mean... precisely,
+// out[u][v] = ¼·α(u)·α(v)·ΣΣ in[y][x]·cos·cos.
+func Forward(in *[64]int32, out *[64]int32) {
+	var tmp [64]float64
+	// Rows.
+	for y := 0; y < N; y++ {
+		for u := 0; u < N; u++ {
+			var s float64
+			for x := 0; x < N; x++ {
+				s += float64(in[y*N+x]) * cosTable[u][x]
+			}
+			tmp[y*N+u] = s
+		}
+	}
+	// Columns, with normalisation.
+	for u := 0; u < N; u++ {
+		for v := 0; v < N; v++ {
+			var s float64
+			for y := 0; y < N; y++ {
+				s += tmp[y*N+u] * cosTable[v][y]
+			}
+			out[v*N+u] = int32(math.Round(0.25 * alpha(u) * alpha(v) * s))
+		}
+	}
+}
+
+// Inverse computes the 2-D inverse DCT (type III) of an 8×8 coefficient
+// block, rounding to the nearest integer sample.
+func Inverse(in *[64]int32, out *[64]int32) {
+	var tmp [64]float64
+	// Columns.
+	for u := 0; u < N; u++ {
+		for y := 0; y < N; y++ {
+			var s float64
+			for v := 0; v < N; v++ {
+				s += alpha(v) * float64(in[v*N+u]) * cosTable[v][y]
+			}
+			tmp[y*N+u] = s
+		}
+	}
+	// Rows.
+	for y := 0; y < N; y++ {
+		for x := 0; x < N; x++ {
+			var s float64
+			for u := 0; u < N; u++ {
+				s += alpha(u) * tmp[y*N+u] * cosTable[u][x]
+			}
+			out[y*N+x] = int32(math.Round(0.25 * s))
+		}
+	}
+}
+
+// fixed-point tables for the integer transform: cos values scaled by 2^13.
+const fbits = 13
+
+var icosTable [N][N]int64
+
+func init() {
+	for u := 0; u < N; u++ {
+		for x := 0; x < N; x++ {
+			icosTable[u][x] = int64(math.Round(cosTable[u][x] * alpha(u) * (1 << fbits)))
+		}
+	}
+}
+
+// ForwardInt is the scaled-integer forward DCT. It trades ±1 coefficient
+// accuracy for integer-only arithmetic; the encoder uses it at the lower
+// quality levels where precision matters least (one of the
+// quality-dependent work knobs).
+func ForwardInt(in *[64]int32, out *[64]int32) {
+	var tmp [64]int64
+	for y := 0; y < N; y++ {
+		for u := 0; u < N; u++ {
+			var s int64
+			for x := 0; x < N; x++ {
+				s += int64(in[y*N+x]) * icosTable[u][x]
+			}
+			tmp[y*N+u] = s >> 6 // keep headroom
+		}
+	}
+	for u := 0; u < N; u++ {
+		for v := 0; v < N; v++ {
+			var s int64
+			for y := 0; y < N; y++ {
+				s += tmp[y*N+u] * icosTable[v][y]
+			}
+			// Accumulated scale is 2^(2·fbits−6); the ¼
+			// normalisation adds 2 more bits: shift by 22 total.
+			const shift = 2*fbits - 6 + 2
+			out[v*N+u] = int32((s + (1 << (shift - 1))) >> shift)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package dct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomBlock(rng *rand.Rand, amp int32) *[64]int32 {
+	var b [64]int32
+	for i := range b {
+		b[i] = rng.Int31n(2*amp+1) - amp
+	}
+	return &b
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	// DCT∘IDCT must reproduce the input within rounding (±1).
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		in := randomBlock(rng, 255)
+		var coef, back [64]int32
+		Forward(in, &coef)
+		Inverse(&coef, &back)
+		for i := range in {
+			if d := in[i] - back[i]; d < -1 || d > 1 {
+				t.Fatalf("trial %d: roundtrip error %d at %d", trial, d, i)
+			}
+		}
+	}
+}
+
+func TestFlatBlockIsDCOnly(t *testing.T) {
+	var in, coef [64]int32
+	for i := range in {
+		in[i] = 100
+	}
+	Forward(&in, &coef)
+	// DC of a flat block of value v is 8·v.
+	if coef[0] != 800 {
+		t.Fatalf("DC = %d, want 800", coef[0])
+	}
+	for i := 1; i < 64; i++ {
+		if coef[i] != 0 {
+			t.Fatalf("AC coefficient %d = %d, want 0", i, coef[i])
+		}
+	}
+}
+
+func TestZeroBlock(t *testing.T) {
+	var in, coef [64]int32
+	Forward(&in, &coef)
+	for i, v := range coef {
+		if v != 0 {
+			t.Fatalf("coef[%d] = %d for zero input", i, v)
+		}
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomBlock(rng, 100)
+	b := randomBlock(rng, 100)
+	var sum, ca, cb, csum [64]int32
+	for i := range sum {
+		sum[i] = a[i] + b[i]
+	}
+	Forward(a, &ca)
+	Forward(b, &cb)
+	Forward(&sum, &csum)
+	for i := range csum {
+		// Rounding each transform separately allows ±1 slack per term.
+		if d := csum[i] - ca[i] - cb[i]; d < -2 || d > 2 {
+			t.Fatalf("linearity violated at %d: %d vs %d+%d", i, csum[i], ca[i], cb[i])
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	// The orthonormal DCT preserves energy up to rounding.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		in := randomBlock(rng, 200)
+		var coef [64]int32
+		Forward(in, &coef)
+		var ein, ecoef float64
+		for i := range in {
+			ein += float64(in[i]) * float64(in[i])
+			ecoef += float64(coef[i]) * float64(coef[i])
+		}
+		if ein == 0 {
+			continue
+		}
+		if rel := math.Abs(ein-ecoef) / ein; rel > 0.01 {
+			t.Fatalf("trial %d: energy ratio off by %v", trial, rel)
+		}
+	}
+}
+
+func TestForwardIntMatchesFloat(t *testing.T) {
+	// The scaled-integer transform tracks the float reference within a
+	// small absolute error.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		in := randomBlock(rng, 255)
+		var cf, ci [64]int32
+		Forward(in, &cf)
+		ForwardInt(in, &ci)
+		for i := range cf {
+			if d := cf[i] - ci[i]; d < -2 || d > 2 {
+				t.Fatalf("trial %d: int DCT off by %d at %d (float %d, int %d)",
+					trial, d, i, cf[i], ci[i])
+			}
+		}
+	}
+}
+
+func TestSingleBasisFunction(t *testing.T) {
+	// Forward of the (1,0) basis function concentrates on coef[1].
+	var in, coef [64]int32
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			in[y*8+x] = int32(math.Round(100 * math.Cos(float64(2*x+1)*math.Pi/16)))
+		}
+	}
+	Forward(&in, &coef)
+	var maxIdx int
+	var maxAbs int32
+	for i, v := range coef {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxAbs {
+			maxAbs = v
+			maxIdx = i
+		}
+	}
+	if maxIdx != 1 {
+		t.Fatalf("energy concentrated at %d, want 1 (coef %v)", maxIdx, coef[:8])
+	}
+}

@@ -1,0 +1,129 @@
+// Package decoder is the decoding counterpart of the encoder substrate:
+// it parses the bitstream produced by internal/encoder (motion vectors +
+// VLC-coded quantised residual blocks) and reconstructs the video. Since
+// quantiser choice is a per-macroblock encoding decision, the decoder is
+// driven by the same quality sequence the Quality Manager chose — in a
+// real container format those levels would be carried per macroblock; the
+// reproduction passes them out of band to keep the substrate focused.
+//
+// Its purpose in the reproduction is verification: decoding an encoded
+// stream must reproduce the encoder's own reconstruction frames exactly
+// (both sides run the same dequantise → IDCT → motion-compensate chain),
+// which pins the whole entropy-coding path end to end.
+package decoder
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/dct"
+	"repro/internal/frame"
+	"repro/internal/motion"
+	"repro/internal/quant"
+	"repro/internal/vlc"
+)
+
+// Decoder reconstructs frames from an encoded stream.
+type Decoder struct {
+	w, h       int
+	levels     int
+	quantizers []*quant.Quantizer
+	cb         *vlc.Codebook
+	r          *bitstream.Reader
+	ref        *frame.Frame
+	frames     int
+}
+
+// New builds a decoder for streams of the given dimensions and quality
+// level count (which fixes the quantiser family, as in the encoder).
+func New(data []byte, w, h, levels int) (*Decoder, error) {
+	if w <= 0 || h <= 0 || w%frame.MBSize != 0 || h%frame.MBSize != 0 {
+		return nil, fmt.Errorf("decoder: dimensions %dx%d not multiples of %d", w, h, frame.MBSize)
+	}
+	if levels < 2 {
+		return nil, fmt.Errorf("decoder: need ≥2 levels, got %d", levels)
+	}
+	d := &Decoder{
+		w: w, h: h, levels: levels,
+		quantizers: make([]*quant.Quantizer, levels),
+		cb:         vlc.NewDefaultCodebook(),
+		r:          bitstream.NewReader(data),
+	}
+	for q := 0; q < levels; q++ {
+		d.quantizers[q] = quant.MustNew(q, levels)
+	}
+	return d, nil
+}
+
+// Frames returns the number of frames decoded so far.
+func (d *Decoder) Frames() int { return d.frames }
+
+// DecodeFrame parses one frame's worth of macroblocks. qlevels gives the
+// quality level the encoder used for each macroblock's transform action
+// (length = number of macroblocks).
+func (d *Decoder) DecodeFrame(qlevels []core.Level) (*frame.Frame, error) {
+	out := frame.MustNew(d.w, d.h)
+	numMB := out.NumMB()
+	if len(qlevels) != numMB {
+		return nil, fmt.Errorf("decoder: %d quality levels for %d macroblocks", len(qlevels), numMB)
+	}
+	for mb := 0; mb < numMB; mb++ {
+		if err := d.decodeMB(out, mb, qlevels[mb]); err != nil {
+			return nil, fmt.Errorf("decoder: frame %d mb %d: %w", d.frames, mb, err)
+		}
+	}
+	// The reconstruction becomes the reference for the next frame,
+	// mirroring the encoder.
+	d.ref = out
+	d.frames++
+	return out, nil
+}
+
+func (d *Decoder) decodeMB(out *frame.Frame, mb int, q core.Level) error {
+	if int(q) >= d.levels || q < 0 {
+		return fmt.Errorf("level %v outside [0,%d)", q, d.levels)
+	}
+	mvx, err := d.r.ReadSE()
+	if err != nil {
+		return fmt.Errorf("mv.x: %w", err)
+	}
+	mvy, err := d.r.ReadSE()
+	if err != nil {
+		return fmt.Errorf("mv.y: %w", err)
+	}
+	mv := motion.Vector{X: int(mvx), Y: int(mvy)}
+	x, y := out.MBOrigin(mb)
+	qz := d.quantizers[q]
+	var coef, deq, rec [64]int32
+	for b := 0; b < 4; b++ {
+		bx := x + (b%2)*8
+		by := y + (b/2)*8
+		pairs, err := d.cb.DecodeBlock(d.r)
+		if err != nil {
+			return fmt.Errorf("block %d: %w", b, err)
+		}
+		if err := vlc.Reconstruct(pairs, &coef); err != nil {
+			return fmt.Errorf("block %d: %w", b, err)
+		}
+		qz.Dequantize(&coef, &deq)
+		dct.Inverse(&deq, &rec)
+		for r := 0; r < 8; r++ {
+			for c := 0; c < 8; c++ {
+				pred := int32(128)
+				if d.ref != nil {
+					pred = int32(d.ref.YAt(bx+c+mv.X, by+r+mv.Y))
+				}
+				v := rec[r*8+c] + pred
+				if v < 0 {
+					v = 0
+				}
+				if v > 255 {
+					v = 255
+				}
+				out.Y[(by+r)*d.w+bx+c] = uint8(v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package decoder
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/encoder"
+	"repro/internal/frame"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 20, 16, 4); err == nil {
+		t.Error("non-multiple width accepted")
+	}
+	if _, err := New(nil, 16, 16, 1); err == nil {
+		t.Error("single level accepted")
+	}
+	if _, err := New(nil, 16, 16, 4); err != nil {
+		t.Errorf("valid decoder rejected: %v", err)
+	}
+}
+
+// encodeWithQualities encodes frames at the given per-frame quality and
+// returns the stream, the per-MB transform levels per frame, and the
+// encoder's own reconstruction frames.
+func encodeWithQualities(t *testing.T, src *frame.Source, levels int, frameQs []core.Level) ([]byte, [][]core.Level, []*frame.Frame) {
+	t.Helper()
+	e := encoder.MustNew(src, levels)
+	var perMB [][]core.Level
+	var recons []*frame.Frame
+	for _, q := range frameQs {
+		mbQ := make([]core.Level, e.NumMB())
+		for i := 0; i < e.NumActions(); i++ {
+			// Vary quality within the frame like a manager would.
+			aq := q
+			if encoder.ActionMB(i)%5 == 0 {
+				aq = (q + 1) % core.Level(levels)
+			}
+			e.Exec(i, aq)
+			if encoder.ActionClass(i) == encoder.ClassTransform {
+				mbQ[encoder.ActionMB(i)] = aq
+			}
+		}
+		perMB = append(perMB, mbQ)
+		recons = append(recons, e.Recon().Clone())
+	}
+	return e.Bitstream(), perMB, recons
+}
+
+// TestDecoderMatchesEncoderReconstruction is the end-to-end substrate
+// check: decoding the produced bitstream must reproduce the encoder's
+// reconstruction frames bit-exactly, across intra and inter frames and
+// mixed in-frame quality levels.
+func TestDecoderMatchesEncoderReconstruction(t *testing.T) {
+	src := &frame.Source{W: 64, H: 48, Seed: 9}
+	const levels = 5
+	stream, perMB, recons := encodeWithQualities(t, src, levels,
+		[]core.Level{2, 4, 0, 3})
+	d, err := New(stream, 64, 48, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range perMB {
+		got, err := d.DecodeFrame(perMB[f])
+		if err != nil {
+			t.Fatalf("frame %d: %v", f, err)
+		}
+		want := recons[f]
+		for i := range want.Y {
+			if got.Y[i] != want.Y[i] {
+				t.Fatalf("frame %d: pixel %d differs: %d vs %d", f, i, got.Y[i], want.Y[i])
+			}
+		}
+	}
+	if d.Frames() != 4 {
+		t.Fatalf("decoded %d frames", d.Frames())
+	}
+}
+
+func TestDecodedVideoCloseToSource(t *testing.T) {
+	// Lossy but sane: decoded frames at a high quality level must be
+	// within a reasonable PSNR of the original.
+	src := &frame.Source{W: 64, H: 48, Seed: 10}
+	const levels = 7
+	stream, perMB, _ := encodeWithQualities(t, src, levels, []core.Level{6, 6})
+	d, err := New(stream, 64, 48, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 2; f++ {
+		got, err := d.DecodeFrame(perMB[f])
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := frame.PSNR(src.Frame(f), got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 25 {
+			t.Fatalf("frame %d PSNR %.1f dB too low for qmax", f, p)
+		}
+	}
+}
+
+func TestDecodeFrameValidation(t *testing.T) {
+	d, _ := New(nil, 32, 32, 4)
+	if _, err := d.DecodeFrame(make([]core.Level, 3)); err == nil {
+		t.Fatal("wrong level count accepted")
+	}
+	qs := make([]core.Level, 4)
+	qs[0] = 9
+	if _, err := d.DecodeFrame(qs); err == nil {
+		t.Fatal("out-of-range level accepted")
+	}
+}
+
+func TestDecodeTruncatedStream(t *testing.T) {
+	src := &frame.Source{W: 32, H: 32, Seed: 11}
+	stream, perMB, _ := encodeWithQualities(t, src, 4, []core.Level{2})
+	d, err := New(stream[:len(stream)/3], 32, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DecodeFrame(perMB[0]); err == nil {
+		t.Fatal("truncated stream decoded without error")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	garbage := make([]byte, 4096)
+	for i := range garbage {
+		garbage[i] = byte(i*37 + 11)
+	}
+	d, err := New(garbage, 32, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Garbage must either decode to *something* or fail cleanly —
+	// never panic.
+	_, _ = d.DecodeFrame(make([]core.Level, 4))
+}

@@ -1,0 +1,24 @@
+package decoder
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzDecodeFrame: arbitrary streams must never panic the frame decoder.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xAB, 0xCD, 0xEF, 0x01, 0x23})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := New(data, 32, 32, 4)
+		if err != nil {
+			t.Fatal(err) // dimensions are fixed-valid here
+		}
+		qs := make([]core.Level, 4)
+		for i := range qs {
+			qs[i] = core.Level(i % 4)
+		}
+		_, _ = d.DecodeFrame(qs)
+	})
+}

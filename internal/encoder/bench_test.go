@@ -1,0 +1,45 @@
+package encoder
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+)
+
+// BenchmarkEncodeFrame measures one full frame cycle per quality level —
+// the raw material of the profiler's Cav/Cwc estimates. The ns/op growth
+// across sub-benchmarks is the "execution times increase with quality"
+// premise of the whole paper, measured on the real substrate.
+func BenchmarkEncodeFrame(b *testing.B) {
+	for q := 0; q < 7; q++ {
+		q := q
+		b.Run(fmt.Sprintf("q%d", q), func(b *testing.B) {
+			src := &frame.Source{W: 128, H: 96, Seed: 1}
+			e := MustNew(src, 7)
+			e.EncodeFrame(core.Level(q)) // intra frame outside the loop
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.EncodeFrame(core.Level(q))
+			}
+		})
+	}
+}
+
+// BenchmarkActionClasses measures the three per-macroblock pipeline
+// stages separately at a mid quality level.
+func BenchmarkActionClasses(b *testing.B) {
+	src := &frame.Source{W: 128, H: 96, Seed: 2}
+	e := MustNew(src, 7)
+	e.EncodeFrame(3)
+	e.Exec(0, 3) // set up the next frame so ME has a reference
+	for cls, idx := range map[string]int{"me": 1, "tq": 2, "vlc": 3} {
+		cls, idx := cls, idx
+		b.Run(cls, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.Exec(idx, 3)
+			}
+		})
+	}
+}

@@ -1,0 +1,280 @@
+// Package encoder is the application-software substrate: an MPEG-like
+// video encoder built from the frame, motion, dct, quant, vlc and
+// bitstream packages, scheduled exactly as in the paper's experiment —
+// one frame-setup action followed by three actions (motion estimation,
+// transform+quantisation, entropy coding) per macroblock. For CIF input
+// (396 macroblocks) that is 1 + 3·396 = 1,189 actions per frame cycle,
+// the |A| reported in §4.1.
+//
+// Every stage's work grows with the quality level: motion search radius
+// and strategy, DCT precision, quantiser fineness (which feeds the
+// entropy coder more symbols). The encoder can run "live" under a real
+// Quality Manager (examples/liveencoder) and is the workload profiled by
+// internal/profiler to obtain Cav/Cwc tables.
+package encoder
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/dct"
+	"repro/internal/frame"
+	"repro/internal/motion"
+	"repro/internal/quant"
+	"repro/internal/vlc"
+)
+
+// ActionsPerMB is the number of pipeline actions per macroblock.
+const ActionsPerMB = 3
+
+// Action classes within a frame cycle.
+const (
+	ClassSetup     = "setup"
+	ClassMotion    = "me"
+	ClassTransform = "tq"
+	ClassCode      = "vlc"
+)
+
+// Stats accumulates per-run encoder statistics.
+type Stats struct {
+	Frames     int
+	Bytes      int
+	Symbols    int
+	SearchOps  int
+	PSNR       []float64 // luma PSNR of each reconstructed frame
+	NonzeroSum int
+}
+
+// Encoder encodes the frames of a Source as a cyclic action sequence.
+type Encoder struct {
+	src    *frame.Source
+	levels int
+
+	cur, ref, recon *frame.Frame
+	mvs             []motion.Vector
+	qblocks         [][4][64]int32
+	quantizers      []*quant.Quantizer
+	cb              *vlc.Codebook
+	bits            *bitstream.Writer
+	frameIdx        int
+	stats           Stats
+}
+
+// New builds an encoder over src with the given number of quality levels.
+func New(src *frame.Source, levels int) (*Encoder, error) {
+	if levels < 2 {
+		return nil, fmt.Errorf("encoder: need at least 2 quality levels, got %d", levels)
+	}
+	probe := src.Frame(0)
+	e := &Encoder{
+		src:        src,
+		levels:     levels,
+		mvs:        make([]motion.Vector, probe.NumMB()),
+		qblocks:    make([][4][64]int32, probe.NumMB()),
+		quantizers: make([]*quant.Quantizer, levels),
+		cb:         vlc.NewDefaultCodebook(),
+		bits:       bitstream.NewWriter(),
+	}
+	for q := 0; q < levels; q++ {
+		e.quantizers[q] = quant.MustNew(q, levels)
+	}
+	return e, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(src *frame.Source, levels int) *Encoder {
+	e, err := New(src, levels)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// NumMB returns the macroblock count per frame.
+func (e *Encoder) NumMB() int { return len(e.mvs) }
+
+// NumActions returns the per-cycle action count: 1 + 3·NumMB.
+func (e *Encoder) NumActions() int { return 1 + ActionsPerMB*e.NumMB() }
+
+// Levels returns the quality level count.
+func (e *Encoder) Levels() int { return e.levels }
+
+// Stats returns the accumulated statistics.
+func (e *Encoder) Stats() Stats { return e.stats }
+
+// Bitstream returns the encoded output produced so far (flushed).
+func (e *Encoder) Bitstream() []byte { return e.bits.Bytes() }
+
+// Recon returns the current reconstruction frame: after the final action
+// of a cycle it holds the decoded form of the frame just encoded (what a
+// conforming decoder must reproduce). The returned frame is reused by the
+// next cycle; Clone it to keep it.
+func (e *Encoder) Recon() *frame.Frame { return e.recon }
+
+// ActionClass returns the pipeline class of action i.
+func ActionClass(i int) string {
+	if i == 0 {
+		return ClassSetup
+	}
+	switch (i - 1) % ActionsPerMB {
+	case 0:
+		return ClassMotion
+	case 1:
+		return ClassTransform
+	default:
+		return ClassCode
+	}
+}
+
+// ActionMB returns the macroblock index of action i (−1 for setup).
+func ActionMB(i int) int {
+	if i == 0 {
+		return -1
+	}
+	return (i - 1) / ActionsPerMB
+}
+
+// Actions builds the core action sequence for one frame cycle with a
+// single global deadline on the final action, matching the experiment's
+// "single global deadline".
+func (e *Encoder) Actions(deadline core.Time) []core.Action {
+	n := e.NumActions()
+	actions := make([]core.Action, n)
+	for i := 0; i < n; i++ {
+		actions[i] = core.Action{
+			Name:     fmt.Sprintf("%s[%d]", ActionClass(i), ActionMB(i)),
+			Deadline: core.TimeInf,
+		}
+	}
+	actions[n-1].Deadline = deadline
+	return actions
+}
+
+// Exec runs action i of the current frame cycle at quality level q.
+// Actions must be invoked in order 0..NumActions()−1; action 0 advances
+// to the next source frame.
+func (e *Encoder) Exec(i int, q core.Level) {
+	if int(q) >= e.levels || q < 0 {
+		panic(fmt.Sprintf("encoder: level %v outside [0,%d)", q, e.levels))
+	}
+	switch ActionClass(i) {
+	case ClassSetup:
+		e.setup()
+	case ClassMotion:
+		e.motionAction(ActionMB(i), int(q))
+	case ClassTransform:
+		e.transformAction(ActionMB(i), int(q))
+	default:
+		e.codeAction(ActionMB(i))
+	}
+	if i == e.NumActions()-1 {
+		e.finishFrame()
+	}
+}
+
+func (e *Encoder) setup() {
+	e.cur = e.src.Frame(e.frameIdx)
+	if e.recon == nil {
+		e.recon = frame.MustNew(e.cur.W, e.cur.H)
+	} else {
+		// Previous reconstruction becomes the reference.
+		e.ref, e.recon = e.recon, e.refOrNew()
+	}
+}
+
+func (e *Encoder) refOrNew() *frame.Frame {
+	if e.ref == nil {
+		return frame.MustNew(e.cur.W, e.cur.H)
+	}
+	return e.ref
+}
+
+func (e *Encoder) motionAction(mb, q int) {
+	if e.ref == nil {
+		e.mvs[mb] = motion.Vector{}
+		return
+	}
+	x, y := e.cur.MBOrigin(mb)
+	res := motion.Estimate(e.cur, e.ref, x, y, q, e.levels)
+	e.mvs[mb] = res.MV
+	e.stats.SearchOps += res.Ops
+}
+
+func (e *Encoder) transformAction(mb, q int) {
+	x, y := e.cur.MBOrigin(mb)
+	mv := e.mvs[mb]
+	qz := e.quantizers[q]
+	var src, coef, deq, rec [64]int32
+	for b := 0; b < 4; b++ {
+		bx := x + (b%2)*8
+		by := y + (b/2)*8
+		// Residual against the motion-compensated reference (or flat
+		// 128 intra prediction on the first frame).
+		for r := 0; r < 8; r++ {
+			for c := 0; c < 8; c++ {
+				pred := int32(128)
+				if e.ref != nil {
+					pred = int32(e.ref.YAt(bx+c+mv.X, by+r+mv.Y))
+				}
+				src[r*8+c] = int32(e.cur.YAt(bx+c, by+r)) - pred
+			}
+		}
+		// Higher levels use the precise float transform.
+		if q >= e.levels-3 {
+			dct.Forward(&src, &coef)
+		} else {
+			dct.ForwardInt(&src, &coef)
+		}
+		nz := qz.Quantize(&coef, &e.qblocks[mb][b])
+		e.stats.NonzeroSum += nz
+		// Reconstruction path (decoder mirror) for the next reference.
+		qz.Dequantize(&e.qblocks[mb][b], &deq)
+		dct.Inverse(&deq, &rec)
+		for r := 0; r < 8; r++ {
+			for c := 0; c < 8; c++ {
+				pred := int32(128)
+				if e.ref != nil {
+					pred = int32(e.ref.YAt(bx+c+mv.X, by+r+mv.Y))
+				}
+				v := rec[r*8+c] + pred
+				if v < 0 {
+					v = 0
+				}
+				if v > 255 {
+					v = 255
+				}
+				if bx+c < e.cur.W && by+r < e.cur.H {
+					e.recon.Y[(by+r)*e.cur.W+bx+c] = uint8(v)
+				}
+			}
+		}
+	}
+}
+
+func (e *Encoder) codeAction(mb int) {
+	mv := e.mvs[mb]
+	e.bits.WriteSE(int32(mv.X))
+	e.bits.WriteSE(int32(mv.Y))
+	for b := 0; b < 4; b++ {
+		pairs := vlc.RunLength(&e.qblocks[mb][b])
+		e.stats.Symbols += e.cb.EncodeBlock(e.bits, pairs)
+	}
+}
+
+func (e *Encoder) finishFrame() {
+	if p, err := frame.PSNR(e.cur, e.recon); err == nil {
+		e.stats.PSNR = append(e.stats.PSNR, p)
+	}
+	e.stats.Frames++
+	e.stats.Bytes = e.bits.Len()
+	e.frameIdx++
+}
+
+// EncodeFrame drives one whole frame cycle at a fixed quality level; a
+// convenience for tests and profiling.
+func (e *Encoder) EncodeFrame(q core.Level) {
+	for i := 0; i < e.NumActions(); i++ {
+		e.Exec(i, q)
+	}
+}

@@ -1,0 +1,173 @@
+package encoder
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+)
+
+// smallSource returns a 64×48 (12 MB) source to keep tests fast.
+func smallSource(seed uint64) *frame.Source {
+	return &frame.Source{W: 64, H: 48, Seed: seed}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(smallSource(1), 1); err == nil {
+		t.Error("single level accepted")
+	}
+	if _, err := New(smallSource(1), 7); err != nil {
+		t.Errorf("valid encoder rejected: %v", err)
+	}
+}
+
+func TestActionStructureMatchesPaper(t *testing.T) {
+	// CIF: 1 + 3·396 = 1,189 actions (§4.1).
+	e := MustNew(frame.NewCIFSource(1), 7)
+	if e.NumActions() != 1189 {
+		t.Fatalf("CIF encoder has %d actions, want 1189", e.NumActions())
+	}
+	if e.NumMB() != 396 {
+		t.Fatalf("CIF encoder has %d MBs, want 396", e.NumMB())
+	}
+}
+
+func TestActionClassAndMB(t *testing.T) {
+	if ActionClass(0) != ClassSetup || ActionMB(0) != -1 {
+		t.Fatal("action 0 must be setup")
+	}
+	if ActionClass(1) != ClassMotion || ActionMB(1) != 0 {
+		t.Fatal("action 1 must be me[0]")
+	}
+	if ActionClass(2) != ClassTransform || ActionMB(2) != 0 {
+		t.Fatal("action 2 must be tq[0]")
+	}
+	if ActionClass(3) != ClassCode || ActionMB(3) != 0 {
+		t.Fatal("action 3 must be vlc[0]")
+	}
+	if ActionClass(4) != ClassMotion || ActionMB(4) != 1 {
+		t.Fatal("action 4 must be me[1]")
+	}
+}
+
+func TestActionsDeadline(t *testing.T) {
+	e := MustNew(smallSource(1), 4)
+	acts := e.Actions(30 * core.Second)
+	if len(acts) != e.NumActions() {
+		t.Fatalf("action list length %d", len(acts))
+	}
+	for i := 0; i < len(acts)-1; i++ {
+		if acts[i].HasDeadline() {
+			t.Fatalf("interior action %d has a deadline", i)
+		}
+	}
+	if acts[len(acts)-1].Deadline != 30*core.Second {
+		t.Fatal("final action must carry the global deadline")
+	}
+}
+
+func TestEncodeFrameProducesOutput(t *testing.T) {
+	e := MustNew(smallSource(2), 5)
+	e.EncodeFrame(2)
+	st := e.Stats()
+	if st.Frames != 1 {
+		t.Fatalf("frames = %d", st.Frames)
+	}
+	if st.Bytes == 0 || st.Symbols == 0 {
+		t.Fatalf("no output produced: %+v", st)
+	}
+	if len(st.PSNR) != 1 {
+		t.Fatalf("PSNR entries = %d", len(st.PSNR))
+	}
+}
+
+func TestPSNRImprovesWithQuality(t *testing.T) {
+	// Encode the same content at qmin and qmax; reconstruction quality
+	// must improve substantially.
+	lo := MustNew(smallSource(3), 7)
+	hi := MustNew(smallSource(3), 7)
+	for f := 0; f < 3; f++ {
+		lo.EncodeFrame(0)
+		hi.EncodeFrame(6)
+	}
+	loPSNR := avg(lo.Stats().PSNR)
+	hiPSNR := avg(hi.Stats().PSNR)
+	if hiPSNR <= loPSNR+1 {
+		t.Fatalf("qmax PSNR %.2f dB not clearly above qmin %.2f dB", hiPSNR, loPSNR)
+	}
+	if loPSNR < 10 {
+		t.Fatalf("qmin reconstruction implausibly bad: %.2f dB", loPSNR)
+	}
+}
+
+func TestBitrateGrowsWithQuality(t *testing.T) {
+	lo := MustNew(smallSource(4), 7)
+	hi := MustNew(smallSource(4), 7)
+	lo.EncodeFrame(0)
+	hi.EncodeFrame(6)
+	if hi.Stats().Bytes <= lo.Stats().Bytes {
+		t.Fatalf("qmax bytes %d not above qmin %d", hi.Stats().Bytes, lo.Stats().Bytes)
+	}
+}
+
+func TestSearchOpsGrowWithQuality(t *testing.T) {
+	lo := MustNew(smallSource(5), 7)
+	hi := MustNew(smallSource(5), 7)
+	for f := 0; f < 2; f++ { // frame 1 has a reference → real search
+		lo.EncodeFrame(0)
+		hi.EncodeFrame(6)
+	}
+	if hi.Stats().SearchOps <= lo.Stats().SearchOps {
+		t.Fatalf("qmax search ops %d not above qmin %d",
+			hi.Stats().SearchOps, lo.Stats().SearchOps)
+	}
+}
+
+func TestInterFramesCheaperThanIntra(t *testing.T) {
+	// With motion compensation, steady content costs fewer bits after
+	// the first (intra) frame.
+	src := &frame.Source{W: 64, H: 48, Seed: 6, ComplexityProfile: func(int) float64 { return 0.3 }}
+	e := MustNew(src, 5)
+	e.EncodeFrame(3)
+	intra := e.Stats().Bytes
+	e.EncodeFrame(3)
+	inter := e.Stats().Bytes - intra
+	if inter >= intra {
+		t.Fatalf("inter frame (%d B) not cheaper than intra (%d B)", inter, intra)
+	}
+}
+
+func TestMixedQualityWithinFrame(t *testing.T) {
+	// Drive actions individually with varying quality — the manager's
+	// view of the encoder. Must not panic and must produce output.
+	e := MustNew(smallSource(7), 7)
+	for i := 0; i < e.NumActions(); i++ {
+		q := core.Level(i % 7)
+		e.Exec(i, q)
+	}
+	if e.Stats().Frames != 1 || e.Stats().Bytes == 0 {
+		t.Fatalf("mixed-quality frame failed: %+v", e.Stats())
+	}
+}
+
+func TestExecPanicsOnBadLevel(t *testing.T) {
+	e := MustNew(smallSource(8), 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exec with invalid level must panic")
+		}
+	}()
+	e.Exec(0, 9)
+}
+
+func avg(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,114 @@
+// Package experiment wires the full §4 evaluation: the synthetic-iPod
+// encoder system, the content-driven execution model, the calibrated
+// overhead model, the paper's relaxation set ρ = {1,10,20,30,40,50}, and
+// the three Quality Managers. cmd/figures and the root benchmarks build
+// every table and figure from these setups.
+package experiment
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/profiler"
+	"repro/internal/regions"
+	"repro/internal/sim"
+)
+
+// PaperRho is the relaxation-step set of §4.1.
+var PaperRho = []int{1, 10, 20, 30, 40, 50}
+
+// Fig8Window is the action range plotted in Fig. 8.
+const (
+	Fig8From = 200
+	Fig8To   = 700
+)
+
+// Setup bundles everything needed to run the paper's experiment.
+type Setup struct {
+	Sys      *core.System
+	Tab      *regions.TDTable
+	Relax    *regions.RelaxTables
+	Exec     sim.ExecModel
+	Overhead sim.OverheadModel
+	Cycles   int
+	Period   core.Time
+}
+
+// FrameFactor is the per-frame content-complexity multiplier of the
+// default 29-frame input: calm opening, a busy middle section around
+// frame 14, calm ending. Values stay within the Cwc envelope (≤1.6).
+func FrameFactor(c int) float64 {
+	return 0.86 + 0.22*math.Exp(-sq(float64(c)-14)/30)
+}
+
+// ActionFactor is the intra-frame complexity profile: a bump over the
+// middle macroblocks (a busy image centre), which drives the adaptive
+// relaxation bands of Fig. 8 — large r on the calm opening, r = 1 inside
+// the bump, intermediate r on the way out.
+func ActionFactor(i int) float64 {
+	return 0.94 + 0.34*math.Exp(-sq(float64(i)-490)/(2*70*70))
+}
+
+func sq(x float64) float64 { return x * x }
+
+// Paper returns the full §4 setup: 1,189 actions, 7 levels, ≈1.0345 s
+// frame period, 29 frames, content-driven times, calibrated iPod
+// overhead model.
+func Paper(seed uint64) *Setup {
+	sys := profiler.IPodSystem()
+	tab := regions.BuildTDTable(sys)
+	relax := regions.MustBuildRelaxTables(tab, PaperRho)
+	return &Setup{
+		Sys:   sys,
+		Tab:   tab,
+		Relax: relax,
+		Exec: sim.Content{
+			Sys:          sys,
+			FrameFactor:  FrameFactor,
+			ActionFactor: ActionFactor,
+			NoiseAmp:     0.08,
+			Seed:         seed,
+		},
+		Overhead: sim.IPodOverhead,
+		Cycles:   profiler.PaperFrames,
+		Period:   profiler.FramePeriod,
+	}
+}
+
+// Numeric returns the on-line mixed-policy manager.
+func (s *Setup) Numeric() core.Manager { return core.NewNumericManager(s.Sys) }
+
+// Symbolic returns the quality-region manager.
+func (s *Setup) Symbolic() core.Manager { return regions.NewSymbolicManager(s.Tab) }
+
+// Relaxed returns the control-relaxation manager.
+func (s *Setup) Relaxed() core.Manager { return regions.NewRelaxedManager(s.Relax) }
+
+// Managers returns the three §4.1 managers in paper order.
+func (s *Setup) Managers() []core.Manager {
+	return []core.Manager{s.Numeric(), s.Symbolic(), s.Relaxed()}
+}
+
+// Run executes the workload under the given manager.
+func (s *Setup) Run(m core.Manager) *sim.Trace {
+	return (&sim.Runner{
+		Sys:      s.Sys,
+		Mgr:      m,
+		Exec:     s.Exec,
+		Overhead: s.Overhead,
+		Cycles:   s.Cycles,
+		Period:   s.Period,
+	}).MustRun()
+}
+
+// RunCycles runs only the first n cycles (Fig. 8 needs a single frame).
+func (s *Setup) RunCycles(m core.Manager, n int) *sim.Trace {
+	return (&sim.Runner{
+		Sys:      s.Sys,
+		Mgr:      m,
+		Exec:     s.Exec,
+		Overhead: s.Overhead,
+		Cycles:   n,
+		Period:   s.Period,
+	}).MustRun()
+}

@@ -1,0 +1,123 @@
+// Package frame provides YUV 4:2:0 video frames and a deterministic
+// synthetic CIF video source. The source stands in for the paper's input
+// sequence ("29 frames of 352×288 pixels, 396 macroblocks"): it renders
+// moving gradients, moving rectangles and film grain whose amounts follow
+// a per-frame complexity profile, so the encoder's work genuinely varies
+// with content the way camera footage does.
+package frame
+
+import (
+	"fmt"
+	"math"
+)
+
+// MBSize is the macroblock edge in luma pixels.
+const MBSize = 16
+
+// CIF dimensions (352×288 = 22×18 = 396 macroblocks), the paper's format.
+const (
+	CIFWidth  = 352
+	CIFHeight = 288
+)
+
+// Frame is a YUV 4:2:0 picture. Chroma planes are half-resolution in
+// both dimensions.
+type Frame struct {
+	W, H       int
+	Y, Cb, Cr  []uint8
+	Complexity float64 // the source's complexity factor for this frame (diagnostic)
+}
+
+// New allocates a zeroed frame. Width and height must be multiples of
+// the macroblock size.
+func New(w, h int) (*Frame, error) {
+	if w <= 0 || h <= 0 || w%MBSize != 0 || h%MBSize != 0 {
+		return nil, fmt.Errorf("frame: dimensions %dx%d not multiples of %d", w, h, MBSize)
+	}
+	return &Frame{
+		W: w, H: h,
+		Y:  make([]uint8, w*h),
+		Cb: make([]uint8, w*h/4),
+		Cr: make([]uint8, w*h/4),
+	}, nil
+}
+
+// MustNew is New that panics on invalid dimensions.
+func MustNew(w, h int) *Frame {
+	f, err := New(w, h)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() *Frame {
+	c := MustNew(f.W, f.H)
+	copy(c.Y, f.Y)
+	copy(c.Cb, f.Cb)
+	copy(c.Cr, f.Cr)
+	c.Complexity = f.Complexity
+	return c
+}
+
+// MBCols returns the number of macroblock columns.
+func (f *Frame) MBCols() int { return f.W / MBSize }
+
+// MBRows returns the number of macroblock rows.
+func (f *Frame) MBRows() int { return f.H / MBSize }
+
+// NumMB returns the macroblock count (396 for CIF).
+func (f *Frame) NumMB() int { return f.MBCols() * f.MBRows() }
+
+// YAt returns the luma sample at (x, y), clamping coordinates to the
+// frame borders (the extension used by motion search at frame edges).
+func (f *Frame) YAt(x, y int) uint8 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= f.W {
+		x = f.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= f.H {
+		y = f.H - 1
+	}
+	return f.Y[y*f.W+x]
+}
+
+// MBOrigin returns the top-left luma pixel of macroblock mb in raster
+// order.
+func (f *Frame) MBOrigin(mb int) (x, y int) {
+	return (mb % f.MBCols()) * MBSize, (mb / f.MBCols()) * MBSize
+}
+
+// Block8 copies the 8×8 luma block with top-left corner (x, y) into dst
+// as int32 samples (clamped at borders).
+func (f *Frame) Block8(x, y int, dst *[64]int32) {
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			dst[r*8+c] = int32(f.YAt(x+c, y+r))
+		}
+	}
+}
+
+// PSNR computes the luma peak signal-to-noise ratio between two frames
+// of identical dimensions, in dB. Identical frames yield +Inf.
+func PSNR(a, b *Frame) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("frame: PSNR dimension mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	var sse float64
+	for i := range a.Y {
+		d := float64(int(a.Y[i]) - int(b.Y[i]))
+		sse += d * d
+	}
+	if sse == 0 {
+		return math.Inf(1), nil
+	}
+	mse := sse / float64(len(a.Y))
+	return 10 * math.Log10(255*255/mse), nil
+}

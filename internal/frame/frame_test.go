@@ -1,0 +1,166 @@
+package frame
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 16); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := New(20, 16); err == nil {
+		t.Error("non-multiple width accepted")
+	}
+	f, err := New(CIFWidth, CIFHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Y) != CIFWidth*CIFHeight {
+		t.Fatalf("luma size %d", len(f.Y))
+	}
+	if len(f.Cb) != CIFWidth*CIFHeight/4 || len(f.Cr) != len(f.Cb) {
+		t.Fatal("chroma subsampling wrong")
+	}
+}
+
+func TestCIFMacroblockCount(t *testing.T) {
+	// The paper: 352×288 = 396 macroblocks.
+	f := MustNew(CIFWidth, CIFHeight)
+	if f.NumMB() != 396 {
+		t.Fatalf("CIF has %d macroblocks, want 396", f.NumMB())
+	}
+	if f.MBCols() != 22 || f.MBRows() != 18 {
+		t.Fatalf("MB grid %dx%d, want 22x18", f.MBCols(), f.MBRows())
+	}
+}
+
+func TestYAtClamping(t *testing.T) {
+	f := MustNew(16, 16)
+	f.Y[0] = 7
+	f.Y[15] = 9
+	f.Y[15*16] = 11
+	if f.YAt(-5, -5) != 7 {
+		t.Fatal("top-left clamp")
+	}
+	if f.YAt(100, 0) != 9 {
+		t.Fatal("right clamp")
+	}
+	if f.YAt(0, 100) != 11 {
+		t.Fatal("bottom clamp")
+	}
+}
+
+func TestMBOrigin(t *testing.T) {
+	f := MustNew(CIFWidth, CIFHeight)
+	x, y := f.MBOrigin(0)
+	if x != 0 || y != 0 {
+		t.Fatal("mb 0 origin")
+	}
+	x, y = f.MBOrigin(22) // first MB of second row
+	if x != 0 || y != 16 {
+		t.Fatalf("mb 22 origin (%d,%d)", x, y)
+	}
+	x, y = f.MBOrigin(23)
+	if x != 16 || y != 16 {
+		t.Fatalf("mb 23 origin (%d,%d)", x, y)
+	}
+}
+
+func TestBlock8(t *testing.T) {
+	f := MustNew(16, 16)
+	for i := range f.Y {
+		f.Y[i] = uint8(i % 251)
+	}
+	var b [64]int32
+	f.Block8(4, 2, &b)
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			if b[r*8+c] != int32(f.Y[(2+r)*16+4+c]) {
+				t.Fatalf("block mismatch at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a := MustNew(16, 16)
+	b := MustNew(16, 16)
+	p, err := PSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p, 1) {
+		t.Fatalf("identical frames PSNR = %v", p)
+	}
+	for i := range b.Y {
+		b.Y[i] = a.Y[i] + 10
+	}
+	p, _ = PSNR(a, b)
+	want := 10 * math.Log10(255*255/100.0)
+	if math.Abs(p-want) > 1e-9 {
+		t.Fatalf("PSNR = %v, want %v", p, want)
+	}
+	if _, err := PSNR(a, MustNew(32, 16)); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestSourceDeterministic(t *testing.T) {
+	s1 := NewCIFSource(42)
+	s2 := NewCIFSource(42)
+	f1 := s1.Frame(7)
+	f2 := s2.Frame(7)
+	for i := range f1.Y {
+		if f1.Y[i] != f2.Y[i] {
+			t.Fatal("same seed, same frame index must be identical")
+		}
+	}
+	s3 := NewCIFSource(43)
+	f3 := s3.Frame(7)
+	same := true
+	for i := range f1.Y {
+		if f1.Y[i] != f3.Y[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestSourceFramesEvolve(t *testing.T) {
+	s := NewCIFSource(1)
+	f0 := s.Frame(0)
+	f1 := s.Frame(1)
+	diff := 0
+	for i := range f0.Y {
+		if f0.Y[i] != f1.Y[i] {
+			diff++
+		}
+	}
+	if diff < len(f0.Y)/20 {
+		t.Fatalf("consecutive frames differ in only %d pixels; motion too weak", diff)
+	}
+}
+
+func TestComplexityProfile(t *testing.T) {
+	// Default profile peaks mid-sequence.
+	if DefaultComplexity(14) <= DefaultComplexity(0) {
+		t.Fatal("default complexity must peak mid-sequence")
+	}
+	if DefaultComplexity(28) >= DefaultComplexity(14) {
+		t.Fatal("default complexity must fall off after the peak")
+	}
+	s := &Source{W: 32, H: 32, Seed: 5, ComplexityProfile: func(i int) float64 { return 2.5 }}
+	if f := s.Frame(3); f.Complexity != 2.5 {
+		t.Fatalf("custom profile ignored: %v", f.Complexity)
+	}
+}
+
+func TestClamp8(t *testing.T) {
+	if clamp8(-3) != 0 || clamp8(300) != 255 || clamp8(128.4) != 128 {
+		t.Fatal("clamp8 broken")
+	}
+}

@@ -1,0 +1,105 @@
+package frame
+
+import "math"
+
+// Source deterministically synthesises a video sequence. Frame i is a
+// pure function of (seed, i), so repeated generation yields bit-identical
+// pictures.
+type Source struct {
+	W, H int
+	Seed uint64
+	// ComplexityProfile maps a frame index to a complexity factor
+	// ≥ 0 controlling motion amplitude and grain. Nil selects
+	// DefaultComplexity.
+	ComplexityProfile func(i int) float64
+}
+
+// NewCIFSource returns a CIF source with the default complexity profile.
+func NewCIFSource(seed uint64) *Source {
+	return &Source{W: CIFWidth, H: CIFHeight, Seed: seed}
+}
+
+// DefaultComplexity is a slowly varying per-frame complexity profile:
+// calm at the start, a busy middle section, calm again — shaped like a
+// scene change in the middle of the paper's 29-frame input.
+func DefaultComplexity(i int) float64 {
+	return 1 + 0.8*math.Exp(-sq(float64(i)-14)/30)
+}
+
+func sq(x float64) float64 { return x * x }
+
+// Frame renders frame i.
+func (s *Source) Frame(i int) *Frame {
+	f := MustNew(s.W, s.H)
+	cpx := DefaultComplexity(i)
+	if s.ComplexityProfile != nil {
+		cpx = s.ComplexityProfile(i)
+	}
+	f.Complexity = cpx
+	t := float64(i)
+
+	// Background: slowly drifting diagonal gradient.
+	dx := 3 * t * cpx
+	dy := 2 * t * cpx
+	for y := 0; y < s.H; y++ {
+		for x := 0; x < s.W; x++ {
+			v := 96 + 0.25*(float64(x)+dx) + 0.2*(float64(y)+dy)
+			v += 20 * math.Sin((float64(x)+4*dx)/37)
+			f.Y[y*s.W+x] = clamp8(v)
+		}
+	}
+	// Moving rectangles: amplitude and count scale with complexity.
+	nRects := 2 + int(cpx*3)
+	for r := 0; r < nRects; r++ {
+		h := s.hash(uint64(r), 0)
+		w0 := 24 + int(h%64)
+		h0 := 16 + int((h>>8)%48)
+		speed := (1 + float64((h>>16)%5)) * cpx
+		cx := int(math.Mod(float64(h%uint64(s.W))+speed*t*4, float64(s.W)))
+		cy := int(math.Mod(float64((h>>24)%uint64(s.H))+speed*t*2, float64(s.H)))
+		shade := uint8(40 + (h>>32)%176)
+		for yy := cy; yy < cy+h0 && yy < s.H; yy++ {
+			for xx := cx; xx < cx+w0 && xx < s.W; xx++ {
+				f.Y[yy*s.W+xx] = shade
+			}
+		}
+	}
+	// Film grain: amplitude scales with complexity.
+	amp := 6 * cpx
+	for y := 0; y < s.H; y += 2 {
+		for x := 0; x < s.W; x += 2 {
+			g := (float64(s.hash(uint64(i)<<20|uint64(y), uint64(x)))/float64(math.MaxUint64) - 0.5) * 2 * amp
+			idx := y*s.W + x
+			f.Y[idx] = clamp8(float64(f.Y[idx]) + g)
+		}
+	}
+	// Flat chroma with a slow tint drift (chroma is carried along but
+	// the encoder's action structure follows the paper: luma dominates).
+	cb := clamp8(128 + 10*math.Sin(t/7))
+	cr := clamp8(128 + 10*math.Cos(t/9))
+	for j := range f.Cb {
+		f.Cb[j] = cb
+		f.Cr[j] = cr
+	}
+	return f
+}
+
+func (s *Source) hash(a, b uint64) uint64 {
+	x := s.Seed ^ (a * 0x9E3779B97F4A7C15) ^ (b * 0xBF58476D1CE4E5B9)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+func clamp8(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}

@@ -1,0 +1,188 @@
+// Package linconstr implements the conclusion's "using linear constraints
+// to approximate control relaxation regions" direction: the per-state
+// region boundaries tD(s_i, q) are replaced by piecewise-linear functions
+// of the state index, shrinking the table from |A|·|Q| integers to a few
+// segments per level.
+//
+// The approximation is *conservative*: upper boundaries are approximated
+// from below and lower boundaries from above, so every approximated
+// region is a subset of the true region. A manager driven by the
+// approximated boundaries therefore never chooses a higher quality than
+// the exact manager — safety is preserved; the price is (bounded) quality
+// loss, which the A5 ablation benchmark quantifies against the memory
+// saved.
+package linconstr
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/regions"
+)
+
+// Segment is one linear piece: over states [From, To] the boundary is
+// approximated by Base + Slope·(i − From), in nanoseconds with a
+// per-nanosecond-per-index slope.
+type Segment struct {
+	From, To    int
+	Base, Slope core.Time
+}
+
+// eval returns the segment's value at state i (i must be in [From, To]).
+func (s Segment) eval(i int) core.Time {
+	return s.Base + s.Slope*core.Time(i-s.From)
+}
+
+// Boundary is a piecewise-linear approximation of one level's tD column.
+type Boundary struct {
+	Segments []Segment
+}
+
+// Eval evaluates the boundary at state i by locating its segment
+// (binary search over the ordered, contiguous segments).
+func (b *Boundary) Eval(i int) core.Time {
+	lo, hi := 0, len(b.Segments)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.Segments[mid].To < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return b.Segments[lo].eval(i)
+}
+
+// Table approximates a regions.TDTable with conservative piecewise-linear
+// boundaries.
+type Table struct {
+	sys     *core.System
+	bounds  []Boundary // per level, approximating tD from below
+	epsilon core.Time
+}
+
+// Approximate builds a conservative piecewise-linear approximation of tab
+// with per-point error at most eps. Segments are grown greedily: a
+// segment [from, to] interpolates the true boundary at its endpoints and
+// is shifted down by its maximal overshoot; it grows while that overshoot
+// stays within eps. Infinite table entries break segments (they only
+// occur past the last deadline, where the boundary is vacuous).
+func Approximate(tab *regions.TDTable, eps core.Time) (*Table, error) {
+	if eps < 0 {
+		return nil, fmt.Errorf("linconstr: negative tolerance %v", eps)
+	}
+	sys := tab.Sys()
+	n := sys.NumActions()
+	t := &Table{sys: sys, bounds: make([]Boundary, sys.NumLevels()), epsilon: eps}
+	for q := 0; q < sys.NumLevels(); q++ {
+		col := make([]core.Time, n)
+		for i := 0; i < n; i++ {
+			col[i] = tab.TD(i, core.Level(q))
+		}
+		t.bounds[q] = approximateColumn(col, eps)
+	}
+	return t, nil
+}
+
+// approximateColumn fits one level's column with greedy conservative
+// segments.
+func approximateColumn(col []core.Time, eps core.Time) Boundary {
+	var b Boundary
+	n := len(col)
+	from := 0
+	for from < n {
+		if col[from].IsInf() {
+			// Vacuous region: keep as an exact infinite segment.
+			to := from
+			for to+1 < n && col[to+1].IsInf() {
+				to++
+			}
+			b.Segments = append(b.Segments, Segment{From: from, To: to, Base: core.TimeInf, Slope: 0})
+			from = to + 1
+			continue
+		}
+		// Grow the segment while the endpoint interpolation stays
+		// within eps of the truth (and below it after shifting).
+		to := from
+		bestSeg := Segment{From: from, To: from, Base: col[from]}
+		for cand := from + 1; cand < n && !col[cand].IsInf(); cand++ {
+			seg, ok := fitSegment(col, from, cand, eps)
+			if !ok {
+				break
+			}
+			to = cand
+			bestSeg = seg
+		}
+		b.Segments = append(b.Segments, bestSeg)
+		from = to + 1
+	}
+	return b
+}
+
+// fitSegment interpolates col between from and to, shifts the line down
+// by its maximal overshoot, and accepts if the resulting maximal
+// undershoot is within eps.
+func fitSegment(col []core.Time, from, to int, eps core.Time) (Segment, bool) {
+	span := to - from
+	slope := (col[to] - col[from]) / core.Time(span)
+	overshoot := core.Time(0)
+	for i := from; i <= to; i++ {
+		v := col[from] + slope*core.Time(i-from)
+		if d := v - col[i]; d > overshoot {
+			overshoot = d
+		}
+	}
+	base := col[from] - overshoot
+	// Check the undershoot after the conservative shift.
+	for i := from; i <= to; i++ {
+		v := base + slope*core.Time(i-from)
+		if col[i]-v > eps {
+			return Segment{}, false
+		}
+	}
+	return Segment{From: from, To: to, Base: base, Slope: slope}, true
+}
+
+// TD returns the approximated tD(s_i, q), guaranteed ≤ the exact value.
+func (t *Table) TD(i int, q core.Level) core.Time {
+	return t.bounds[q].Eval(i)
+}
+
+// NumSegments returns the total segment count across levels.
+func (t *Table) NumSegments() int {
+	n := 0
+	for _, b := range t.bounds {
+		n += len(b.Segments)
+	}
+	return n
+}
+
+// MemoryBytes returns the approximate resident size: four 8-byte fields
+// per segment.
+func (t *Table) MemoryBytes() int { return t.NumSegments() * 4 * 8 }
+
+// Manager picks qualities from the approximated boundaries: the maximal
+// level whose approximated tD is ≥ t. Because every boundary
+// under-approximates the true one, the choice never exceeds the exact
+// manager's and safety is inherited.
+type Manager struct {
+	tab *Table
+}
+
+// NewManager wraps an approximated table as a Quality Manager.
+func NewManager(tab *Table) *Manager { return &Manager{tab: tab} }
+
+// Name implements core.Manager.
+func (m *Manager) Name() string { return "linconstr" }
+
+// Decide implements core.Manager.
+func (m *Manager) Decide(i int, tm core.Time) core.Decision {
+	work := 0
+	for q := m.tab.sys.QMax(); q > 0; q-- {
+		work += 2
+		if m.tab.TD(i, q) >= tm {
+			return core.Decision{Q: q, Steps: 1, Work: work}
+		}
+	}
+	return core.Decision{Q: 0, Steps: 1, Work: work + 2}
+}

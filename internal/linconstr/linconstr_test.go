@@ -1,0 +1,150 @@
+package linconstr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profiler"
+	"repro/internal/regions"
+	"repro/internal/sim"
+)
+
+func approxPair(t *testing.T, seed int64, eps core.Time) (*regions.TDTable, *Table) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sys := core.RandomSystem(rng, core.RandomSystemConfig{Actions: 40, DeadlineEvery: 10})
+	tab := regions.BuildTDTable(sys)
+	approx, err := Approximate(tab, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, approx
+}
+
+func TestApproximateValidation(t *testing.T) {
+	tab, _ := approxPair(t, 1, core.Microsecond)
+	if _, err := Approximate(tab, -1); err == nil {
+		t.Fatal("negative tolerance accepted")
+	}
+}
+
+func TestConservativeAndWithinEps(t *testing.T) {
+	// approx ≤ exact everywhere, and exact − approx ≤ eps on finite
+	// entries.
+	for seed := int64(0); seed < 15; seed++ {
+		eps := core.Time(1+seed%5) * core.Microsecond
+		tab, approx := approxPair(t, seed, eps)
+		sys := tab.Sys()
+		for q := core.Level(0); q <= sys.QMax(); q++ {
+			for i := 0; i < sys.NumActions(); i++ {
+				exact := tab.TD(i, q)
+				got := approx.TD(i, q)
+				if exact.IsInf() {
+					if !got.IsInf() {
+						t.Fatalf("seed %d: finite approximation of vacuous boundary at i=%d q=%v", seed, i, q)
+					}
+					continue
+				}
+				if got > exact {
+					t.Fatalf("seed %d: non-conservative at i=%d q=%v: %v > %v", seed, i, q, got, exact)
+				}
+				if exact-got > eps {
+					t.Fatalf("seed %d: error %v exceeds eps %v at i=%d q=%v", seed, exact-got, eps, i, q)
+				}
+			}
+		}
+	}
+}
+
+func TestCompressionOnStructuredSystem(t *testing.T) {
+	// The encoder system's boundaries are near-linear (uniform classes),
+	// so even a small tolerance must compress the table substantially.
+	sys := profiler.IPodSystem()
+	tab := regions.BuildTDTable(sys)
+	approx, err := Approximate(tab, 500*core.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactBytes := tab.MemoryBytes()
+	if approx.MemoryBytes() >= exactBytes/10 {
+		t.Fatalf("compression too weak: %d vs %d bytes (%d segments)",
+			approx.MemoryBytes(), exactBytes, approx.NumSegments())
+	}
+}
+
+func TestManagerNeverExceedsExact(t *testing.T) {
+	for seed := int64(20); seed < 30; seed++ {
+		tab, approx := approxPair(t, seed, 2*core.Microsecond)
+		sys := tab.Sys()
+		exact := regions.NewSymbolicManager(tab)
+		apx := NewManager(approx)
+		rng := rand.New(rand.NewSource(seed * 3))
+		for trial := 0; trial < 200; trial++ {
+			i := rng.Intn(sys.NumActions())
+			tm := core.Time(rng.Int63n(int64(2 * core.MaxTime(sys.LastDeadline(), 1))))
+			qa := apx.Decide(i, tm).Q
+			qe := exact.Decide(i, tm).Q
+			if qa > qe {
+				t.Fatalf("seed %d: approx picked %v above exact %v at (%d, %v)", seed, qa, qe, i, tm)
+			}
+		}
+	}
+}
+
+func TestManagerStaysSafe(t *testing.T) {
+	// Inherited safety: the approximated manager under worst-case
+	// execution still meets every deadline.
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sys := core.RandomSystem(rng, core.RandomSystemConfig{Actions: 30, DeadlineEvery: 8})
+		tab := regions.BuildTDTable(sys)
+		approx, err := Approximate(tab, 3*core.Microsecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trc := (&sim.Runner{Sys: sys, Mgr: NewManager(approx), Exec: sim.WorstCase{Sys: sys},
+			Overhead: sim.FreeOverhead, Cycles: 2}).MustRun()
+		if trc.Misses != 0 {
+			t.Fatalf("seed %d: approximated manager missed %d deadlines", seed, trc.Misses)
+		}
+	}
+}
+
+func TestQualityLossShrinksWithTolerance(t *testing.T) {
+	sys := profiler.IPodSystem()
+	tab := regions.BuildTDTable(sys)
+	run := func(m core.Manager) float64 {
+		tr := (&sim.Runner{Sys: sys, Mgr: m, Exec: sim.Content{Sys: sys, Seed: 4},
+			Overhead: sim.FreeOverhead, Cycles: 2}).MustRun()
+		var sum float64
+		for _, r := range tr.Records {
+			sum += float64(r.Q)
+		}
+		return sum / float64(len(tr.Records))
+	}
+	exact := run(regions.NewSymbolicManager(tab))
+	coarse, _ := Approximate(tab, 20*core.Millisecond)
+	fine, _ := Approximate(tab, 100*core.Microsecond)
+	qCoarse := run(NewManager(coarse))
+	qFine := run(NewManager(fine))
+	if qCoarse > exact || qFine > exact {
+		t.Fatalf("approximation gained quality: %v %v vs exact %v", qCoarse, qFine, exact)
+	}
+	if qFine < qCoarse {
+		t.Fatalf("finer tolerance lost more quality: %v < %v", qFine, qCoarse)
+	}
+}
+
+func TestEvalMatchesSegments(t *testing.T) {
+	b := Boundary{Segments: []Segment{
+		{From: 0, To: 4, Base: 100, Slope: 10},
+		{From: 5, To: 9, Base: 200, Slope: -5},
+	}}
+	if b.Eval(0) != 100 || b.Eval(4) != 140 {
+		t.Fatal("first segment eval")
+	}
+	if b.Eval(5) != 200 || b.Eval(9) != 180 {
+		t.Fatal("second segment eval")
+	}
+}

@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// WriteTraceCSV dumps a trace as CSV: one row per action instance with
+// the fields downstream analysis needs (spreadsheets, pandas, gnuplot).
+func WriteTraceCSV(w io.Writer, tr *sim.Trace) error {
+	if _, err := fmt.Fprintln(w, "cycle,index,quality,start_ns,exec_ns,overhead_ns,decision,steps,deadline_ns,missed"); err != nil {
+		return err
+	}
+	for _, r := range tr.Records {
+		deadline := int64(-1)
+		if !r.Deadline.IsInf() {
+			deadline = int64(r.Deadline)
+		}
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%t,%d,%d,%t\n",
+			r.Cycle, r.Index, int(r.Q), int64(r.Start), int64(r.Exec), int64(r.Overhead),
+			r.Decision, r.Steps, deadline, r.Missed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSummaryCSV dumps a set of run summaries as one CSV table — the
+// §4.2 comparison table in machine-readable form.
+func WriteSummaryCSV(w io.Writer, sums []Summary) error {
+	if _, err := fmt.Fprintln(w, "manager,cycles,decisions,misses,avg_quality,overhead_fraction,mean_relax_steps,switches,mean_abs_dq"); err != nil {
+		return err
+	}
+	for _, s := range sums {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%.4f,%.6f,%.3f,%d,%.5f\n",
+			s.Manager, s.Cycles, s.Decisions, s.Misses, s.AvgQuality,
+			s.OverheadFraction, s.MeanRelaxSteps, s.Smooth.Switches, s.Smooth.MeanAbsDelta); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+// Package metrics computes the evaluation quantities of §4.2 from
+// execution traces: per-frame average quality (Fig. 7), per-action
+// management overhead (Fig. 8), overhead fractions, smoothness and
+// utilization.
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// AvgQualityPerCycle returns the Fig. 7 series: the mean quality level of
+// the actions of each cycle (frame).
+func AvgQualityPerCycle(tr *sim.Trace) []float64 {
+	sums := make([]float64, tr.Cycles)
+	counts := make([]int, tr.Cycles)
+	for _, r := range tr.Records {
+		sums[r.Cycle] += float64(r.Q)
+		counts[r.Cycle]++
+	}
+	for c := range sums {
+		if counts[c] > 0 {
+			sums[c] /= float64(counts[c])
+		}
+	}
+	return sums
+}
+
+// OverheadPoint is one sample of the Fig. 8 series.
+type OverheadPoint struct {
+	Index    int       // action index within the cycle
+	Overhead core.Time // management time charged before the action
+	Steps    int       // relaxation grant at this point (0 = skipped)
+}
+
+// OverheadSeries returns the Fig. 8 series for one cycle: the
+// quality-management time charged before each action in [from, to].
+func OverheadSeries(tr *sim.Trace, cycle, from, to int) []OverheadPoint {
+	var pts []OverheadPoint
+	for _, r := range tr.Records {
+		if r.Cycle != cycle || r.Index < from || r.Index > to {
+			continue
+		}
+		pts = append(pts, OverheadPoint{Index: r.Index, Overhead: r.Overhead, Steps: r.Steps})
+	}
+	return pts
+}
+
+// RelaxationBands compresses the decision records of one cycle into runs
+// of identical relaxation grants — the "r = 40 from a200 to a421" bands
+// the paper reports under Fig. 8. Only decision points contribute.
+type Band struct {
+	From, To int // action index range (inclusive) covered by the grants
+	Steps    int
+}
+
+// Bands lists the relaxation bands of a cycle, merging consecutive
+// decisions with an identical step grant.
+func Bands(tr *sim.Trace, cycle int) []Band {
+	var bands []Band
+	for _, r := range tr.Records {
+		if r.Cycle != cycle || !r.Decision {
+			continue
+		}
+		end := r.Index + r.Steps - 1
+		if len(bands) > 0 && bands[len(bands)-1].Steps == r.Steps {
+			bands[len(bands)-1].To = end
+			continue
+		}
+		bands = append(bands, Band{From: r.Index, To: end, Steps: r.Steps})
+	}
+	return bands
+}
+
+// Smoothness reports quality-level fluctuation: the mean absolute
+// difference between consecutive action qualities, and the number of
+// switches. Lower is smoother (§2.1 requires low fluctuation for
+// multimedia).
+type Smoothness struct {
+	MeanAbsDelta float64
+	Switches     int
+}
+
+// SmoothnessOf computes the smoothness metrics over a whole trace.
+func SmoothnessOf(tr *sim.Trace) Smoothness {
+	var s Smoothness
+	if len(tr.Records) < 2 {
+		return s
+	}
+	total := 0.0
+	for j := 1; j < len(tr.Records); j++ {
+		d := int(tr.Records[j].Q) - int(tr.Records[j-1].Q)
+		if d != 0 {
+			s.Switches++
+		}
+		total += math.Abs(float64(d))
+	}
+	s.MeanAbsDelta = total / float64(len(tr.Records)-1)
+	return s
+}
+
+// Summary aggregates the headline numbers of a run.
+type Summary struct {
+	Manager          string
+	Cycles           int
+	Decisions        int
+	Misses           int
+	AvgQuality       float64
+	MinQuality       core.Level
+	MaxQuality       core.Level
+	OverheadFraction float64
+	TotalExec        core.Time
+	TotalOverhead    core.Time
+	TotalIdle        core.Time
+	Final            core.Time
+	MeanRelaxSteps   float64
+	Smooth           Smoothness
+}
+
+// Summarize computes a Summary from a trace.
+func Summarize(tr *sim.Trace) Summary {
+	s := Summary{
+		Manager:          tr.Manager,
+		Cycles:           tr.Cycles,
+		Decisions:        tr.Decisions,
+		Misses:           tr.Misses,
+		OverheadFraction: tr.OverheadFraction(),
+		TotalExec:        tr.TotalExec,
+		TotalOverhead:    tr.TotalOverhead,
+		TotalIdle:        tr.TotalIdle,
+		Final:            tr.Final,
+		MinQuality:       core.Level(math.MaxInt32),
+		MaxQuality:       -1,
+		Smooth:           SmoothnessOf(tr),
+	}
+	if len(tr.Records) == 0 {
+		s.MinQuality = 0
+		s.MaxQuality = 0
+		return s
+	}
+	var qsum float64
+	for _, r := range tr.Records {
+		qsum += float64(r.Q)
+		if r.Q < s.MinQuality {
+			s.MinQuality = r.Q
+		}
+		if r.Q > s.MaxQuality {
+			s.MaxQuality = r.Q
+		}
+	}
+	s.AvgQuality = qsum / float64(len(tr.Records))
+	if tr.Decisions > 0 {
+		s.MeanRelaxSteps = float64(len(tr.Records)) / float64(tr.Decisions)
+	}
+	return s
+}
+
+// Utilization returns busy time (exec + overhead) as a fraction of the
+// wall-clock span of the run.
+func Utilization(tr *sim.Trace) float64 {
+	if tr.Final == 0 {
+		return 0
+	}
+	return float64(tr.TotalExec+tr.TotalOverhead) / float64(tr.Final)
+}

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func sampleTrace(t *testing.T) *sim.Trace {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	sys := core.RandomSystem(rng, core.RandomSystemConfig{Actions: 25, DeadlineEvery: 6})
+	r := &sim.Runner{
+		Sys: sys, Mgr: core.NewNumericManager(sys),
+		Exec:     sim.Uniform{Sys: sys, Seed: 3},
+		Overhead: sim.OverheadModel{CallBase: core.Microsecond, PerUnit: core.Nanosecond},
+		Cycles:   4,
+	}
+	return r.MustRun()
+}
+
+func TestAvgQualityPerCycle(t *testing.T) {
+	tr := sampleTrace(t)
+	avg := AvgQualityPerCycle(tr)
+	if len(avg) != 4 {
+		t.Fatalf("cycle count %d", len(avg))
+	}
+	for c, v := range avg {
+		if v < 0 || v > float64(4) {
+			t.Fatalf("cycle %d average %v out of level range", c, v)
+		}
+	}
+	// Cross-check cycle 0 by hand.
+	var sum float64
+	n := 0
+	for _, r := range tr.Records {
+		if r.Cycle == 0 {
+			sum += float64(r.Q)
+			n++
+		}
+	}
+	if math.Abs(avg[0]-sum/float64(n)) > 1e-12 {
+		t.Fatalf("cycle 0 avg %v, want %v", avg[0], sum/float64(n))
+	}
+}
+
+func TestOverheadSeries(t *testing.T) {
+	tr := sampleTrace(t)
+	pts := OverheadSeries(tr, 1, 5, 15)
+	if len(pts) != 11 {
+		t.Fatalf("series length %d, want 11", len(pts))
+	}
+	for j, p := range pts {
+		if p.Index != 5+j {
+			t.Fatalf("series index %d at position %d", p.Index, j)
+		}
+		if p.Overhead <= 0 {
+			t.Fatal("numeric manager decides everywhere; overhead must be positive")
+		}
+	}
+}
+
+func TestBandsMergeConsecutiveGrants(t *testing.T) {
+	tr := &sim.Trace{Cycles: 1, Records: []sim.Record{
+		{Index: 0, Decision: true, Steps: 2},
+		{Index: 1},
+		{Index: 2, Decision: true, Steps: 2},
+		{Index: 3},
+		{Index: 4, Decision: true, Steps: 1},
+		{Index: 5, Decision: true, Steps: 3},
+		{Index: 6}, {Index: 7},
+	}}
+	bands := Bands(tr, 0)
+	want := []Band{{From: 0, To: 3, Steps: 2}, {From: 4, To: 4, Steps: 1}, {From: 5, To: 7, Steps: 3}}
+	if len(bands) != len(want) {
+		t.Fatalf("bands = %+v", bands)
+	}
+	for i := range want {
+		if bands[i] != want[i] {
+			t.Fatalf("band %d = %+v, want %+v", i, bands[i], want[i])
+		}
+	}
+}
+
+func TestSmoothness(t *testing.T) {
+	tr := &sim.Trace{Records: []sim.Record{
+		{Q: 2}, {Q: 2}, {Q: 3}, {Q: 1}, {Q: 1},
+	}}
+	s := SmoothnessOf(tr)
+	if s.Switches != 2 {
+		t.Fatalf("switches = %d", s.Switches)
+	}
+	if math.Abs(s.MeanAbsDelta-(0+1+2+0)/4.0) > 1e-12 {
+		t.Fatalf("mean abs delta = %v", s.MeanAbsDelta)
+	}
+	if got := SmoothnessOf(&sim.Trace{}); got.Switches != 0 || got.MeanAbsDelta != 0 {
+		t.Fatal("empty trace smoothness must be zero")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := sampleTrace(t)
+	s := Summarize(tr)
+	if s.Manager != "numeric" || s.Cycles != 4 {
+		t.Fatalf("summary header: %+v", s)
+	}
+	if s.MinQuality > s.MaxQuality {
+		t.Fatal("min > max quality")
+	}
+	if s.AvgQuality < float64(s.MinQuality) || s.AvgQuality > float64(s.MaxQuality) {
+		t.Fatal("average outside [min, max]")
+	}
+	if s.Decisions != len(tr.Records) {
+		t.Fatal("numeric manager decisions must equal record count")
+	}
+	if math.Abs(s.MeanRelaxSteps-1) > 1e-12 {
+		t.Fatalf("mean relax steps %v, want 1 for numeric", s.MeanRelaxSteps)
+	}
+	if s.OverheadFraction <= 0 {
+		t.Fatal("overhead fraction must be positive here")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(&sim.Trace{Manager: "x"})
+	if s.AvgQuality != 0 || s.MinQuality != 0 || s.MaxQuality != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	tr := &sim.Trace{TotalExec: 70, TotalOverhead: 10, TotalIdle: 20, Final: 100}
+	if u := Utilization(tr); math.Abs(u-0.8) > 1e-12 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if Utilization(&sim.Trace{}) != 0 {
+		t.Fatal("empty utilization must be 0")
+	}
+}

@@ -1,0 +1,46 @@
+package motion
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+)
+
+func benchFrames() (cur, ref *frame.Frame) {
+	ref = frame.MustNew(352, 288)
+	for y := 0; y < 288; y++ {
+		for x := 0; x < 352; x++ {
+			ref.Y[y*352+x] = uint8((x*7 + y*13 + x*y/16) % 256)
+		}
+	}
+	cur = frame.MustNew(352, 288)
+	for y := 0; y < 288; y++ {
+		for x := 0; x < 352; x++ {
+			cur.Y[y*352+x] = ref.YAt(x+3, y+2)
+		}
+	}
+	return cur, ref
+}
+
+// The full/diamond cost gap at growing radii is the dominant
+// quality→time knob of the encoder.
+func BenchmarkFullSearchR4(b *testing.B) {
+	cur, ref := benchFrames()
+	for i := 0; i < b.N; i++ {
+		FullSearch(cur, ref, 160, 128, 4)
+	}
+}
+
+func BenchmarkFullSearchR16(b *testing.B) {
+	cur, ref := benchFrames()
+	for i := 0; i < b.N; i++ {
+		FullSearch(cur, ref, 160, 128, 16)
+	}
+}
+
+func BenchmarkDiamondSearchR16(b *testing.B) {
+	cur, ref := benchFrames()
+	for i := 0; i < b.N; i++ {
+		DiamondSearch(cur, ref, 160, 128, 16)
+	}
+}

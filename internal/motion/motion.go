@@ -1,0 +1,136 @@
+// Package motion implements block motion estimation for 16×16 luma
+// macroblocks: exhaustive full search and diamond search over a
+// quality-dependent radius. Search effort — and therefore execution
+// time — grows with the quality level, the dominant work knob of the
+// encoder substrate (exactly as in MPEG encoders, where motion search is
+// the most expensive stage).
+package motion
+
+import (
+	"math"
+
+	"repro/internal/frame"
+)
+
+// Vector is a motion vector in luma pixels.
+type Vector struct{ X, Y int }
+
+// Result reports the outcome of a motion search.
+type Result struct {
+	MV  Vector
+	SAD int // sum of absolute differences at MV
+	Ops int // number of SAD evaluations performed (work accounting)
+}
+
+// SAD16 computes the sum of absolute differences between the 16×16 block
+// of cur at (cx, cy) and the block of ref at (cx+dx, cy+dy), with border
+// clamping on the reference.
+func SAD16(cur, ref *frame.Frame, cx, cy, dx, dy int) int {
+	sum := 0
+	for r := 0; r < frame.MBSize; r++ {
+		for c := 0; c < frame.MBSize; c++ {
+			a := int(cur.Y[(cy+r)*cur.W+cx+c])
+			b := int(ref.YAt(cx+c+dx, cy+r+dy))
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return sum
+}
+
+// RadiusForLevel maps a quality level in [0, levels) to a search radius:
+// level 0 searches ±1, the top level ±(2^min(6,levels)) capped at 16.
+// The exponential growth mirrors how real encoders trade motion quality
+// for time.
+func RadiusForLevel(q, levels int) int {
+	if q <= 0 {
+		return 1
+	}
+	r := 1 << uint(q)
+	if r > 16 {
+		r = 16
+	}
+	return r
+}
+
+// FullSearch exhaustively scans the (2r+1)² displacement window around
+// the zero vector.
+func FullSearch(cur, ref *frame.Frame, cx, cy, radius int) Result {
+	best := Result{SAD: math.MaxInt}
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			s := SAD16(cur, ref, cx, cy, dx, dy)
+			best.Ops++
+			if s < best.SAD || (s == best.SAD && absLess(dx, dy, best.MV)) {
+				best.SAD = s
+				best.MV = Vector{X: dx, Y: dy}
+			}
+		}
+	}
+	return best
+}
+
+// DiamondSearch runs the classic large/small diamond pattern from the
+// zero vector, bounded by radius. It evaluates far fewer candidates than
+// FullSearch at slightly worse SAD; the encoder uses it below the top
+// quality levels.
+func DiamondSearch(cur, ref *frame.Frame, cx, cy, radius int) Result {
+	large := [...]Vector{{0, 0}, {2, 0}, {-2, 0}, {0, 2}, {0, -2}, {1, 1}, {1, -1}, {-1, 1}, {-1, -1}}
+	small := [...]Vector{{0, 0}, {1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+
+	center := Vector{}
+	best := Result{SAD: SAD16(cur, ref, cx, cy, 0, 0), Ops: 1}
+	for {
+		improved := false
+		for _, d := range large[1:] {
+			cand := Vector{center.X + d.X, center.Y + d.Y}
+			if cand.X < -radius || cand.X > radius || cand.Y < -radius || cand.Y > radius {
+				continue
+			}
+			s := SAD16(cur, ref, cx, cy, cand.X, cand.Y)
+			best.Ops++
+			if s < best.SAD {
+				best.SAD = s
+				best.MV = cand
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+		center = best.MV
+	}
+	// Refinement with the small diamond.
+	center = best.MV
+	for _, d := range small[1:] {
+		cand := Vector{center.X + d.X, center.Y + d.Y}
+		if cand.X < -radius || cand.X > radius || cand.Y < -radius || cand.Y > radius {
+			continue
+		}
+		s := SAD16(cur, ref, cx, cy, cand.X, cand.Y)
+		best.Ops++
+		if s < best.SAD {
+			best.SAD = s
+			best.MV = cand
+		}
+	}
+	return best
+}
+
+// Estimate picks the search strategy for a quality level: diamond search
+// below the two top levels, full search at the top (the expensive,
+// high-quality path).
+func Estimate(cur, ref *frame.Frame, cx, cy, q, levels int) Result {
+	radius := RadiusForLevel(q, levels)
+	if q >= levels-2 {
+		return FullSearch(cur, ref, cx, cy, radius)
+	}
+	return DiamondSearch(cur, ref, cx, cy, radius)
+}
+
+func absLess(dx, dy int, than Vector) bool {
+	return dx*dx+dy*dy < than.X*than.X+than.Y*than.Y
+}

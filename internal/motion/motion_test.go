@@ -1,0 +1,132 @@
+package motion
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+)
+
+// shifted builds a pair of frames where ref shifted by (dx, dy) equals
+// cur (inside the safe interior).
+func shifted(t *testing.T, dx, dy int) (cur, ref *frame.Frame) {
+	t.Helper()
+	ref = frame.MustNew(96, 96)
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 96; x++ {
+			ref.Y[y*96+x] = uint8((x*7 + y*13 + x*y/16) % 256)
+		}
+	}
+	cur = frame.MustNew(96, 96)
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 96; x++ {
+			cur.Y[y*96+x] = ref.YAt(x+dx, y+dy)
+		}
+	}
+	return cur, ref
+}
+
+func TestSAD16ZeroOnIdentical(t *testing.T) {
+	cur, _ := shifted(t, 0, 0)
+	if s := SAD16(cur, cur, 32, 32, 0, 0); s != 0 {
+		t.Fatalf("self SAD = %d", s)
+	}
+}
+
+func TestFullSearchFindsExactShift(t *testing.T) {
+	for _, mv := range []Vector{{3, 2}, {-4, 1}, {0, -5}, {6, 6}} {
+		cur, ref := shifted(t, mv.X, mv.Y)
+		res := FullSearch(cur, ref, 32, 32, 8)
+		if res.MV != mv {
+			t.Fatalf("full search found %+v, want %+v", res.MV, mv)
+		}
+		if res.SAD != 0 {
+			t.Fatalf("exact shift should give SAD 0, got %d", res.SAD)
+		}
+		if res.Ops != 17*17 {
+			t.Fatalf("full search ops = %d, want %d", res.Ops, 17*17)
+		}
+	}
+}
+
+func TestDiamondSearchFindsExactShift(t *testing.T) {
+	// Diamond search converges on smooth SAD landscapes; the shifted
+	// gradient frame is exactly that.
+	for _, mv := range []Vector{{2, 0}, {0, 2}, {-3, -1}} {
+		cur, ref := shifted(t, mv.X, mv.Y)
+		res := DiamondSearch(cur, ref, 32, 32, 8)
+		if res.SAD != 0 {
+			t.Fatalf("diamond search SAD %d at %+v, want 0 at %+v", res.SAD, res.MV, mv)
+		}
+	}
+}
+
+func TestDiamondCheaperThanFull(t *testing.T) {
+	cur, ref := shifted(t, 3, 2)
+	full := FullSearch(cur, ref, 32, 32, 8)
+	dia := DiamondSearch(cur, ref, 32, 32, 8)
+	if dia.Ops >= full.Ops {
+		t.Fatalf("diamond ops %d not cheaper than full %d", dia.Ops, full.Ops)
+	}
+}
+
+func TestRadiusForLevel(t *testing.T) {
+	if RadiusForLevel(0, 7) != 1 {
+		t.Fatal("level 0 radius")
+	}
+	if RadiusForLevel(3, 7) != 8 {
+		t.Fatal("level 3 radius")
+	}
+	if RadiusForLevel(6, 7) != 16 {
+		t.Fatal("radius must cap at 16")
+	}
+	prev := 0
+	for q := 0; q < 7; q++ {
+		r := RadiusForLevel(q, 7)
+		if r < prev {
+			t.Fatalf("radius not monotone at %d", q)
+		}
+		prev = r
+	}
+}
+
+func TestEstimateWorkGrowsWithQuality(t *testing.T) {
+	cur, ref := shifted(t, 2, 1)
+	prevOps := 0
+	grew := false
+	for q := 0; q < 7; q++ {
+		res := Estimate(cur, ref, 32, 32, q, 7)
+		if res.Ops > prevOps {
+			grew = true
+		}
+		prevOps = res.Ops
+	}
+	if !grew {
+		t.Fatal("search effort never grew with quality")
+	}
+	// Top level must use full search: ops = (2·16+1)².
+	top := Estimate(cur, ref, 32, 32, 6, 7)
+	if top.Ops != 33*33 {
+		t.Fatalf("top level ops = %d, want full search %d", top.Ops, 33*33)
+	}
+}
+
+func TestSearchRespectsRadius(t *testing.T) {
+	cur, ref := shifted(t, 6, 6)
+	res := FullSearch(cur, ref, 32, 32, 2)
+	if res.MV.X < -2 || res.MV.X > 2 || res.MV.Y < -2 || res.MV.Y > 2 {
+		t.Fatalf("MV %+v outside radius 2", res.MV)
+	}
+	res = DiamondSearch(cur, ref, 32, 32, 2)
+	if res.MV.X < -2 || res.MV.X > 2 || res.MV.Y < -2 || res.MV.Y > 2 {
+		t.Fatalf("diamond MV %+v outside radius 2", res.MV)
+	}
+}
+
+func TestFullSearchPrefersSmallVectorOnTies(t *testing.T) {
+	// A flat frame ties everywhere; the zero vector must win.
+	flat := frame.MustNew(64, 64)
+	res := FullSearch(flat, flat, 16, 16, 4)
+	if res.MV != (Vector{}) {
+		t.Fatalf("tie-break picked %+v, want zero vector", res.MV)
+	}
+}

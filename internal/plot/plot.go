@@ -1,0 +1,208 @@
+// Package plot renders the reproduction's figures as ASCII charts for
+// terminals, CSV for spreadsheets, and minimal SVG for documents — all
+// stdlib-only.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a collection of series with axis labels.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// markers cycles through per-series point glyphs.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// ASCII renders the chart as a width×height character grid with axes,
+// min/max annotations and a legend.
+func (c *Chart) ASCII(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	xmin, xmax, ymin, ymax := c.bounds()
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		mk := markers[si%len(markers)]
+		for i := range s.X {
+			col := scale(s.X[i], xmin, xmax, width-1)
+			row := height - 1 - scale(s.Y[i], ymin, ymax, height-1)
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = mk
+			}
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	fmt.Fprintf(&b, "%10.3g ┤", ymax)
+	b.WriteString(string(grid[0]))
+	b.WriteByte('\n')
+	for r := 1; r < height-1; r++ {
+		b.WriteString("           │")
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", ymin, string(grid[height-1]))
+	fmt.Fprintf(&b, "           └%s\n", strings.Repeat("─", width))
+	fmt.Fprintf(&b, "            %-10.4g%s%10.4g\n", xmin, strings.Repeat(" ", maxInt(width-20, 1)), xmax)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "            x: %s, y: %s\n", c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "            %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// CSV renders the chart as "x,<series...>" rows on the union of the
+// series' x values; missing points are left empty.
+func (c *Chart) CSV() string {
+	xs := map[float64]bool{}
+	for _, s := range c.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range c.Series {
+		b.WriteString(",")
+		b.WriteString(strings.ReplaceAll(s.Name, ",", ";"))
+	}
+	b.WriteByte('\n')
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range c.Series {
+			b.WriteString(",")
+			if y, ok := lookup(s, x); ok {
+				fmt.Fprintf(&b, "%g", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SVG renders the chart as a simple polyline SVG document.
+func (c *Chart) SVG(width, height int) string {
+	if width < 100 {
+		width = 100
+	}
+	if height < 80 {
+		height = 80
+	}
+	const margin = 40
+	xmin, xmax, ymin, ymax := c.bounds()
+	colors := []string{"#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		margin, height-margin, width-margin/2, height-margin)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		margin, height-margin, margin, margin/2)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13">%s</text>`+"\n", margin, xmlEscape(c.Title))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10">%.4g</text>`+"\n", margin, height-margin+14, xmin)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10">%.4g</text>`+"\n", width-margin, height-margin+14, xmax)
+	fmt.Fprintf(&b, `<text x="2" y="%d" font-size="10">%.4g</text>`+"\n", height-margin, ymin)
+	fmt.Fprintf(&b, `<text x="2" y="%d" font-size="10">%.4g</text>`+"\n", margin/2+10, ymax)
+	plotW := width - margin - margin/2
+	plotH := height - margin - margin/2
+	for si, s := range c.Series {
+		color := colors[si%len(colors)]
+		var pts []string
+		for i := range s.X {
+			px := margin + scale(s.X[i], xmin, xmax, plotW)
+			py := height - margin - scale(s.Y[i], ymin, ymax, plotH)
+			pts = append(pts, fmt.Sprintf("%d,%d", px, py))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.Join(pts, " "), color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="%s">%s</text>`+"\n",
+			width-margin-120, margin/2+16*si+12, color, xmlEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) { // empty chart
+		return 0, 1, 0, 1
+	}
+	if xmin == xmax {
+		xmax = xmin + 1
+	}
+	if ymin == ymax {
+		ymax = ymin + 1
+	}
+	return xmin, xmax, ymin, ymax
+}
+
+func lookup(s Series, x float64) (float64, bool) {
+	for i := range s.X {
+		if s.X[i] == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+func scale(v, lo, hi float64, span int) int {
+	if hi <= lo {
+		return 0
+	}
+	p := (v - lo) / (hi - lo)
+	return int(math.Round(p * float64(span)))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,116 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Chart {
+	return &Chart{
+		Title:  "test chart",
+		XLabel: "frame",
+		YLabel: "quality",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2, 3}, Y: []float64{1, 2, 3, 2}},
+			{Name: "b", X: []float64{0, 1, 2, 3}, Y: []float64{3, 3, 1, 1}},
+		},
+	}
+}
+
+func TestASCIIContainsStructure(t *testing.T) {
+	out := sample().ASCII(40, 10)
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("missing series markers")
+	}
+	if !strings.Contains(out, "frame") || !strings.Contains(out, "quality") {
+		t.Fatal("missing axis labels")
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatal("missing legend")
+	}
+}
+
+func TestASCIIMinimumDimensions(t *testing.T) {
+	// Tiny requested sizes are clamped, not crashed.
+	out := sample().ASCII(1, 1)
+	if len(out) == 0 {
+		t.Fatal("empty output")
+	}
+}
+
+func TestASCIIEmptyChart(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if out := c.ASCII(30, 8); !strings.Contains(out, "empty") {
+		t.Fatal("empty chart should still render")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := sample().CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "x,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Fatalf("row count %d", len(lines))
+	}
+	if lines[1] != "0,1,3" {
+		t.Fatalf("first row = %q", lines[1])
+	}
+}
+
+func TestCSVMissingPoints(t *testing.T) {
+	c := &Chart{Series: []Series{
+		{Name: "p", X: []float64{0, 2}, Y: []float64{5, 7}},
+		{Name: "q", X: []float64{1}, Y: []float64{9}},
+	}}
+	lines := strings.Split(strings.TrimSpace(c.CSV()), "\n")
+	if lines[2] != "1,,9" {
+		t.Fatalf("sparse row = %q", lines[2])
+	}
+}
+
+func TestCSVEscapesCommas(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "a,b", X: []float64{0}, Y: []float64{1}}}}
+	if !strings.Contains(c.CSV(), "a;b") {
+		t.Fatal("comma in series name not escaped")
+	}
+}
+
+func TestSVGWellFormedEnough(t *testing.T) {
+	out := sample().SVG(400, 300)
+	for _, want := range []string{"<svg", "</svg>", "<polyline", "test chart"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatal("series count mismatch")
+	}
+}
+
+func TestSVGEscapesMarkup(t *testing.T) {
+	c := &Chart{Title: `a<b & "c"`, Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}}}
+	out := c.SVG(200, 100)
+	if strings.Contains(out, "a<b") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(out, "a&lt;b &amp; &quot;c&quot;") {
+		t.Fatal("escape sequence wrong")
+	}
+}
+
+func TestScale(t *testing.T) {
+	if scale(5, 0, 10, 100) != 50 {
+		t.Fatal("midpoint scaling")
+	}
+	if scale(0, 0, 10, 100) != 0 || scale(10, 0, 10, 100) != 100 {
+		t.Fatal("endpoint scaling")
+	}
+	if scale(5, 5, 5, 100) != 0 {
+		t.Fatal("degenerate range")
+	}
+}

@@ -1,0 +1,92 @@
+// Package power implements the conclusion's power-management direction:
+// "quality level is replaced by frequency and the objective is to
+// minimize energy consumption without missing the deadlines".
+//
+// The mapping into the core framework: level q selects the q-th *slowest*
+// frequency, so execution times are non-decreasing in q (Definition 1
+// holds) and the mixed policy's "maximal q meeting the constraint"
+// becomes "lowest frequency meeting the deadlines" — exactly deadline-
+// safe energy minimisation. Dynamic energy is modelled as f²·t per
+// action (P ∝ f³ at scaled voltage, t ∝ 1/f).
+package power
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Workload describes one action of the frequency-scalable task at the
+// *maximal* frequency: its average and worst-case times, and its
+// cycle-relative deadline (TimeInf for none).
+type Workload struct {
+	Name     string
+	Av, WC   core.Time
+	Deadline core.Time
+}
+
+// System builds a parameterized system whose "quality levels" are
+// slowness indices over the given relative frequencies (1.0 = maximal).
+// Level q runs at freqs sorted descending; times scale by 1/f.
+func System(work []Workload, freqs []float64) (*core.System, []float64, error) {
+	if len(freqs) == 0 {
+		return nil, nil, fmt.Errorf("power: no frequencies")
+	}
+	fs := append([]float64(nil), freqs...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(fs)))
+	if fs[0] != 1.0 {
+		return nil, nil, fmt.Errorf("power: maximal relative frequency must be 1.0, got %v", fs[0])
+	}
+	for _, f := range fs {
+		if f <= 0 {
+			return nil, nil, fmt.Errorf("power: non-positive frequency %v", f)
+		}
+	}
+	tt := core.NewTimingTable(len(work), len(fs))
+	actions := make([]core.Action, len(work))
+	for i, w := range work {
+		if w.Av > w.WC {
+			return nil, nil, fmt.Errorf("power: action %d: av %v > wc %v", i, w.Av, w.WC)
+		}
+		for q, f := range fs {
+			tt.Set(i, core.Level(q),
+				core.Time(float64(w.Av)/f),
+				core.Time(float64(w.WC)/f))
+		}
+		actions[i] = core.Action{Name: w.Name, Deadline: w.Deadline}
+	}
+	sys, err := core.NewSystem(actions, tt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, fs, nil
+}
+
+// Frequency returns the relative frequency selected by level q.
+func Frequency(fs []float64, q core.Level) float64 { return fs[q] }
+
+// Energy computes the normalised dynamic energy of a trace: Σ f²·t over
+// application execution (management overhead is charged at full
+// frequency, conservatively).
+func Energy(tr *sim.Trace, fs []float64) float64 {
+	var e float64
+	for _, r := range tr.Records {
+		f := fs[r.Q]
+		e += f * f * float64(r.Exec)
+		e += float64(r.Overhead) // f = 1 during management
+	}
+	return e
+}
+
+// Savings reports the energy saved by a controlled trace relative to an
+// always-fmax trace, as a fraction in [0, 1).
+func Savings(controlled, fmax *sim.Trace, fs []float64) float64 {
+	eC := Energy(controlled, fs)
+	eF := Energy(fmax, fs)
+	if eF == 0 {
+		return 0
+	}
+	return 1 - eC/eF
+}

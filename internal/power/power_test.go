@@ -1,0 +1,115 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// microWork builds a uniform workload with a final deadline leaving
+// roughly 2× slack over the fmax worst case.
+func microWork(n int) []Workload {
+	w := make([]Workload, n)
+	for i := range w {
+		w[i] = Workload{Name: "op", Av: 100 * core.Microsecond, WC: 150 * core.Microsecond, Deadline: core.TimeInf}
+	}
+	w[n-1].Deadline = core.Time(n) * 300 * core.Microsecond
+	return w
+}
+
+var testFreqs = []float64{1.0, 0.8, 0.6, 0.5, 0.4}
+
+func TestSystemValidation(t *testing.T) {
+	if _, _, err := System(microWork(4), nil); err == nil {
+		t.Error("empty frequency set accepted")
+	}
+	if _, _, err := System(microWork(4), []float64{0.9, 0.5}); err == nil {
+		t.Error("missing fmax=1.0 accepted")
+	}
+	if _, _, err := System(microWork(4), []float64{1.0, -0.5}); err == nil {
+		t.Error("negative frequency accepted")
+	}
+	bad := microWork(4)
+	bad[0].Av = 2 * bad[0].WC
+	if _, _, err := System(bad, testFreqs); err == nil {
+		t.Error("av > wc accepted")
+	}
+}
+
+func TestLevelZeroIsFMax(t *testing.T) {
+	sys, fs, err := System(microWork(8), []float64{0.5, 1.0, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs[0] != 1.0 || fs[1] != 0.8 || fs[2] != 0.5 {
+		t.Fatalf("frequencies not sorted descending: %v", fs)
+	}
+	// Level 0 = fmax = shortest times; monotone in q.
+	for q := core.Level(1); q <= sys.QMax(); q++ {
+		if sys.Av(0, q) < sys.Av(0, q-1) {
+			t.Fatal("times must grow as frequency drops")
+		}
+	}
+	if sys.Av(0, 0) != 100*core.Microsecond {
+		t.Fatalf("fmax time = %v", sys.Av(0, 0))
+	}
+	if sys.Av(0, 2) != 200*core.Microsecond {
+		t.Fatalf("half-speed time = %v", sys.Av(0, 2))
+	}
+}
+
+func TestControlledRunSavesEnergyWithoutMisses(t *testing.T) {
+	sys, fs, err := System(microWork(60), testFreqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(m core.Manager) *sim.Trace {
+		return (&sim.Runner{Sys: sys, Mgr: m, Exec: sim.Average{Sys: sys},
+			Overhead: sim.FreeOverhead, Cycles: 3}).MustRun()
+	}
+	controlled := run(core.NewNumericManager(sys))
+	fmax := run(core.FixedManager{Level: 0})
+	if controlled.Misses != 0 {
+		t.Fatalf("energy controller missed %d deadlines", controlled.Misses)
+	}
+	s := Savings(controlled, fmax, fs)
+	if s <= 0.2 {
+		t.Fatalf("savings %.2f too small; controller not descending frequency", s)
+	}
+	if s >= 1 {
+		t.Fatalf("savings %.2f impossible", s)
+	}
+}
+
+func TestEnergyMonotoneInFrequency(t *testing.T) {
+	sys, fs, _ := System(microWork(30), testFreqs)
+	run := func(l core.Level) *sim.Trace {
+		return (&sim.Runner{Sys: sys, Mgr: core.FixedManager{Level: l}, Exec: sim.Average{Sys: sys},
+			Overhead: sim.FreeOverhead, Cycles: 1, Period: sys.LastDeadline() * 4}).MustRun()
+	}
+	prev := Energy(run(0), fs)
+	for q := core.Level(1); q <= sys.QMax(); q++ {
+		e := Energy(run(q), fs)
+		if e >= prev {
+			t.Fatalf("energy not decreasing with slower frequency at level %v: %v >= %v", q, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestSafetyUnderWorstCase(t *testing.T) {
+	sys, _, _ := System(microWork(60), testFreqs)
+	trc := (&sim.Runner{Sys: sys, Mgr: core.NewNumericManager(sys),
+		Exec: sim.WorstCase{Sys: sys}, Overhead: sim.FreeOverhead, Cycles: 3}).MustRun()
+	if trc.Misses != 0 {
+		t.Fatalf("worst-case run missed %d deadlines", trc.Misses)
+	}
+}
+
+func TestFrequencyAccessor(t *testing.T) {
+	_, fs, _ := System(microWork(4), testFreqs)
+	if Frequency(fs, 0) != 1.0 || Frequency(fs, 4) != 0.4 {
+		t.Fatalf("frequency accessor: %v", fs)
+	}
+}

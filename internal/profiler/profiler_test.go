@@ -1,0 +1,138 @@
+package profiler
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/encoder"
+	"repro/internal/frame"
+)
+
+func TestIPodModelShape(t *testing.T) {
+	m := IPodModel()
+	if m.Levels != 7 {
+		t.Fatalf("levels = %d", m.Levels)
+	}
+	for _, cls := range []string{encoder.ClassSetup, encoder.ClassMotion, encoder.ClassTransform, encoder.ClassCode} {
+		ct, ok := m.Classes[cls]
+		if !ok {
+			t.Fatalf("missing class %s", cls)
+		}
+		for q := 0; q < 7; q++ {
+			if ct.Av[q] <= 0 || ct.WC[q] < ct.Av[q] {
+				t.Fatalf("class %s level %d: av %v wc %v", cls, q, ct.Av[q], ct.WC[q])
+			}
+			if q > 0 && (ct.Av[q] < ct.Av[q-1] || ct.WC[q] < ct.WC[q-1]) {
+				t.Fatalf("class %s not monotone at %d", cls, q)
+			}
+		}
+	}
+	// Per-macroblock average at level q must be 1.2 ms + 0.3q ms.
+	me := m.Classes[encoder.ClassMotion]
+	tq := m.Classes[encoder.ClassTransform]
+	vl := m.Classes[encoder.ClassCode]
+	for q := 0; q < 7; q++ {
+		total := me.Av[q] + tq.Av[q] + vl.Av[q]
+		want := 1200*core.Microsecond + core.Time(q)*300*core.Microsecond
+		if total != want {
+			t.Fatalf("per-MB average at q%d = %v, want %v", q, total, want)
+		}
+	}
+}
+
+func TestIPodSystemMatchesPaperDimensions(t *testing.T) {
+	sys := IPodSystem()
+	if sys.NumActions() != 1189 {
+		t.Fatalf("actions = %d, want 1189", sys.NumActions())
+	}
+	if sys.NumLevels() != 7 {
+		t.Fatalf("levels = %d, want 7", sys.NumLevels())
+	}
+	if err := sys.Feasible(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.LastDeadline() != FramePeriod {
+		t.Fatalf("deadline = %v, want %v", sys.LastDeadline(), FramePeriod)
+	}
+	// The paper's operating regime: qmax must NOT fit the budget on
+	// average (otherwise management is trivial), but some middle level
+	// must.
+	if sys.AvPrefix(sys.NumActions(), sys.QMax()) <= FramePeriod {
+		t.Fatal("qmax average workload fits the frame budget; regime too easy")
+	}
+	if sys.AvPrefix(sys.NumActions(), 4) >= FramePeriod {
+		t.Fatal("level 4 average workload exceeds the frame budget; regime too hard")
+	}
+}
+
+func TestTablesSystemValidation(t *testing.T) {
+	m := IPodModel()
+	if _, err := m.System(4, core.Second); err != nil {
+		t.Fatalf("small system rejected: %v", err)
+	}
+	// Remove a class → must fail.
+	delete(m.Classes, encoder.ClassCode)
+	if _, err := m.System(4, core.Second); err == nil {
+		t.Fatal("missing class accepted")
+	}
+	// Infeasible deadline → must fail.
+	m2 := IPodModel()
+	if _, err := m2.System(396, core.Millisecond); err == nil {
+		t.Fatal("infeasible deadline accepted")
+	}
+}
+
+func TestProfileRealEncoder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling the real encoder is slow")
+	}
+	src := &frame.Source{W: 64, H: 48, Seed: 3}
+	e := encoder.MustNew(src, 4)
+	tabs, err := Profile(e, 3, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cls, ct := range tabs.Classes {
+		for q := 0; q < tabs.Levels; q++ {
+			if ct.WC[q] < ct.Av[q] {
+				t.Fatalf("class %s level %d: wc < av", cls, q)
+			}
+			if q > 0 && ct.Av[q] < ct.Av[q-1] {
+				t.Fatalf("class %s av not monotone", cls)
+			}
+		}
+	}
+	// Motion estimation must get more expensive with quality on any
+	// real machine (radius grows 16×).
+	me := tabs.Classes[encoder.ClassMotion]
+	if me.Av[tabs.Levels-1] <= me.Av[0] {
+		t.Fatalf("profiled ME time flat: %v vs %v", me.Av[0], me.Av[tabs.Levels-1])
+	}
+	// And the tables must assemble into a feasible system with a
+	// generous deadline.
+	total := core.Time(0)
+	for i := 0; i < 1+3*12; i++ {
+		ct := tabs.Classes[encoder.ActionClass(i)]
+		total += ct.WC[0]
+	}
+	if _, err := tabs.System(12, total*2); err != nil {
+		t.Fatalf("profiled system rejected: %v", err)
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	e := encoder.MustNew(&frame.Source{W: 32, H: 32, Seed: 1}, 3)
+	if _, err := Profile(e, 1, 1.3); err == nil {
+		t.Error("single frame accepted")
+	}
+	if _, err := Profile(e, 2, 0.5); err == nil {
+		t.Error("margin < 1 accepted")
+	}
+}
+
+func TestNewCIFEncoder(t *testing.T) {
+	e := NewCIFEncoder(1)
+	if e.NumActions() != 1189 || e.Levels() != 7 {
+		t.Fatalf("CIF encoder: %d actions %d levels", e.NumActions(), e.Levels())
+	}
+}

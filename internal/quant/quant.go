@@ -1,0 +1,89 @@
+// Package quant implements quality-dependent quantisation of 8×8 DCT
+// coefficient blocks. The quantiser step shrinks as the quality level
+// rises, so higher levels keep more non-zero coefficients — which makes
+// the downstream entropy-coding work grow with quality, one of the
+// mechanisms behind the paper's "execution times increasing with
+// quality".
+package quant
+
+import "fmt"
+
+// BaseMatrix is an MPEG-style intra quantisation weighting matrix:
+// coarser steps for high spatial frequencies.
+var BaseMatrix = [64]int32{
+	8, 16, 19, 22, 26, 27, 29, 34,
+	16, 16, 22, 24, 27, 29, 34, 37,
+	19, 22, 26, 27, 29, 34, 34, 38,
+	22, 22, 26, 27, 29, 34, 37, 40,
+	22, 26, 27, 29, 32, 35, 40, 48,
+	26, 27, 29, 32, 35, 40, 48, 58,
+	26, 27, 29, 34, 38, 46, 56, 69,
+	27, 29, 35, 38, 46, 56, 69, 83,
+}
+
+// Quantizer scales the base matrix by a per-quality step factor.
+type Quantizer struct {
+	steps [64]int32
+	scale int32
+}
+
+// New builds a quantizer for a quality level in [0, levels).
+// The step scale halves-ish as quality rises: scale = 2 + 3·(levels−1−q),
+// so qmax keeps the most detail.
+func New(q, levels int) (*Quantizer, error) {
+	if levels <= 0 || q < 0 || q >= levels {
+		return nil, fmt.Errorf("quant: level %d outside [0, %d)", q, levels)
+	}
+	scale := int32(2 + 3*(levels-1-q))
+	qz := &Quantizer{scale: scale}
+	for i := range qz.steps {
+		s := BaseMatrix[i] * scale / 8
+		if s < 1 {
+			s = 1
+		}
+		qz.steps[i] = s
+	}
+	return qz, nil
+}
+
+// MustNew is New that panics on invalid arguments.
+func MustNew(q, levels int) *Quantizer {
+	qz, err := New(q, levels)
+	if err != nil {
+		panic(err)
+	}
+	return qz
+}
+
+// Scale returns the quantiser's step scale (diagnostic).
+func (qz *Quantizer) Scale() int32 { return qz.scale }
+
+// Step returns the quantisation step of coefficient i.
+func (qz *Quantizer) Step(i int) int32 { return qz.steps[i] }
+
+// Quantize divides coefficients by their steps with rounding toward
+// zero±½ and reports the number of non-zero outputs.
+func (qz *Quantizer) Quantize(in *[64]int32, out *[64]int32) (nonzero int) {
+	for i := 0; i < 64; i++ {
+		s := qz.steps[i]
+		v := in[i]
+		var r int32
+		if v >= 0 {
+			r = (v + s/2) / s
+		} else {
+			r = -((-v + s/2) / s)
+		}
+		out[i] = r
+		if r != 0 {
+			nonzero++
+		}
+	}
+	return nonzero
+}
+
+// Dequantize multiplies quantised coefficients back by their steps.
+func (qz *Quantizer) Dequantize(in *[64]int32, out *[64]int32) {
+	for i := 0; i < 64; i++ {
+		out[i] = in[i] * qz.steps[i]
+	}
+}

@@ -1,0 +1,110 @@
+package quant
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, 7); err == nil {
+		t.Error("negative level accepted")
+	}
+	if _, err := New(7, 7); err == nil {
+		t.Error("out-of-range level accepted")
+	}
+	if _, err := New(0, 0); err == nil {
+		t.Error("zero levels accepted")
+	}
+	if _, err := New(3, 7); err != nil {
+		t.Errorf("valid level rejected: %v", err)
+	}
+}
+
+func TestScaleDecreasesWithQuality(t *testing.T) {
+	prev := int32(1 << 30)
+	for q := 0; q < 7; q++ {
+		qz := MustNew(q, 7)
+		if qz.Scale() >= prev {
+			t.Fatalf("scale not decreasing at level %d", q)
+		}
+		prev = qz.Scale()
+	}
+}
+
+func TestStepsPositive(t *testing.T) {
+	for q := 0; q < 7; q++ {
+		qz := MustNew(q, 7)
+		for i := 0; i < 64; i++ {
+			if qz.Step(i) < 1 {
+				t.Fatalf("level %d step %d = %d", q, i, qz.Step(i))
+			}
+		}
+	}
+}
+
+func TestQuantizeDequantizeError(t *testing.T) {
+	// |dequant(quant(x)) − x| ≤ step/2 + 1 for every coefficient.
+	rng := rand.New(rand.NewSource(1))
+	for q := 0; q < 7; q++ {
+		qz := MustNew(q, 7)
+		for trial := 0; trial < 50; trial++ {
+			var in, qd, out [64]int32
+			for i := range in {
+				in[i] = rng.Int31n(2001) - 1000
+			}
+			qz.Quantize(&in, &qd)
+			qz.Dequantize(&qd, &out)
+			for i := range in {
+				d := in[i] - out[i]
+				if d < 0 {
+					d = -d
+				}
+				if d > qz.Step(i)/2+1 {
+					t.Fatalf("level %d coef %d: error %d exceeds step/2 (%d)", q, i, d, qz.Step(i))
+				}
+			}
+		}
+	}
+}
+
+func TestHigherQualityKeepsMoreCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var in [64]int32
+	for i := range in {
+		in[i] = rng.Int31n(201) - 100
+	}
+	prev := -1
+	for q := 0; q < 7; q++ {
+		var out [64]int32
+		nz := MustNew(q, 7).Quantize(&in, &out)
+		if nz < prev {
+			t.Fatalf("nonzero count decreased at level %d: %d < %d", q, nz, prev)
+		}
+		prev = nz
+	}
+	if prev == 0 {
+		t.Fatal("top level quantised everything to zero")
+	}
+}
+
+func TestQuantizeRoundsTowardNearest(t *testing.T) {
+	qz := MustNew(6, 7) // scale 2: step of coef 0 = 8·2/8 = 2
+	var in, out [64]int32
+	in[0] = 3 // 3/2 rounds to 2
+	qz.Quantize(&in, &out)
+	if out[0] != 2 {
+		t.Fatalf("quantize(3) with step 2 = %d, want 2", out[0])
+	}
+	in[0] = -3
+	qz.Quantize(&in, &out)
+	if out[0] != -2 {
+		t.Fatalf("quantize(-3) = %d, want -2 (symmetric)", out[0])
+	}
+}
+
+func TestZeroQuantizesToZero(t *testing.T) {
+	var in, out [64]int32
+	if nz := MustNew(0, 7).Quantize(&in, &out); nz != 0 {
+		t.Fatalf("zero block has %d nonzeros", nz)
+	}
+}

@@ -1,0 +1,131 @@
+package regions
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestThreeManagersAgree is the central equivalence property (§4.1, §4.2):
+// the numeric, symbolic and relaxed Quality Managers choose identical
+// quality sequences when driven through identical executions — symbolic
+// management changes the *cost* of control, never its decisions.
+func TestThreeManagersAgree(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		sys := randSys(seed, core.RandomSystemConfig{Actions: 40, DeadlineEvery: 10})
+		tab := BuildTDTable(sys)
+		rt := MustBuildRelaxTables(tab, []int{1, 3, 7, 15})
+		managers := []core.Manager{
+			core.NewNumericManager(sys),
+			NewSymbolicManager(tab),
+			NewRelaxedManager(rt),
+		}
+		rng := rand.New(rand.NewSource(seed + 500))
+		n := sys.NumActions()
+
+		// Drive one execution per random draw; every manager replays the
+		// same actual execution times (drawn per (state, level) so the
+		// trajectory stays identical as long as decisions agree).
+		for trial := 0; trial < 20; trial++ {
+			draw := make([]float64, n)
+			for j := range draw {
+				draw[j] = rng.Float64()
+			}
+			seqs := make([][]core.Level, len(managers))
+			for mi, m := range managers {
+				var qs []core.Level
+				tm := core.Time(0)
+				pending := 0
+				var cur core.Level
+				for j := 0; j < n; j++ {
+					if pending == 0 {
+						d := m.Decide(j, tm)
+						cur = d.Q
+						pending = d.Steps
+					}
+					qs = append(qs, cur)
+					tm += core.Time(draw[j] * float64(sys.WC(j, cur)))
+					pending--
+				}
+				seqs[mi] = qs
+			}
+			for j := 0; j < n; j++ {
+				if seqs[0][j] != seqs[1][j] || seqs[0][j] != seqs[2][j] {
+					t.Fatalf("seed %d trial %d: managers diverge at action %d: numeric=%v symbolic=%v relaxed=%v",
+						seed, trial, j, seqs[0][j], seqs[1][j], seqs[2][j])
+				}
+			}
+		}
+	}
+}
+
+func TestSymbolicManagerWorkBounded(t *testing.T) {
+	// Symbolic decisions cost O(|Q|) probes, independent of system size.
+	sys := randSys(3, core.RandomSystemConfig{Actions: 500, Levels: 7, DeadlineEvery: 50})
+	m := NewSymbolicManager(BuildTDTable(sys))
+	for i := 0; i < sys.NumActions(); i += 13 {
+		d := m.Decide(i, 0)
+		if d.Work > sys.NumLevels() {
+			t.Fatalf("symbolic Work = %d exceeds |Q| = %d", d.Work, sys.NumLevels())
+		}
+	}
+}
+
+func TestRelaxedManagerGrantsMultiStepRelaxation(t *testing.T) {
+	// On a calm, uniform system with a generous deadline, relaxation
+	// must actually grant r > 1 somewhere — otherwise the mechanism is
+	// vacuous and the Fig. 8 experiment cannot reproduce.
+	n, nq := 120, 5
+	tt := core.NewTimingTable(n, nq)
+	for i := 0; i < n; i++ {
+		for q := 0; q < nq; q++ {
+			av := core.Time(10+2*q) * core.Microsecond
+			tt.Set(i, core.Level(q), av, av*3/2)
+		}
+	}
+	actions := make([]core.Action, n)
+	for i := range actions {
+		actions[i] = core.Action{Deadline: core.TimeInf}
+	}
+	actions[n-1].Deadline = core.Time(n) * 25 * core.Microsecond
+	sys := core.MustNewSystem(actions, tt)
+	if err := sys.Feasible(); err != nil {
+		t.Fatalf("calm system must be feasible: %v", err)
+	}
+	rt := MustBuildRelaxTables(BuildTDTable(sys), []int{1, 5, 10, 20})
+	m := NewRelaxedManager(rt)
+
+	granted := 0
+	tm := core.Time(0)
+	pending := 0
+	var cur core.Level
+	for i := 0; i < n; i++ {
+		if pending == 0 {
+			d := m.Decide(i, tm)
+			cur, pending = d.Q, d.Steps
+			if d.Steps > 1 {
+				granted++
+			}
+		}
+		tm += sys.Av(i, cur)
+		pending--
+	}
+	if granted == 0 {
+		t.Fatal("relaxed manager never granted r > 1 on a calm system")
+	}
+}
+
+func TestManagerNamesAndAccessors(t *testing.T) {
+	sys := randSys(9, core.RandomSystemConfig{DeadlineEvery: 4})
+	tab := BuildTDTable(sys)
+	rt := MustBuildRelaxTables(tab, []int{1, 2})
+	sm := NewSymbolicManager(tab)
+	rm := NewRelaxedManager(rt)
+	if sm.Name() != "symbolic" || rm.Name() != "relaxed" {
+		t.Fatalf("names: %q %q", sm.Name(), rm.Name())
+	}
+	if sm.Table() != tab || rm.Tables() != rt {
+		t.Fatal("accessors broken")
+	}
+}

@@ -1,0 +1,175 @@
+package regions
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// BuildTDTableParallel computes the same table as BuildTDTable with one
+// goroutine per quality level (levels are fully independent: each runs
+// its own monotonic-stack pass). For the paper-sized system the build is
+// already sub-millisecond; the parallel variant exists for the large
+// systems a downstream user may bring (long GOP structures, many levels)
+// and is proven equivalent by tests.
+func BuildTDTableParallel(sys *core.System) *TDTable {
+	n := sys.NumActions()
+	nq := sys.NumLevels()
+	t := &TDTable{sys: sys, td: make([][]core.Time, nq)}
+
+	c := make([]core.Time, n)
+	for k := 0; k < n; k++ {
+		if a := sys.Action(k); a.HasDeadline() {
+			c[k] = a.Deadline - sys.WCPrefix(k+1, 0)
+		} else {
+			c[k] = core.TimeInf
+		}
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallelism())
+	for q := 0; q < nq; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t.td[q] = buildLevel(sys, core.Level(q), c)
+		}(q)
+	}
+	wg.Wait()
+	return t
+}
+
+// buildLevel runs the monotonic-stack pass for one level (the body of
+// BuildTDTable's per-level loop, shared by the serial and parallel
+// builders).
+func buildLevel(sys *core.System, q core.Level, c []core.Time) []core.Time {
+	n := sys.NumActions()
+	type segment struct {
+		hmax core.Time
+		minC core.Time
+		best core.Time
+	}
+	col := make([]core.Time, n+1)
+	col[n] = core.TimeInf
+	stack := make([]segment, 0, 64)
+	for i := n - 1; i >= 0; i-- {
+		h := hq(sys, i, q)
+		minC := c[i]
+		for len(stack) > 0 && stack[len(stack)-1].hmax <= h {
+			top := stack[len(stack)-1]
+			minC = core.MinTime(minC, top.minC)
+			stack = stack[:len(stack)-1]
+		}
+		contrib := core.TimeInf
+		if minC < core.TimeInf {
+			contrib = minC - h
+		}
+		best := contrib
+		if len(stack) > 0 {
+			best = core.MinTime(best, stack[len(stack)-1].best)
+		}
+		stack = append(stack, segment{hmax: h, minC: minC, best: best})
+		if best >= core.TimeInf {
+			col[i] = core.TimeInf
+		} else {
+			col[i] = best + sys.AvPrefix(i, q)
+		}
+	}
+	return col
+}
+
+// BuildRelaxTablesParallel computes the same tables as BuildRelaxTables
+// with the (level, r) sliding-window passes distributed over a bounded
+// worker pool.
+func BuildRelaxTablesParallel(td *TDTable, rho []int) (*RelaxTables, error) {
+	// Reuse the serial constructor for validation and layout, then
+	// recompute the heavy payload concurrently. The serial pass is the
+	// executable specification; tests pin equivalence.
+	rt, err := BuildRelaxTables(td, rho)
+	if err != nil {
+		return nil, err
+	}
+	sys := td.sys
+	nq := sys.NumLevels()
+
+	type job struct{ q, ri int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	workers := maxParallelism()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				fillRelaxRow(rt, j.q, j.ri)
+			}
+		}()
+	}
+	for q := 0; q < nq; q++ {
+		for ri := range rt.rho {
+			jobs <- job{q, ri}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return rt, nil
+}
+
+// fillRelaxRow recomputes upper/lower for one (level, rho-index) pair.
+// It writes only its own rows, so rows may be filled concurrently.
+func fillRelaxRow(rt *RelaxTables, q, ri int) {
+	sys := rt.td.sys
+	n := sys.NumActions()
+	nq := sys.NumLevels()
+	r := rt.rho[ri]
+	up := rt.upper[q][ri]
+	lo := rt.lower[q][ri]
+	deque := make([]int, 0, r+1)
+	e := func(j int) core.Time {
+		tdv := rt.td.td[q][j]
+		if tdv >= core.TimeInf {
+			return core.TimeInf
+		}
+		return tdv - sys.WCPrefix(j, core.Level(q))
+	}
+	for j := 0; j < n; j++ {
+		for len(deque) > 0 && e(deque[len(deque)-1]) >= e(j) {
+			deque = deque[:len(deque)-1]
+		}
+		deque = append(deque, j)
+		i := j - r + 1
+		if i < 0 {
+			continue
+		}
+		if deque[0] < i {
+			deque = deque[1:]
+		}
+		if m := e(deque[0]); m >= core.TimeInf {
+			up[i] = core.TimeInf
+		} else {
+			up[i] = m + sys.WCPrefix(i, core.Level(q))
+		}
+		if q == nq-1 {
+			lo[i] = core.TimeNegInf
+		} else {
+			lo[i] = rt.td.td[q+1][i+r-1]
+		}
+	}
+	for i := n - r + 1; i < n; i++ {
+		if i >= 0 {
+			up[i] = core.TimeNegInf
+			lo[i] = core.TimeNegInf
+		}
+	}
+}
+
+func maxParallelism() int {
+	p := runtime.GOMAXPROCS(0)
+	if p < 1 {
+		return 1
+	}
+	return p
+}

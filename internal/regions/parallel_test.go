@@ -1,0 +1,75 @@
+package regions
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParallelTDTableMatchesSerial(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		cfg := core.RandomSystemConfig{Actions: 60, Levels: 8}
+		if seed%2 == 1 {
+			cfg.DeadlineEvery = 7
+		}
+		sys := randSys(seed, cfg)
+		serial := BuildTDTable(sys)
+		par := BuildTDTableParallel(sys)
+		for q := core.Level(0); q <= sys.QMax(); q++ {
+			for i := 0; i <= sys.NumActions(); i++ {
+				if serial.TD(i, q) != par.TD(i, q) {
+					t.Fatalf("seed %d: parallel tD[%v][%d] = %v, serial %v",
+						seed, q, i, par.TD(i, q), serial.TD(i, q))
+				}
+			}
+		}
+	}
+}
+
+func TestParallelRelaxTablesMatchSerial(t *testing.T) {
+	rho := []int{1, 3, 9, 17}
+	for seed := int64(0); seed < 12; seed++ {
+		sys := randSys(seed, core.RandomSystemConfig{Actions: 50, DeadlineEvery: 11})
+		tab := BuildTDTable(sys)
+		serial := MustBuildRelaxTables(tab, rho)
+		par, err := BuildRelaxTablesParallel(tab, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := core.Level(0); q <= sys.QMax(); q++ {
+			for ri := range rho {
+				for i := 0; i < sys.NumActions(); i++ {
+					slo, shi := serial.Interval(i, q, ri)
+					plo, phi := par.Interval(i, q, ri)
+					if slo != plo || shi != phi {
+						t.Fatalf("seed %d: intervals diverge at q=%v ri=%d i=%d", seed, q, ri, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelRelaxTablesValidation(t *testing.T) {
+	sys := randSys(3, core.RandomSystemConfig{DeadlineEvery: 5})
+	tab := BuildTDTable(sys)
+	if _, err := BuildRelaxTablesParallel(tab, []int{2}); err == nil {
+		t.Fatal("rho without 1 accepted by parallel builder")
+	}
+}
+
+func BenchmarkBuildTDTableSerial(b *testing.B) {
+	sys := randSys(1, core.RandomSystemConfig{Actions: 5000, Levels: 16, DeadlineEvery: 100})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildTDTable(sys)
+	}
+}
+
+func BenchmarkBuildTDTableParallel(b *testing.B) {
+	sys := randSys(1, core.RandomSystemConfig{Actions: 5000, Levels: 16, DeadlineEvery: 100})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildTDTableParallel(sys)
+	}
+}

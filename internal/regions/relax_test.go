@@ -1,0 +1,191 @@
+package regions
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestBuildRelaxTablesValidation(t *testing.T) {
+	sys := randSys(1, core.RandomSystemConfig{DeadlineEvery: 4})
+	tab := BuildTDTable(sys)
+	if _, err := BuildRelaxTables(tab, nil); err == nil {
+		t.Error("empty rho accepted")
+	}
+	if _, err := BuildRelaxTables(tab, []int{2, 5}); err == nil {
+		t.Error("rho without 1 accepted")
+	}
+	if _, err := BuildRelaxTables(tab, []int{1, 0}); err == nil {
+		t.Error("non-positive step accepted")
+	}
+	rt, err := BuildRelaxTables(tab, []int{5, 1, 5, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Rho(); len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("rho = %v, want [1 3 5]", got)
+	}
+}
+
+func TestRelaxTablesEntryCountMatchesPaper(t *testing.T) {
+	// §4.1: 2·|A|·|Q|·|ρ| = 2·1189·7·6 = 99,876 integers.
+	sys := randSys(2, core.RandomSystemConfig{Actions: 1189, Levels: 7})
+	rt := MustBuildRelaxTables(BuildTDTable(sys), []int{1, 10, 20, 30, 40, 50})
+	if got := rt.NumEntries(); got != 99876 {
+		t.Fatalf("entries = %d, want 99876", got)
+	}
+	if rt.MemoryBytes() != 99876*8 {
+		t.Fatalf("memory = %d", rt.MemoryBytes())
+	}
+}
+
+func TestRelaxUpperMatchesDefinition(t *testing.T) {
+	// upper[q][r][i] must equal the Proposition 3 formula evaluated
+	// directly: min over j ∈ [i, i+r-1] of tD(s_j, q) − Cwc(a_i..a_{j-1}, q).
+	for seed := int64(0); seed < 20; seed++ {
+		sys := randSys(seed, core.RandomSystemConfig{Actions: 25, DeadlineEvery: 7})
+		tab := BuildTDTable(sys)
+		rho := []int{1, 2, 3, 5, 8}
+		rt := MustBuildRelaxTables(tab, rho)
+		n := sys.NumActions()
+		for q := core.Level(0); q <= sys.QMax(); q++ {
+			for ri, r := range rho {
+				for i := 0; i+r <= n; i++ {
+					want := core.TimeInf
+					for j := i; j <= i+r-1; j++ {
+						v := tab.TD(j, q)
+						if !v.IsInf() {
+							v -= sys.WCRange(i, j-1, q)
+						}
+						want = core.MinTime(want, v)
+					}
+					_, hi := rt.Interval(i, q, ri)
+					if hi != want {
+						t.Fatalf("seed %d: upper[%v][r=%d][%d] = %v, want %v", seed, q, r, i, hi, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRelaxLowerMatchesDefinition(t *testing.T) {
+	sys := randSys(30, core.RandomSystemConfig{Actions: 25, DeadlineEvery: 6})
+	tab := BuildTDTable(sys)
+	rho := []int{1, 4, 7}
+	rt := MustBuildRelaxTables(tab, rho)
+	n := sys.NumActions()
+	for q := core.Level(0); q <= sys.QMax(); q++ {
+		for ri, r := range rho {
+			for i := 0; i+r <= n; i++ {
+				lo, _ := rt.Interval(i, q, ri)
+				if q == sys.QMax() {
+					if lo != core.TimeNegInf {
+						t.Fatalf("qmax lower bound = %v, want -inf", lo)
+					}
+				} else if lo != tab.TD(i+r-1, q+1) {
+					t.Fatalf("lower[%v][r=%d][%d] = %v, want tD(s_%d, q+1) = %v",
+						q, r, i, lo, i+r-1, tab.TD(i+r-1, q+1))
+				}
+			}
+		}
+	}
+}
+
+func TestRelaxRegionsNested(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		sys := randSys(seed, core.RandomSystemConfig{Actions: 30, DeadlineEvery: 5})
+		rt := MustBuildRelaxTables(BuildTDTable(sys), []int{1, 2, 4, 8})
+		if err := rt.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestRelaxRegionEmptyNearCycleEnd(t *testing.T) {
+	sys := randSys(8, core.RandomSystemConfig{Actions: 10, DeadlineEvery: 3})
+	rt := MustBuildRelaxTables(BuildTDTable(sys), []int{1, 4})
+	n := sys.NumActions()
+	for i := n - 3; i < n; i++ {
+		// r = 4 does not fit after state n−4.
+		if rt.InRegion(i, 0, 0, 1) || rt.InRegion(i, core.Time(1), sys.QMax(), 1) {
+			t.Fatalf("state %d admitted 4-step relaxation in a %d-action cycle", i, n)
+		}
+	}
+}
+
+// TestProposition3Conservative is the heart of the relaxation soundness
+// claim: whenever (s_i, t) ∈ R^r_q, running the next r actions at quality
+// q with ANY execution-time draw bounded by Cwc keeps every intermediate
+// state inside R_q — i.e. the numeric manager would have chosen q at each
+// of the skipped states.
+func TestProposition3Conservative(t *testing.T) {
+	rho := []int{1, 2, 3, 5, 8, 13}
+	for seed := int64(0); seed < 30; seed++ {
+		sys := randSys(seed, core.RandomSystemConfig{Actions: 26, DeadlineEvery: 9})
+		tab := BuildTDTable(sys)
+		rt := MustBuildRelaxTables(tab, rho)
+		num := core.NewNumericManager(sys)
+		rng := rand.New(rand.NewSource(seed + 1000))
+		n := sys.NumActions()
+
+		for trial := 0; trial < 120; trial++ {
+			i := rng.Intn(n)
+			// Sample a time inside the chosen quality's region.
+			maxT := tab.TD(i, 0)
+			if maxT.IsInf() {
+				maxT = sys.LastDeadline()
+			}
+			if maxT <= 0 {
+				continue
+			}
+			tm := core.Time(rng.Int63n(int64(maxT)))
+			q, _ := tab.Choose(i, tm)
+			r, _ := rt.Steps(i, tm, q)
+			if r == 1 {
+				continue
+			}
+			// Re-execute the r relaxed steps with three adversarial
+			// draws: all-zero, all-worst-case, and random ≤ Cwc.
+			for mode := 0; mode < 3; mode++ {
+				cur := tm
+				for j := i; j < i+r; j++ {
+					if d := num.Decide(j, cur); d.Q != q {
+						t.Fatalf("seed %d: relaxation unsound: at (s_%d, %v) granted r=%d q=%v, but numeric picks %v at s_%d",
+							seed, i, tm, r, q, d.Q, j)
+					}
+					var c core.Time
+					switch mode {
+					case 0:
+						c = 0
+					case 1:
+						c = sys.WC(j, q)
+					default:
+						c = core.Time(rng.Int63n(int64(sys.WC(j, q)) + 1))
+					}
+					cur += c
+				}
+			}
+		}
+	}
+}
+
+func TestStepsAlwaysAtLeastOne(t *testing.T) {
+	sys := randSys(77, core.RandomSystemConfig{Actions: 20, DeadlineEvery: 4})
+	tab := BuildTDTable(sys)
+	rt := MustBuildRelaxTables(tab, []int{1, 5, 9})
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 300; trial++ {
+		i := rng.Intn(sys.NumActions())
+		tm := core.Time(rng.Int63n(int64(2 * core.MaxTime(sys.LastDeadline(), 1))))
+		q, _ := tab.Choose(i, tm)
+		r, work := rt.Steps(i, tm, q)
+		if r < 1 || work < 1 {
+			t.Fatalf("Steps returned r=%d work=%d", r, work)
+		}
+		if i+r > sys.NumActions() {
+			t.Fatalf("granted %d steps at state %d of %d", r, i, sys.NumActions())
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package regions
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// tdTableJSON is the wire form of a TDTable. Only the table payload is
+// serialised; the system must be supplied again at load time (tables are
+// platform- and deadline-specific, and the system is the authority on
+// dimensions).
+type tdTableJSON struct {
+	Actions int       `json:"actions"`
+	Levels  int       `json:"levels"`
+	TD      [][]int64 `json:"td"` // [level][state]
+}
+
+// WriteTo serialises the table as JSON.
+func (t *TDTable) WriteTo(w io.Writer) (int64, error) {
+	j := tdTableJSON{
+		Actions: t.sys.NumActions(),
+		Levels:  t.sys.NumLevels(),
+		TD:      make([][]int64, len(t.td)),
+	}
+	for q, col := range t.td {
+		row := make([]int64, len(col))
+		for i, v := range col {
+			row[i] = int64(v)
+		}
+		j.TD[q] = row
+	}
+	cw := &countWriter{w: w}
+	err := json.NewEncoder(cw).Encode(j)
+	return cw.n, err
+}
+
+// LoadTDTable deserialises a table previously written with WriteTo and
+// re-binds it to sys, verifying the dimensions match.
+func LoadTDTable(r io.Reader, sys *core.System) (*TDTable, error) {
+	var j tdTableJSON
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("regions: decode tD table: %w", err)
+	}
+	if j.Actions != sys.NumActions() || j.Levels != sys.NumLevels() {
+		return nil, fmt.Errorf("regions: table is %d×%d, system is %d×%d",
+			j.Actions, j.Levels, sys.NumActions(), sys.NumLevels())
+	}
+	t := &TDTable{sys: sys, td: make([][]core.Time, j.Levels)}
+	for q, row := range j.TD {
+		if len(row) != j.Actions+1 {
+			return nil, fmt.Errorf("regions: level %d has %d entries, want %d", q, len(row), j.Actions+1)
+		}
+		col := make([]core.Time, len(row))
+		for i, v := range row {
+			col[i] = core.Time(v)
+		}
+		t.td[q] = col
+	}
+	return t, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// relaxTablesJSON is the wire form of a RelaxTables. Like the tD table,
+// only the payload travels; the tD table (and through it the system) is
+// re-supplied at load time.
+type relaxTablesJSON struct {
+	Actions int         `json:"actions"`
+	Levels  int         `json:"levels"`
+	Rho     []int       `json:"rho"`
+	Upper   [][][]int64 `json:"upper"` // [level][rhoIdx][state]
+	Lower   [][][]int64 `json:"lower"`
+}
+
+// WriteTo serialises the relaxation tables as JSON.
+func (rt *RelaxTables) WriteTo(w io.Writer) (int64, error) {
+	sys := rt.td.sys
+	j := relaxTablesJSON{
+		Actions: sys.NumActions(),
+		Levels:  sys.NumLevels(),
+		Rho:     rt.rho,
+		Upper:   encode3(rt.upper),
+		Lower:   encode3(rt.lower),
+	}
+	cw := &countWriter{w: w}
+	err := json.NewEncoder(cw).Encode(j)
+	return cw.n, err
+}
+
+// LoadRelaxTables deserialises relaxation tables written with WriteTo and
+// re-binds them to td, verifying dimensions.
+func LoadRelaxTables(r io.Reader, td *TDTable) (*RelaxTables, error) {
+	var j relaxTablesJSON
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("regions: decode relax tables: %w", err)
+	}
+	sys := td.sys
+	if j.Actions != sys.NumActions() || j.Levels != sys.NumLevels() {
+		return nil, fmt.Errorf("regions: tables are %d×%d, system is %d×%d",
+			j.Actions, j.Levels, sys.NumActions(), sys.NumLevels())
+	}
+	upper, err := decode3(j.Upper, j.Levels, len(j.Rho), j.Actions)
+	if err != nil {
+		return nil, err
+	}
+	lower, err := decode3(j.Lower, j.Levels, len(j.Rho), j.Actions)
+	if err != nil {
+		return nil, err
+	}
+	return &RelaxTables{td: td, rho: j.Rho, upper: upper, lower: lower}, nil
+}
+
+func encode3(t [][][]core.Time) [][][]int64 {
+	out := make([][][]int64, len(t))
+	for q := range t {
+		out[q] = make([][]int64, len(t[q]))
+		for ri := range t[q] {
+			row := make([]int64, len(t[q][ri]))
+			for i, v := range t[q][ri] {
+				row[i] = int64(v)
+			}
+			out[q][ri] = row
+		}
+	}
+	return out
+}
+
+func decode3(t [][][]int64, nq, nrho, n int) ([][][]core.Time, error) {
+	if len(t) != nq {
+		return nil, fmt.Errorf("regions: %d levels in payload, want %d", len(t), nq)
+	}
+	out := make([][][]core.Time, nq)
+	for q := range t {
+		if len(t[q]) != nrho {
+			return nil, fmt.Errorf("regions: level %d has %d rho rows, want %d", q, len(t[q]), nrho)
+		}
+		out[q] = make([][]core.Time, nrho)
+		for ri := range t[q] {
+			if len(t[q][ri]) != n {
+				return nil, fmt.Errorf("regions: level %d rho %d has %d states, want %d", q, ri, len(t[q][ri]), n)
+			}
+			row := make([]core.Time, n)
+			for i, v := range t[q][ri] {
+				row[i] = core.Time(v)
+			}
+			out[q][ri] = row
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package regions
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRelaxTablesSerialisationRoundTrip(t *testing.T) {
+	sys := randSys(40, core.RandomSystemConfig{Actions: 22, DeadlineEvery: 6})
+	tab := BuildTDTable(sys)
+	rt := MustBuildRelaxTables(tab, []int{1, 3, 7})
+	var buf bytes.Buffer
+	n, err := rt.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	loaded, err := LoadRelaxTables(&buf, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Rho(); len(got) != 3 || got[2] != 7 {
+		t.Fatalf("rho = %v", got)
+	}
+	for q := core.Level(0); q <= sys.QMax(); q++ {
+		for ri := range rt.Rho() {
+			for i := 0; i < sys.NumActions(); i++ {
+				lo1, hi1 := rt.Interval(i, q, ri)
+				lo2, hi2 := loaded.Interval(i, q, ri)
+				if lo1 != lo2 || hi1 != hi2 {
+					t.Fatalf("interval mismatch at q=%v ri=%d i=%d", q, ri, i)
+				}
+			}
+		}
+	}
+	// The loaded tables must drive a manager identically.
+	m1 := NewRelaxedManager(rt)
+	m2 := NewRelaxedManager(loaded)
+	for i := 0; i < sys.NumActions(); i++ {
+		d1 := m1.Decide(i, 3*core.Microsecond)
+		d2 := m2.Decide(i, 3*core.Microsecond)
+		if d1 != d2 {
+			t.Fatalf("decisions diverge at %d: %+v vs %+v", i, d1, d2)
+		}
+	}
+}
+
+func TestLoadRelaxTablesRejectsMismatch(t *testing.T) {
+	sys := randSys(41, core.RandomSystemConfig{Actions: 22, DeadlineEvery: 6})
+	other := randSys(42, core.RandomSystemConfig{Actions: 10, DeadlineEvery: 4})
+	tab := BuildTDTable(sys)
+	rt := MustBuildRelaxTables(tab, []int{1, 2})
+	var buf bytes.Buffer
+	if _, err := rt.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRelaxTables(bytes.NewReader(buf.Bytes()), BuildTDTable(other)); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := LoadRelaxTables(strings.NewReader("{"), tab); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	// Corrupt payload shape: right dims, wrong row length.
+	mangled := strings.Replace(buf.String(), `"rho":[1,2]`, `"rho":[1,2,3]`, 1)
+	if _, err := LoadRelaxTables(strings.NewReader(mangled), tab); err == nil {
+		t.Fatal("inconsistent rho accepted")
+	}
+}

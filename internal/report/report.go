@@ -1,0 +1,191 @@
+// Package report builds the reproduction's tables and figures as data
+// (plot.Chart values and formatted text), so that the artefact generation
+// is unit-testable and cmd/figures stays a thin I/O shell.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/plot"
+	"repro/internal/sim"
+	"repro/internal/speed"
+)
+
+// Traces runs the three §4.1 managers over the setup and returns their
+// traces keyed by manager name.
+func Traces(s *experiment.Setup) map[string]*sim.Trace {
+	out := make(map[string]*sim.Trace, 3)
+	for _, m := range s.Managers() {
+		out[m.Name()] = s.Run(m)
+	}
+	return out
+}
+
+// ManagerOrder is the paper's presentation order.
+var ManagerOrder = []string{"numeric", "symbolic", "relaxed"}
+
+// OverheadTable formats the §4.2 overhead comparison.
+func OverheadTable(traces map[string]*sim.Trace) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "== §4.2 execution-time overhead of quality management ==")
+	fmt.Fprintf(&b, "%-10s %12s %12s %10s %10s %8s\n",
+		"manager", "overhead %", "avg quality", "decisions", "mean r", "misses")
+	for _, name := range ManagerOrder {
+		sum := metrics.Summarize(traces[name])
+		fmt.Fprintf(&b, "%-10s %11.2f%% %12.3f %10d %10.1f %8d\n",
+			name, 100*sum.OverheadFraction, sum.AvgQuality, sum.Decisions, sum.MeanRelaxSteps, sum.Misses)
+	}
+	fmt.Fprintf(&b, "paper:     numeric 5.7%%, symbolic 1.9%%, relaxed <1.1%%\n")
+	return b.String()
+}
+
+// MemoryTable formats the §4.1 table-size accounting.
+func MemoryTable(s *experiment.Setup) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "== §4.1 symbolic table sizes ==")
+	fmt.Fprintf(&b, "quality regions:    %6d integers (paper: 8,323), %7d bytes resident\n",
+		s.Tab.NumEntries(), s.Tab.MemoryBytes())
+	fmt.Fprintf(&b, "relaxation regions: %6d integers (paper: 99,876), %7d bytes resident\n",
+		s.Relax.NumEntries(), s.Relax.MemoryBytes())
+	return b.String()
+}
+
+// Fig7 builds the average-quality-per-frame chart.
+func Fig7(traces map[string]*sim.Trace) *plot.Chart {
+	chart := &plot.Chart{
+		Title:  "Fig. 7 — average quality level per frame",
+		XLabel: "frame number",
+		YLabel: "average quality level",
+	}
+	for _, name := range []string{"relaxed", "symbolic", "numeric"} {
+		avg := metrics.AvgQualityPerCycle(traces[name])
+		ser := plot.Series{Name: name}
+		for c, v := range avg {
+			ser.X = append(ser.X, float64(c))
+			ser.Y = append(ser.Y, v)
+		}
+		chart.Series = append(chart.Series, ser)
+	}
+	return chart
+}
+
+// Fig8 builds the per-action overhead chart over the paper's a200–a700
+// window, for the symbolic manager with and without relaxation, plus the
+// band listing.
+func Fig8(s *experiment.Setup) (*plot.Chart, []metrics.Band) {
+	symTr := s.RunCycles(s.Symbolic(), 1)
+	relTr := s.RunCycles(s.Relaxed(), 1)
+	chart := &plot.Chart{
+		Title:  "Fig. 8 — overhead in execution time (one frame)",
+		XLabel: "action number",
+		YLabel: "overhead (ms)",
+	}
+	for _, v := range []struct {
+		name string
+		tr   *sim.Trace
+	}{
+		// No-relaxation first so sparse relaxation spikes stay visible
+		// on the ASCII grid.
+		{"symbolic -- no control relaxation", symTr},
+		{"symbolic -- control relaxation", relTr},
+	} {
+		pts := metrics.OverheadSeries(v.tr, 0, experiment.Fig8From, experiment.Fig8To)
+		ser := plot.Series{Name: v.name}
+		for _, p := range pts {
+			ser.X = append(ser.X, float64(p.Index))
+			ser.Y = append(ser.Y, p.Overhead.Millis())
+		}
+		chart.Series = append(chart.Series, ser)
+	}
+	return chart, metrics.Bands(relTr, 0)
+}
+
+// BandsText formats the Fig. 8 relaxation bands.
+func BandsText(bands []metrics.Band) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "== Fig. 8 adaptive relaxation bands (full frame) ==")
+	for _, bd := range bands {
+		fmt.Fprintf(&b, "  r = %-3d from a%d to a%d\n", bd.Steps, bd.From, bd.To)
+	}
+	fmt.Fprintf(&b, "paper: r = 40 (a200–a421), r = 1 (a422–a564), r = 10 (a565–a700)\n")
+	return b.String()
+}
+
+// Fig3 builds the speed-diagram trajectory chart of one controlled frame.
+func Fig3(s *experiment.Setup, refQ core.Level) (*plot.Chart, error) {
+	d, err := speed.NewFinalDiagram(s.Sys)
+	if err != nil {
+		return nil, err
+	}
+	tr := s.RunCycles(s.Relaxed(), 1)
+	traj := plot.Series{Name: "controlled trajectory"}
+	for _, r := range tr.Records {
+		if r.Index%25 != 0 {
+			continue
+		}
+		traj.X = append(traj.X, r.RelStart(s.Period).Millis())
+		traj.Y = append(traj.Y, d.VirtualTime(r.Index, refQ)/float64(core.Millisecond))
+	}
+	ideal := plot.Series{Name: "ideal (45°)"}
+	D := d.Deadline().Millis()
+	for f := 0.0; f <= 1.0; f += 0.05 {
+		ideal.X = append(ideal.X, f*D)
+		ideal.Y = append(ideal.Y, f*D)
+	}
+	return &plot.Chart{
+		Title:  "Fig. 3 — speed diagram (one controlled frame)",
+		XLabel: "actual time (ms)",
+		YLabel: "virtual time (ms)",
+		Series: []plot.Series{traj, ideal},
+	}, nil
+}
+
+// Fig4 builds the quality-region border chart: tD(s_i, q) over the state
+// index for every level.
+func Fig4(s *experiment.Setup) *plot.Chart {
+	chart := &plot.Chart{
+		Title:  "Fig. 4 — quality region borders tD(s_i, q)",
+		XLabel: "state index i",
+		YLabel: "tD (ms)",
+	}
+	for q := core.Level(0); q <= s.Sys.QMax(); q++ {
+		ser := plot.Series{Name: q.String()}
+		for i := 0; i < s.Sys.NumActions(); i += 10 {
+			td := s.Tab.TD(i, q)
+			if td.IsInf() {
+				continue
+			}
+			ser.X = append(ser.X, float64(i))
+			ser.Y = append(ser.Y, td.Millis())
+		}
+		chart.Series = append(chart.Series, ser)
+	}
+	return chart
+}
+
+// Fig6 builds the relaxation-border chart for one level: tD,r(s_i, q)
+// for each r ∈ ρ.
+func Fig6(s *experiment.Setup, q core.Level) *plot.Chart {
+	chart := &plot.Chart{
+		Title:  fmt.Sprintf("Fig. 6 — relaxation region borders tD,r(s_i, %v)", q),
+		XLabel: "state index i",
+		YLabel: "upper border (ms)",
+	}
+	for ri, r := range s.Relax.Rho() {
+		ser := plot.Series{Name: fmt.Sprintf("r=%d", r)}
+		for i := 0; i+r <= s.Sys.NumActions(); i += 10 {
+			_, hi := s.Relax.Interval(i, q, ri)
+			if hi.IsInf() || hi <= core.TimeNegInf {
+				continue
+			}
+			ser.X = append(ser.X, float64(i))
+			ser.Y = append(ser.Y, hi.Millis())
+		}
+		chart.Series = append(chart.Series, ser)
+	}
+	return chart
+}

@@ -1,0 +1,118 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// setup is shared across tests (building it once keeps the suite fast).
+var shared = experiment.Paper(1)
+var sharedTraces = Traces(shared)
+
+func TestOverheadTableContents(t *testing.T) {
+	out := OverheadTable(sharedTraces)
+	for _, want := range []string{"numeric", "symbolic", "relaxed", "overhead %", "paper:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("overhead table missing %q:\n%s", want, out)
+		}
+	}
+	// The three data rows must appear in paper order.
+	iN := strings.Index(out, "numeric")
+	iS := strings.Index(out, "symbolic")
+	iR := strings.Index(out, "relaxed")
+	if !(iN < iS && iS < iR) {
+		t.Fatal("manager rows out of order")
+	}
+}
+
+func TestMemoryTableContents(t *testing.T) {
+	out := MemoryTable(shared)
+	if !strings.Contains(out, "8323 integers") || !strings.Contains(out, "99876 integers") {
+		t.Fatalf("memory table missing paper counts:\n%s", out)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	chart := Fig7(sharedTraces)
+	if len(chart.Series) != 3 {
+		t.Fatalf("fig7 series count %d", len(chart.Series))
+	}
+	for _, s := range chart.Series {
+		if len(s.X) != shared.Cycles {
+			t.Fatalf("series %q has %d points, want %d", s.Name, len(s.X), shared.Cycles)
+		}
+		for _, y := range s.Y {
+			if y < 0 || y > 6 {
+				t.Fatalf("series %q quality %v out of range", s.Name, y)
+			}
+		}
+	}
+}
+
+func TestFig8ShapeAndBands(t *testing.T) {
+	chart, bands := Fig8(shared)
+	if len(chart.Series) != 2 {
+		t.Fatalf("fig8 series count %d", len(chart.Series))
+	}
+	want := experiment.Fig8To - experiment.Fig8From + 1
+	for _, s := range chart.Series {
+		if len(s.X) != want {
+			t.Fatalf("series %q has %d points, want %d", s.Name, len(s.X), want)
+		}
+	}
+	if len(bands) < 4 {
+		t.Fatalf("only %d bands", len(bands))
+	}
+	txt := BandsText(bands)
+	if !strings.Contains(txt, "r = ") || !strings.Contains(txt, "paper:") {
+		t.Fatalf("bands text malformed:\n%s", txt)
+	}
+}
+
+func TestFig3Builds(t *testing.T) {
+	chart, err := Fig3(shared, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chart.Series) != 2 {
+		t.Fatalf("fig3 series count %d", len(chart.Series))
+	}
+	// The ideal line runs corner to corner.
+	ideal := chart.Series[1]
+	if ideal.Y[0] != 0 || ideal.X[0] != 0 {
+		t.Fatal("ideal line must start at the origin")
+	}
+}
+
+func TestFig4MonotoneBorders(t *testing.T) {
+	chart := Fig4(shared)
+	if len(chart.Series) != 7 {
+		t.Fatalf("fig4 series count %d", len(chart.Series))
+	}
+	for _, s := range chart.Series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1] {
+				t.Fatalf("series %q not non-decreasing at %d", s.Name, i)
+			}
+		}
+	}
+}
+
+func TestFig6NestedBorders(t *testing.T) {
+	chart := Fig6(shared, 4)
+	if len(chart.Series) != len(experiment.PaperRho) {
+		t.Fatalf("fig6 series count %d", len(chart.Series))
+	}
+	// r = 1 border (first series) dominates every larger-r border at
+	// shared x positions.
+	base := chart.Series[0]
+	for _, s := range chart.Series[1:] {
+		for j := range s.X {
+			if j < len(base.Y) && s.X[j] == base.X[j] && s.Y[j] > base.Y[j]+1e-9 {
+				t.Fatalf("series %q exceeds the r=1 border at x=%v", s.Name, s.X[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package sched is the Scheduler half of the paper's Controller
+// (Controller = Scheduler + Quality Manager, §1). The paper's
+// formalisation assumes the application software "is already scheduled"
+// into a sequence of actions; this package produces that sequence from a
+// cyclic task graph: nodes are C-function-like blocks with per-level
+// timing, precedence edges, and repeat counts (e.g. a per-macroblock
+// pipeline stage repeats 396 times).
+//
+// Scheduling is deterministic list scheduling: Kahn's algorithm with a
+// (instance, declaration-order) priority, which interleaves repeated
+// pipeline stages per instance — applied to the encoder graph it emits
+// exactly the paper's setup, (me, tq, vlc)×396 order.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Node is one block of the application.
+type Node struct {
+	// Name must be unique within the graph.
+	Name string
+	// Av and WC are the per-level timing rows of ONE instance.
+	Av, WC []core.Time
+	// After lists names of nodes that must precede this one. If both
+	// nodes repeat the same number of times, precedence is per
+	// instance (pipeline); if the predecessor is scalar (Repeat ≤ 1),
+	// it precedes every instance.
+	After []string
+	// Repeat is the number of instances per cycle (default 1).
+	Repeat int
+	// Deadline, if positive, applies to the completion of the node's
+	// last instance, relative to cycle start.
+	Deadline core.Time
+}
+
+// Graph is a cyclic application to schedule.
+type Graph struct {
+	Levels int
+	Nodes  []Node
+}
+
+// item is one expanded instance in the ready heap.
+type item struct {
+	decl     int // declaration index (priority tiebreak)
+	instance int
+	vertex   int
+}
+
+type readyHeap []item
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].instance != h[j].instance {
+		return h[i].instance < h[j].instance
+	}
+	return h[i].decl < h[j].decl
+}
+func (h readyHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)        { *h = append(*h, x.(item)) }
+func (h *readyHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h readyHeap) Peek() item         { return h[0] }
+func (h readyHeap) Empty() bool        { return len(h) == 0 }
+func (h *readyHeap) PushItem(it item)  { heap.Push(h, it) }
+func (h *readyHeap) PopItem() (i item) { return heap.Pop(h).(item) }
+
+// Schedule expands the graph into the scheduled action sequence and
+// assembles the parameterized system. It fails on duplicate or unknown
+// names, timing-row mismatches, precedence cycles, or a schedule that
+// violates Definition 1 / feasibility.
+func (g *Graph) Schedule() (*core.System, error) {
+	if g.Levels < 2 {
+		return nil, fmt.Errorf("sched: need ≥2 levels, got %d", g.Levels)
+	}
+	if len(g.Nodes) == 0 {
+		return nil, fmt.Errorf("sched: empty graph")
+	}
+	byName := map[string]int{}
+	for i, nd := range g.Nodes {
+		if nd.Name == "" {
+			return nil, fmt.Errorf("sched: node %d has no name", i)
+		}
+		if _, dup := byName[nd.Name]; dup {
+			return nil, fmt.Errorf("sched: duplicate node %q", nd.Name)
+		}
+		if len(nd.Av) != g.Levels || len(nd.WC) != g.Levels {
+			return nil, fmt.Errorf("sched: node %q timing rows must have %d entries", nd.Name, g.Levels)
+		}
+		byName[nd.Name] = i
+	}
+
+	// Expand instances into vertices.
+	type vertex struct {
+		decl, instance int
+	}
+	var verts []vertex
+	firstVert := make([]int, len(g.Nodes)) // first vertex index per node
+	repeat := func(i int) int {
+		if g.Nodes[i].Repeat <= 1 {
+			return 1
+		}
+		return g.Nodes[i].Repeat
+	}
+	for i := range g.Nodes {
+		firstVert[i] = len(verts)
+		for k := 0; k < repeat(i); k++ {
+			verts = append(verts, vertex{decl: i, instance: k})
+		}
+	}
+
+	// Build edges and in-degrees.
+	succ := make([][]int, len(verts))
+	indeg := make([]int, len(verts))
+	addEdge := func(from, to int) {
+		succ[from] = append(succ[from], to)
+		indeg[to]++
+	}
+	for i, nd := range g.Nodes {
+		for _, depName := range nd.After {
+			j, ok := byName[depName]
+			if !ok {
+				return nil, fmt.Errorf("sched: node %q depends on unknown %q", nd.Name, depName)
+			}
+			switch {
+			case repeat(j) == repeat(i):
+				for k := 0; k < repeat(i); k++ {
+					addEdge(firstVert[j]+k, firstVert[i]+k)
+				}
+			case repeat(j) == 1:
+				for k := 0; k < repeat(i); k++ {
+					addEdge(firstVert[j], firstVert[i]+k)
+				}
+			case repeat(i) == 1:
+				for k := 0; k < repeat(j); k++ {
+					addEdge(firstVert[j]+k, firstVert[i])
+				}
+			default:
+				return nil, fmt.Errorf("sched: %q (×%d) and %q (×%d): mismatched repeat counts need a scalar side",
+					depName, repeat(j), nd.Name, repeat(i))
+			}
+		}
+	}
+
+	// Kahn's algorithm with (instance, declaration) priority.
+	var ready readyHeap
+	for v, d := range indeg {
+		if d == 0 {
+			ready.PushItem(item{decl: verts[v].decl, instance: verts[v].instance, vertex: v})
+		}
+	}
+	order := make([]int, 0, len(verts))
+	for !ready.Empty() {
+		it := ready.PopItem()
+		order = append(order, it.vertex)
+		for _, s := range succ[it.vertex] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready.PushItem(item{decl: verts[s].decl, instance: verts[s].instance, vertex: s})
+			}
+		}
+	}
+	if len(order) != len(verts) {
+		return nil, fmt.Errorf("sched: precedence cycle (%d of %d vertices scheduled)", len(order), len(verts))
+	}
+
+	// Assemble the system: deadlines attach to each node's last
+	// scheduled instance.
+	lastPos := make([]int, len(g.Nodes))
+	for i := range lastPos {
+		lastPos[i] = -1
+	}
+	tt := core.NewTimingTable(len(order), g.Levels)
+	actions := make([]core.Action, len(order))
+	for pos, v := range order {
+		nd := g.Nodes[verts[v].decl]
+		for q := 0; q < g.Levels; q++ {
+			tt.Set(pos, core.Level(q), nd.Av[q], nd.WC[q])
+		}
+		actions[pos] = core.Action{
+			Name:     fmt.Sprintf("%s[%d]", nd.Name, verts[v].instance),
+			Deadline: core.TimeInf,
+		}
+		lastPos[verts[v].decl] = pos
+	}
+	for i, nd := range g.Nodes {
+		if nd.Deadline > 0 {
+			actions[lastPos[i]].Deadline = nd.Deadline
+		}
+	}
+	sys, err := core.NewSystem(actions, tt)
+	if err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	if err := sys.Feasible(); err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	return sys, nil
+}

@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/encoder"
+)
+
+func row(base, slope int64, levels int) ([]core.Time, []core.Time) {
+	av := make([]core.Time, levels)
+	wc := make([]core.Time, levels)
+	for q := 0; q < levels; q++ {
+		av[q] = core.Time(base+slope*int64(q)) * core.Microsecond
+		wc[q] = av[q] * 8 / 5
+	}
+	return av, wc
+}
+
+// encoderGraph reproduces the paper's encoder schedule as a task graph.
+func encoderGraph(mbs int, deadline core.Time) *Graph {
+	const levels = 7
+	setupAv, setupWC := row(30000, 0, levels)
+	meAv, meWC := row(400, 150, levels)
+	tqAv, tqWC := row(500, 80, levels)
+	vlAv, vlWC := row(300, 70, levels)
+	return &Graph{
+		Levels: levels,
+		Nodes: []Node{
+			{Name: "setup", Av: setupAv, WC: setupWC},
+			{Name: "me", Av: meAv, WC: meWC, After: []string{"setup"}, Repeat: mbs},
+			{Name: "tq", Av: tqAv, WC: tqWC, After: []string{"me"}, Repeat: mbs},
+			{Name: "vlc", Av: vlAv, WC: vlWC, After: []string{"tq"}, Repeat: mbs, Deadline: deadline},
+		},
+	}
+}
+
+func TestScheduleEncoderGraphMatchesPaperLayout(t *testing.T) {
+	sys, err := encoderGraph(396, core.Second+34*core.Millisecond).Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumActions() != 1189 {
+		t.Fatalf("scheduled %d actions, want 1189", sys.NumActions())
+	}
+	// The list order must match the encoder package's action classes:
+	// setup, then (me, tq, vlc) per macroblock.
+	for i := 0; i < sys.NumActions(); i++ {
+		wantClass := encoder.ActionClass(i)
+		name := sys.Action(i).Name
+		if !strings.HasPrefix(name, wantClass+"[") {
+			t.Fatalf("action %d = %q, want class %q", i, name, wantClass)
+		}
+	}
+	// Deadline on the last vlc instance only.
+	for i := 0; i < sys.NumActions()-1; i++ {
+		if sys.Action(i).HasDeadline() {
+			t.Fatalf("interior action %d has a deadline", i)
+		}
+	}
+	if !sys.Action(1188).HasDeadline() {
+		t.Fatal("final action lacks the deadline")
+	}
+}
+
+func TestScheduleInterleavesPipelines(t *testing.T) {
+	// me[k] must appear before tq[k], tq[k] before vlc[k], and the
+	// instances must interleave (me[1] after vlc[0]) — the pipeline
+	// order the priority (instance, decl) produces.
+	sys, err := encoderGraph(3, 200*core.Millisecond).Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for i := 0; i < sys.NumActions(); i++ {
+		names = append(names, sys.Action(i).Name)
+	}
+	want := []string{"setup[0]", "me[0]", "tq[0]", "vlc[0]", "me[1]", "tq[1]", "vlc[1]", "me[2]", "tq[2]", "vlc[2]"}
+	for i, w := range want {
+		if names[i] != w {
+			t.Fatalf("position %d = %q, want %q (full: %v)", i, names[i], w, names)
+		}
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	levels := 3
+	av, wc := row(10, 5, levels)
+	mk := func(mutate func(*Graph)) error {
+		g := &Graph{Levels: levels, Nodes: []Node{
+			{Name: "a", Av: av, WC: wc, Deadline: core.Second},
+			{Name: "b", Av: av, WC: wc, After: []string{"a"}},
+		}}
+		mutate(g)
+		_, err := g.Schedule()
+		return err
+	}
+	if err := mk(func(g *Graph) {}); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	if mk(func(g *Graph) { g.Levels = 1 }) == nil {
+		t.Error("one level accepted")
+	}
+	if mk(func(g *Graph) { g.Nodes = nil }) == nil {
+		t.Error("empty graph accepted")
+	}
+	if mk(func(g *Graph) { g.Nodes[1].Name = "a" }) == nil {
+		t.Error("duplicate name accepted")
+	}
+	if mk(func(g *Graph) { g.Nodes[1].After = []string{"zzz"} }) == nil {
+		t.Error("unknown dependency accepted")
+	}
+	if mk(func(g *Graph) { g.Nodes[0].Av = g.Nodes[0].Av[:1] }) == nil {
+		t.Error("short timing row accepted")
+	}
+	if mk(func(g *Graph) { g.Nodes[0].After = []string{"b"} }) == nil {
+		t.Error("cycle accepted")
+	}
+	if mk(func(g *Graph) { g.Nodes[0].Deadline = 0 }) == nil {
+		t.Error("deadline-free schedule accepted")
+	}
+	if mk(func(g *Graph) { g.Nodes[0].Deadline = core.Nanosecond }) == nil {
+		t.Error("infeasible deadline accepted")
+	}
+	if mk(func(g *Graph) { g.Nodes[0].Repeat = 2; g.Nodes[1].Repeat = 3 }) == nil {
+		t.Error("mismatched repeats accepted")
+	}
+}
+
+func TestScheduleScalarFanOutAndIn(t *testing.T) {
+	levels := 2
+	av, wc := row(10, 0, levels)
+	g := &Graph{Levels: levels, Nodes: []Node{
+		{Name: "src", Av: av, WC: wc},
+		{Name: "work", Av: av, WC: wc, After: []string{"src"}, Repeat: 4},
+		{Name: "sink", Av: av, WC: wc, After: []string{"work"}, Deadline: core.Second},
+	}}
+	sys, err := g.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumActions() != 6 {
+		t.Fatalf("scheduled %d actions, want 6", sys.NumActions())
+	}
+	if sys.Action(0).Name != "src[0]" || sys.Action(5).Name != "sink[0]" {
+		t.Fatalf("fan pattern wrong: %q ... %q", sys.Action(0).Name, sys.Action(5).Name)
+	}
+}
+
+func TestScheduledSystemIsControllable(t *testing.T) {
+	// The scheduler's output feeds the usual pipeline end to end.
+	sys, err := encoderGraph(12, 100*core.Millisecond).Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewNumericManager(sys)
+	d := m.Decide(0, 0)
+	if d.Q < 0 || d.Q > sys.QMax() {
+		t.Fatalf("manager on scheduled system: %+v", d)
+	}
+}

@@ -1,0 +1,115 @@
+// Package sim is the platform substrate standing in for the paper's bare
+// Apple iPod Video 5G: a discrete-event executor with a virtual nanosecond
+// clock that runs a parameterized system under a Quality Manager, charges
+// quality-management overhead to the clock, draws actual execution times
+// from pluggable content models bounded by Cwc, and records full traces.
+//
+// The paper stresses that its iPod numbers are "indicative and useful only
+// for estimating relative values"; this simulator reproduces those
+// relative values deterministically (see DESIGN.md §2 for the
+// substitution rationale).
+package sim
+
+import (
+	"repro/internal/core"
+)
+
+// ExecModel yields the actual execution time C(a_i, q) of one action
+// instance. Implementations must be deterministic functions of
+// (cycle, action, level) so that different managers replay identical
+// workloads, and must never exceed Cwc(a_i, q).
+type ExecModel interface {
+	// Actual returns the execution time of action i at level q during
+	// cycle c.
+	Actual(c, i int, q core.Level) core.Time
+}
+
+// WorstCase always takes the full worst-case budget: the adversarial
+// model used by the safety property tests.
+type WorstCase struct{ Sys *core.System }
+
+// Actual implements ExecModel.
+func (m WorstCase) Actual(_, i int, q core.Level) core.Time { return m.Sys.WC(i, q) }
+
+// Average always takes exactly the average time: the "ideal speed" model
+// under which constant-quality trajectories are straight lines in the
+// speed diagram.
+type Average struct{ Sys *core.System }
+
+// Actual implements ExecModel.
+func (m Average) Actual(_, i int, q core.Level) core.Time { return m.Sys.Av(i, q) }
+
+// Uniform draws uniformly from [0, Cwc], independently per (cycle,
+// action) via a hash-based PRNG; quality only scales the bound.
+type Uniform struct {
+	Sys  *core.System
+	Seed uint64
+}
+
+// Actual implements ExecModel.
+func (m Uniform) Actual(c, i int, q core.Level) core.Time {
+	wc := m.Sys.WC(i, q)
+	if wc == 0 {
+		return 0
+	}
+	u := hashUnit(m.Seed, uint64(c), uint64(i))
+	return core.Time(u * float64(wc))
+}
+
+// Content is the realistic model: the actual time is the average time
+// scaled by a deterministic content-complexity factor
+//
+//	C(c, i, q) = clamp( Cav(i,q) · FrameFactor(c) · ActionFactor(i) · noise(c,i), 0, Cwc(i,q) )
+//
+// FrameFactor models per-frame scene complexity (Fig. 7's inter-frame
+// quality variation); ActionFactor models intra-frame variation across
+// the action sequence (Fig. 8's adaptive-relaxation bands); noise is a
+// small multiplicative jitter.
+type Content struct {
+	Sys *core.System
+	// FrameFactor returns the complexity multiplier of cycle c
+	// (1.0 = exactly average). Nil means always 1.
+	FrameFactor func(c int) float64
+	// ActionFactor returns the complexity multiplier of action i.
+	// Nil means always 1.
+	ActionFactor func(i int) float64
+	// NoiseAmp is the amplitude of the multiplicative jitter
+	// (0.1 → ±10 %). Zero disables jitter.
+	NoiseAmp float64
+	Seed     uint64
+}
+
+// Actual implements ExecModel.
+func (m Content) Actual(c, i int, q core.Level) core.Time {
+	f := 1.0
+	if m.FrameFactor != nil {
+		f *= m.FrameFactor(c)
+	}
+	if m.ActionFactor != nil {
+		f *= m.ActionFactor(i)
+	}
+	if m.NoiseAmp > 0 {
+		f *= 1 + m.NoiseAmp*(2*hashUnit(m.Seed, uint64(c), uint64(i))-1)
+	}
+	v := core.Time(f * float64(m.Sys.Av(i, q)))
+	if v < 0 {
+		v = 0
+	}
+	if wc := m.Sys.WC(i, q); v > wc {
+		v = wc
+	}
+	return v
+}
+
+// hashUnit maps (seed, a, b) to a uniform float64 in [0, 1) using a
+// splitmix64-style avalanche. It gives every (cycle, action) pair an
+// independent, reproducible draw without any PRNG stream state.
+func hashUnit(seed, a, b uint64) float64 {
+	x := seed ^ (a * 0x9E3779B97F4A7C15) ^ (b * 0xBF58476D1CE4E5B9)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

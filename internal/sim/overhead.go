@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"repro/internal/core"
+)
+
+// OverheadModel converts the abstract Work units of a Quality Manager
+// decision into platform time charged to the clock. The paper's §4.2
+// overhead comparison (5.7 % numeric, 1.9 % symbolic, <1.1 % relaxed)
+// is entirely a function of this translation: the three managers take
+// the same decisions but spend different Work, and each invocation also
+// pays a fixed per-call price (on the iPod, dominated by reading the
+// real-time clock and entering the manager).
+type OverheadModel struct {
+	// CallBase is charged once per manager invocation.
+	CallBase core.Time
+	// PerUnit is charged per Decision.Work unit.
+	PerUnit core.Time
+}
+
+// Cost returns the time charged for a decision with the given work.
+func (m OverheadModel) Cost(work int) core.Time {
+	return m.CallBase + core.Time(work)*m.PerUnit
+}
+
+// IPodOverhead is the calibrated overhead model of the reproduction's
+// synthetic iPod platform (see internal/profiler). The constants were
+// fitted so that on the 1,189-action encoder with a ~1.03 s frame budget
+// the numeric manager loses ≈5–6 % of the budget to management, the
+// symbolic manager ≈2 %, and the relaxed manager ≈1 %, matching the
+// relative figures of §4.2. CallBase models the iPod's expensive
+// clock-read + call sequence; PerUnit models one table probe or one
+// policy-evaluation loop iteration on a slow ARM core.
+var IPodOverhead = OverheadModel{
+	CallBase: 15 * core.Microsecond,
+	PerUnit:  18 * core.Nanosecond,
+}
+
+// FreeOverhead charges nothing; used by tests isolating control
+// decisions from platform cost.
+var FreeOverhead = OverheadModel{}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Record describes the execution of one action instance.
+type Record struct {
+	// Cycle and Index locate the action instance (cycle = frame number
+	// for the encoder workload).
+	Cycle, Index int
+	// Q is the quality level the action ran at.
+	Q core.Level
+	// Start is the absolute clock value when the action began (after
+	// any quality-management overhead charged ahead of it).
+	Start core.Time
+	// Exec is the actual execution time of the action.
+	Exec core.Time
+	// Overhead is the quality-management time charged immediately
+	// before this action (zero when the manager was skipped under
+	// control relaxation).
+	Overhead core.Time
+	// Decision reports whether the manager ran before this action.
+	Decision bool
+	// Steps is the relaxation grant returned by that decision (0 when
+	// Decision is false).
+	Steps int
+	// Deadline is the absolute deadline of this action instance, or
+	// TimeInf when the action carries none.
+	Deadline core.Time
+	// Missed reports a deadline violation by this action instance.
+	Missed bool
+}
+
+// End returns the absolute completion time of the record's action.
+func (r Record) End() core.Time { return r.Start + r.Exec }
+
+// RelStart returns the cycle-relative start time, given the period.
+func (r Record) RelStart(period core.Time) core.Time {
+	return r.Start - core.Time(r.Cycle)*period
+}
+
+// Trace is the full execution record of a controlled run.
+type Trace struct {
+	Manager       string
+	Period        core.Time
+	Cycles        int
+	Records       []Record
+	Final         core.Time // clock at the end of the run
+	TotalExec     core.Time // time spent in application actions
+	TotalOverhead core.Time // time spent in quality management
+	TotalIdle     core.Time // time spent waiting for cycle arrivals
+	Decisions     int       // number of manager invocations
+	Misses        int       // number of deadline violations
+}
+
+// OverheadFraction returns management overhead as a fraction of the
+// total busy time (exec + overhead), the §4.2 metric.
+func (tr *Trace) OverheadFraction() float64 {
+	busy := tr.TotalExec + tr.TotalOverhead
+	if busy == 0 {
+		return 0
+	}
+	return float64(tr.TotalOverhead) / float64(busy)
+}
+
+// Runner executes a parameterized system cyclically under a Quality
+// Manager on the simulated platform.
+type Runner struct {
+	Sys      *core.System
+	Mgr      core.Manager
+	Exec     ExecModel
+	Overhead OverheadModel
+	// Cycles is the number of cycles (frames) to execute.
+	Cycles int
+	// Period is the cycle arrival period; each cycle c becomes ready at
+	// absolute time c·Period and its in-table deadlines are offset by
+	// the same amount. Zero selects the system's last deadline.
+	Period core.Time
+	// WorkConserving lets a cycle start before its arrival instant
+	// (batch mode). Off by default: streaming frames are not available
+	// early, which matches the encoder experiment.
+	WorkConserving bool
+}
+
+// Run executes the configured workload and returns its trace.
+func (r *Runner) Run() (*Trace, error) {
+	if r.Sys == nil || r.Mgr == nil || r.Exec == nil {
+		return nil, errors.New("sim: runner needs Sys, Mgr and Exec")
+	}
+	if r.Cycles <= 0 {
+		return nil, fmt.Errorf("sim: non-positive cycle count %d", r.Cycles)
+	}
+	period := r.Period
+	if period == 0 {
+		period = r.Sys.LastDeadline()
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("sim: non-positive period %v", period)
+	}
+	n := r.Sys.NumActions()
+	tr := &Trace{
+		Manager: r.Mgr.Name(),
+		Period:  period,
+		Cycles:  r.Cycles,
+		Records: make([]Record, 0, n*r.Cycles),
+	}
+
+	t := core.Time(0)
+	for c := 0; c < r.Cycles; c++ {
+		base := core.Time(c) * period
+		if !r.WorkConserving && t < base {
+			tr.TotalIdle += base - t
+			t = base
+		}
+		pending := 0
+		var curQ core.Level
+		for i := 0; i < n; i++ {
+			rec := Record{Cycle: c, Index: i, Deadline: core.TimeInf}
+			if pending == 0 {
+				d := r.Mgr.Decide(i, t-base)
+				oh := r.Overhead.Cost(d.Work)
+				t += oh
+				curQ = d.Q
+				pending = d.Steps
+				rec.Decision = true
+				rec.Steps = d.Steps
+				rec.Overhead = oh
+				tr.TotalOverhead += oh
+				tr.Decisions++
+			}
+			et := r.Exec.Actual(c, i, curQ)
+			rec.Q = curQ
+			rec.Start = t
+			rec.Exec = et
+			t += et
+			tr.TotalExec += et
+			pending--
+			if a := r.Sys.Action(i); a.HasDeadline() {
+				rec.Deadline = base + a.Deadline
+				if t > rec.Deadline {
+					rec.Missed = true
+					tr.Misses++
+				}
+			}
+			tr.Records = append(tr.Records, rec)
+		}
+	}
+	tr.Final = t
+	return tr, nil
+}
+
+// MustRun is Run that panics on configuration errors; for examples and
+// benchmarks with statically valid configurations.
+func (r *Runner) MustRun() *Trace {
+	tr, err := r.Run()
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}

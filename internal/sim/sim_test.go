@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/regions"
+)
+
+func randSys(seed int64, cfg core.RandomSystemConfig) *core.System {
+	return core.RandomSystem(rand.New(rand.NewSource(seed)), cfg)
+}
+
+func TestExecModelsBoundedByWC(t *testing.T) {
+	sys := randSys(1, core.RandomSystemConfig{Actions: 30})
+	models := []ExecModel{
+		WorstCase{Sys: sys},
+		Average{Sys: sys},
+		Uniform{Sys: sys, Seed: 7},
+		Content{Sys: sys, NoiseAmp: 0.5, Seed: 9,
+			FrameFactor:  func(c int) float64 { return 1 + 0.4*float64(c%3) },
+			ActionFactor: func(i int) float64 { return 1 + 0.2*float64(i%5) }},
+	}
+	for _, m := range models {
+		for c := 0; c < 5; c++ {
+			for i := 0; i < sys.NumActions(); i++ {
+				for q := core.Level(0); q <= sys.QMax(); q++ {
+					v := m.Actual(c, i, q)
+					if v < 0 || v > sys.WC(i, q) {
+						t.Fatalf("%T: Actual(%d,%d,%v) = %v outside [0, %v]", m, c, i, q, v, sys.WC(i, q))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExecModelsDeterministic(t *testing.T) {
+	sys := randSys(2, core.RandomSystemConfig{})
+	m1 := Uniform{Sys: sys, Seed: 11}
+	m2 := Uniform{Sys: sys, Seed: 11}
+	m3 := Uniform{Sys: sys, Seed: 12}
+	diff := false
+	for i := 0; i < sys.NumActions(); i++ {
+		if m1.Actual(3, i, 1) != m2.Actual(3, i, 1) {
+			t.Fatal("same seed must give same draw")
+		}
+		if m1.Actual(3, i, 1) != m3.Actual(3, i, 1) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should give different draws")
+	}
+}
+
+func TestHashUnitRange(t *testing.T) {
+	for a := uint64(0); a < 100; a++ {
+		for b := uint64(0); b < 20; b++ {
+			u := hashUnit(42, a, b)
+			if u < 0 || u >= 1 {
+				t.Fatalf("hashUnit out of range: %v", u)
+			}
+		}
+	}
+}
+
+func TestOverheadModelCost(t *testing.T) {
+	m := OverheadModel{CallBase: 10 * core.Microsecond, PerUnit: 5 * core.Nanosecond}
+	if got := m.Cost(100); got != 10*core.Microsecond+500*core.Nanosecond {
+		t.Fatalf("Cost(100) = %v", got)
+	}
+	if FreeOverhead.Cost(1000) != 0 {
+		t.Fatal("FreeOverhead must charge nothing")
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	sys := randSys(3, core.RandomSystemConfig{})
+	if _, err := (&Runner{}).Run(); err == nil {
+		t.Error("empty runner accepted")
+	}
+	r := &Runner{Sys: sys, Mgr: core.NewNumericManager(sys), Exec: Average{Sys: sys}}
+	if _, err := r.Run(); err == nil {
+		t.Error("zero cycles accepted")
+	}
+	r.Cycles = 1
+	if _, err := r.Run(); err != nil {
+		t.Errorf("valid runner rejected: %v", err)
+	}
+}
+
+// TestSafetyProperty is invariant #1 of DESIGN.md §5: on feasible random
+// systems, the mixed-policy managers never miss a deadline, for any
+// execution model bounded by Cwc — including the adversarial worst case —
+// across single and multi-cycle runs.
+func TestSafetyProperty(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		sys := randSys(seed, core.RandomSystemConfig{Actions: 35, DeadlineEvery: 8})
+		tab := regions.BuildTDTable(sys)
+		rt := regions.MustBuildRelaxTables(tab, []int{1, 4, 9})
+		managers := []core.Manager{
+			core.NewNumericManager(sys),
+			core.NewSafeManager(sys),
+			regions.NewSymbolicManager(tab),
+			regions.NewRelaxedManager(rt),
+		}
+		execs := []ExecModel{
+			WorstCase{Sys: sys},
+			Uniform{Sys: sys, Seed: uint64(seed)},
+			Content{Sys: sys, NoiseAmp: 0.9, Seed: uint64(seed),
+				FrameFactor: func(c int) float64 { return 1.5 }},
+		}
+		for _, m := range managers {
+			for _, e := range execs {
+				trc := (&Runner{Sys: sys, Mgr: m, Exec: e, Overhead: FreeOverhead, Cycles: 3}).MustRun()
+				if trc.Misses != 0 {
+					t.Fatalf("seed %d: manager %s missed %d deadlines under %T", seed, m.Name(), trc.Misses, e)
+				}
+			}
+		}
+	}
+}
+
+func TestFixedQmaxCanMissButQminCannot(t *testing.T) {
+	// Sanity check of the harness itself: an open-loop qmax controller
+	// must be able to violate deadlines on a tight system, while
+	// open-loop qmin never can (feasibility).
+	missedSomewhere := false
+	for seed := int64(0); seed < 30; seed++ {
+		sys := randSys(seed, core.RandomSystemConfig{Actions: 30, DeadlineEvery: 6, SlackNum: 5, SlackDen: 4})
+		qmax := (&Runner{Sys: sys, Mgr: core.FixedManager{Level: sys.QMax()}, Exec: WorstCase{Sys: sys},
+			Overhead: FreeOverhead, Cycles: 1}).MustRun()
+		if qmax.Misses > 0 {
+			missedSomewhere = true
+		}
+		qmin := (&Runner{Sys: sys, Mgr: core.FixedManager{Level: 0}, Exec: WorstCase{Sys: sys},
+			Overhead: FreeOverhead, Cycles: 2}).MustRun()
+		if qmin.Misses != 0 {
+			t.Fatalf("seed %d: qmin missed a deadline on a feasible system", seed)
+		}
+	}
+	if !missedSomewhere {
+		t.Fatal("qmax never missed on tight systems; harness cannot distinguish safety")
+	}
+}
+
+func TestTraceAccounting(t *testing.T) {
+	sys := randSys(10, core.RandomSystemConfig{Actions: 20, DeadlineEvery: 5})
+	oh := OverheadModel{CallBase: core.Microsecond, PerUnit: core.Nanosecond}
+	trc := (&Runner{Sys: sys, Mgr: core.NewNumericManager(sys), Exec: Average{Sys: sys},
+		Overhead: oh, Cycles: 3}).MustRun()
+
+	if len(trc.Records) != 60 {
+		t.Fatalf("record count %d", len(trc.Records))
+	}
+	var exec, over core.Time
+	decisions := 0
+	for _, rec := range trc.Records {
+		exec += rec.Exec
+		over += rec.Overhead
+		if rec.Decision {
+			decisions++
+			if rec.Overhead < oh.CallBase {
+				t.Fatal("decision record missing call base cost")
+			}
+		} else if rec.Overhead != 0 {
+			t.Fatal("non-decision record charged overhead")
+		}
+	}
+	if exec != trc.TotalExec || over != trc.TotalOverhead || decisions != trc.Decisions {
+		t.Fatalf("totals disagree with records: %v/%v %v/%v %d/%d",
+			exec, trc.TotalExec, over, trc.TotalOverhead, decisions, trc.Decisions)
+	}
+	// Numeric manager decides before every action.
+	if decisions != 60 {
+		t.Fatalf("numeric manager made %d decisions, want 60", decisions)
+	}
+	if trc.Final < trc.TotalExec+trc.TotalOverhead {
+		t.Fatal("final clock below busy time")
+	}
+	if f := trc.OverheadFraction(); f <= 0 || f >= 1 {
+		t.Fatalf("overhead fraction %v out of (0,1)", f)
+	}
+}
+
+func TestRelaxedManagerReducesDecisions(t *testing.T) {
+	sys := calmSystem(t, 200)
+	tab := regions.BuildTDTable(sys)
+	rt := regions.MustBuildRelaxTables(tab, []int{1, 10, 20, 40})
+	run := func(m core.Manager) *Trace {
+		return (&Runner{Sys: sys, Mgr: m, Exec: Average{Sys: sys},
+			Overhead: FreeOverhead, Cycles: 2}).MustRun()
+	}
+	sym := run(regions.NewSymbolicManager(tab))
+	rel := run(regions.NewRelaxedManager(rt))
+	if rel.Decisions >= sym.Decisions {
+		t.Fatalf("relaxation did not reduce decisions: %d vs %d", rel.Decisions, sym.Decisions)
+	}
+	if rel.Decisions > sym.Decisions/4 {
+		t.Fatalf("relaxation too weak on calm system: %d of %d", rel.Decisions, sym.Decisions)
+	}
+	// Decisions differ but quality sequences must not.
+	for j := range sym.Records {
+		if sym.Records[j].Q != rel.Records[j].Q {
+			t.Fatalf("quality diverged at record %d", j)
+		}
+	}
+}
+
+func TestPeriodicArrivalIdle(t *testing.T) {
+	// A short cycle with a long period must produce idle time, and
+	// cycle c must never start before c·Period.
+	sys := calmSystem(t, 10)
+	period := 4 * sys.LastDeadline()
+	trc := (&Runner{Sys: sys, Mgr: core.FixedManager{Level: 0}, Exec: Average{Sys: sys},
+		Overhead: FreeOverhead, Cycles: 3, Period: period}).MustRun()
+	if trc.TotalIdle == 0 {
+		t.Fatal("expected idle time with sparse arrivals")
+	}
+	for _, rec := range trc.Records {
+		if rec.Start < core.Time(rec.Cycle)*period {
+			t.Fatalf("cycle %d started early at %v", rec.Cycle, rec.Start)
+		}
+	}
+	// Work-conserving mode removes the idle time.
+	wc := (&Runner{Sys: sys, Mgr: core.FixedManager{Level: 0}, Exec: Average{Sys: sys},
+		Overhead: FreeOverhead, Cycles: 3, Period: period, WorkConserving: true}).MustRun()
+	if wc.TotalIdle != 0 {
+		t.Fatal("work-conserving run must not idle")
+	}
+	if wc.Final >= trc.Final {
+		t.Fatal("work-conserving run should finish earlier")
+	}
+}
+
+func TestRecordHelpers(t *testing.T) {
+	r := Record{Cycle: 2, Start: 250 * core.Microsecond, Exec: 10 * core.Microsecond}
+	if r.End() != 260*core.Microsecond {
+		t.Fatalf("End = %v", r.End())
+	}
+	if r.RelStart(100*core.Microsecond) != 50*core.Microsecond {
+		t.Fatalf("RelStart = %v", r.RelStart(100*core.Microsecond))
+	}
+}
+
+// calmSystem builds a uniform, generously budgeted system on which
+// relaxation should be very effective.
+func calmSystem(t *testing.T, n int) *core.System {
+	t.Helper()
+	tt := core.NewTimingTable(n, 4)
+	for i := 0; i < n; i++ {
+		for q := 0; q < 4; q++ {
+			av := core.Time(10+3*q) * core.Microsecond
+			tt.Set(i, core.Level(q), av, av*3/2)
+		}
+	}
+	actions := make([]core.Action, n)
+	for i := range actions {
+		actions[i] = core.Action{Deadline: core.TimeInf}
+	}
+	actions[n-1].Deadline = core.Time(n) * 25 * core.Microsecond
+	sys := core.MustNewSystem(actions, tt)
+	if err := sys.Feasible(); err != nil {
+		t.Fatalf("calm system infeasible: %v", err)
+	}
+	return sys
+}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SweepPoint is one configuration of a parameter sweep: a label and a
+// fully configured runner. Runners must not share mutable managers (the
+// policy managers are stateless and safe to share; baseline feedback
+// controllers are not).
+type SweepPoint struct {
+	Label  string
+	Runner *Runner
+}
+
+// SweepResult pairs a sweep point's label with its trace (or error).
+type SweepResult struct {
+	Label string
+	Trace *Trace
+	Err   error
+}
+
+// Sweep executes the given points concurrently on a bounded worker pool
+// (GOMAXPROCS workers) and returns the results in input order. Each
+// simulated run is single-threaded, preserving the paper's execution
+// model; only independent runs are parallelised — the usual shape of a
+// benchmark sweep over seeds, managers or parameter grids.
+func Sweep(points []SweepPoint) []SweepResult {
+	results := make([]SweepResult, len(points))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxWorkers())
+	for idx, p := range points {
+		wg.Add(1)
+		go func(idx int, p SweepPoint) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res := SweepResult{Label: p.Label}
+			if p.Runner == nil {
+				res.Err = fmt.Errorf("sim: sweep point %q has no runner", p.Label)
+			} else {
+				res.Trace, res.Err = p.Runner.Run()
+			}
+			results[idx] = res
+		}(idx, p)
+	}
+	wg.Wait()
+	return results
+}
+
+func maxWorkers() int {
+	p := runtime.GOMAXPROCS(0)
+	if p < 1 {
+		return 1
+	}
+	return p
+}

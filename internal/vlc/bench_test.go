@@ -1,0 +1,44 @@
+package vlc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstream"
+)
+
+func benchPairs() []RunLevel {
+	rng := rand.New(rand.NewSource(1))
+	var block [64]int32
+	for i := range block {
+		if rng.Intn(4) == 0 {
+			block[i] = rng.Int31n(15) - 7
+		}
+	}
+	return RunLength(&block)
+}
+
+func BenchmarkEncodeBlock(b *testing.B) {
+	cb := NewDefaultCodebook()
+	pairs := benchPairs()
+	w := bitstream.NewWriter()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		cb.EncodeBlock(w, pairs)
+	}
+}
+
+func BenchmarkDecodeBlock(b *testing.B) {
+	cb := NewDefaultCodebook()
+	pairs := benchPairs()
+	w := bitstream.NewWriter()
+	cb.EncodeBlock(w, pairs)
+	data := w.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := bitstream.NewReader(data)
+		if _, err := cb.DecodeBlock(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

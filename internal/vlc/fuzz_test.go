@@ -1,0 +1,33 @@
+package vlc
+
+import (
+	"testing"
+
+	"repro/internal/bitstream"
+)
+
+// FuzzDecodeBlock: arbitrary bytes must never panic the VLC decoder —
+// it either returns pairs or a clean error. (Runs its seed corpus in
+// normal `go test`; use `go test -fuzz=FuzzDecodeBlock` to explore.)
+func FuzzDecodeBlock(f *testing.F) {
+	cb := NewDefaultCodebook()
+	w := bitstream.NewWriter()
+	cb.EncodeBlock(w, []RunLevel{{Run: 0, Level: 3}, {Run: 5, Level: -1}})
+	f.Add(w.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0x00, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bitstream.NewReader(data)
+		for i := 0; i < 8; i++ {
+			pairs, err := cb.DecodeBlock(r)
+			if err != nil {
+				return
+			}
+			// Any successfully decoded pairs must reconstruct or
+			// fail cleanly — never panic.
+			var block [64]int32
+			_ = Reconstruct(pairs, &block)
+		}
+	})
+}

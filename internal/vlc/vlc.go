@@ -1,0 +1,292 @@
+// Package vlc implements the entropy-coding stage of the encoder
+// substrate: zig-zag scanning of 8×8 coefficient blocks, (run, level)
+// run-length coding, and a canonical Huffman code over the common
+// (run, level) pairs with an escape mechanism for the rest — the
+// structure of MPEG's VLC tables, rebuilt from scratch.
+package vlc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitstream"
+)
+
+// ZigZag is the standard 8×8 zig-zag scan order.
+var ZigZag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// RunLevel is one run-length symbol: Run zero coefficients followed by a
+// non-zero Level.
+type RunLevel struct {
+	Run   int
+	Level int32
+}
+
+// RunLength converts a quantised coefficient block to (run, level) pairs
+// in zig-zag order. The DC coefficient (index 0) is included like any
+// other; an all-zero block yields no pairs.
+func RunLength(block *[64]int32) []RunLevel {
+	var out []RunLevel
+	run := 0
+	for _, idx := range ZigZag {
+		v := block[idx]
+		if v == 0 {
+			run++
+			continue
+		}
+		out = append(out, RunLevel{Run: run, Level: v})
+		run = 0
+	}
+	return out
+}
+
+// Reconstruct inverts RunLength into a coefficient block.
+func Reconstruct(pairs []RunLevel, block *[64]int32) error {
+	*block = [64]int32{}
+	pos := 0
+	for _, p := range pairs {
+		pos += p.Run
+		if pos >= 64 {
+			return fmt.Errorf("vlc: run overflows block (pos %d)", pos)
+		}
+		if p.Level == 0 {
+			return fmt.Errorf("vlc: zero level in run-length pair")
+		}
+		block[ZigZag[pos]] = p.Level
+		pos++
+	}
+	return nil
+}
+
+// symbol identifies a (run, smallish-level) pair for the Huffman table.
+type symbol struct {
+	run int
+	lvl int32
+}
+
+// Codebook is a canonical Huffman code over frequent (run, |level|≤maxL)
+// symbols plus an escape code. Sign bits are written raw after each
+// non-escape symbol.
+type Codebook struct {
+	codes   map[symbol]code
+	decode  map[code]symbol
+	escape  code
+	maxRun  int
+	maxLvl  int32
+	maxBits uint
+}
+
+type code struct {
+	bits uint32
+	n    uint
+}
+
+// NewDefaultCodebook builds the static codebook used by the encoder:
+// geometric frequencies favouring short runs and small levels, the shape
+// of real DCT statistics.
+func NewDefaultCodebook() *Codebook {
+	const maxRun, maxLvl = 15, 8
+	var syms []weightedSymbol
+	for run := 0; run <= maxRun; run++ {
+		for lvl := int32(1); lvl <= maxLvl; lvl++ {
+			w := 1.0 / (float64(run+1) * float64(lvl) * float64(lvl))
+			syms = append(syms, weightedSymbol{symbol{run, lvl}, w})
+		}
+	}
+	// Escape weight comparable to a mid-frequency symbol.
+	syms = append(syms, weightedSymbol{symbol{-1, 0}, 0.02})
+
+	// Huffman lengths via package-local tree construction.
+	lengths := huffmanLengths(syms)
+
+	// Canonical code assignment: sort by (length, run, level).
+	type assigned struct {
+		sym symbol
+		len uint
+	}
+	arr := make([]assigned, len(syms))
+	for i, s := range syms {
+		arr[i] = assigned{s.sym, lengths[i]}
+	}
+	sort.Slice(arr, func(i, j int) bool {
+		if arr[i].len != arr[j].len {
+			return arr[i].len < arr[j].len
+		}
+		if arr[i].sym.run != arr[j].sym.run {
+			return arr[i].sym.run < arr[j].sym.run
+		}
+		return arr[i].sym.lvl < arr[j].sym.lvl
+	})
+	cb := &Codebook{
+		codes:  make(map[symbol]code, len(arr)),
+		decode: make(map[code]symbol, len(arr)),
+		maxRun: maxRun,
+		maxLvl: maxLvl,
+	}
+	next := uint32(0)
+	prevLen := uint(0)
+	for _, a := range arr {
+		next <<= (a.len - prevLen)
+		prevLen = a.len
+		c := code{bits: next, n: a.len}
+		if a.sym.run < 0 {
+			cb.escape = c
+		} else {
+			cb.codes[a.sym] = c
+		}
+		cb.decode[c] = a.sym
+		if a.len > cb.maxBits {
+			cb.maxBits = a.len
+		}
+		next++
+	}
+	return cb
+}
+
+// weightedSymbol pairs a codebook symbol with its assumed frequency.
+type weightedSymbol struct {
+	sym symbol
+	w   float64
+}
+
+// huffmanLengths computes code lengths with a selection-based Huffman
+// builder (the codebook is built once at startup; O(n²) is fine).
+func huffmanLengths(syms []weightedSymbol) []uint {
+	type node struct {
+		w           float64
+		left, right int // indices into nodes, -1 for leaves
+		leaf        int // symbol index for leaves
+	}
+	nodes := make([]node, 0, 2*len(syms))
+	heap := make([]int, 0, len(syms))
+	for i, s := range syms {
+		nodes = append(nodes, node{w: s.w, left: -1, right: -1, leaf: i})
+		heap = append(heap, i)
+	}
+	pop := func() int {
+		best := 0
+		for i := 1; i < len(heap); i++ {
+			if nodes[heap[i]].w < nodes[heap[best]].w {
+				best = i
+			}
+		}
+		id := heap[best]
+		heap = append(heap[:best], heap[best+1:]...)
+		return id
+	}
+	for len(heap) > 1 {
+		a, b := pop(), pop()
+		nodes = append(nodes, node{w: nodes[a].w + nodes[b].w, left: a, right: b, leaf: -1})
+		heap = append(heap, len(nodes)-1)
+	}
+	lengths := make([]uint, len(syms))
+	var walk func(id int, depth uint)
+	walk = func(id int, depth uint) {
+		nd := nodes[id]
+		if nd.left < 0 {
+			if depth == 0 {
+				depth = 1 // single-symbol degenerate code
+			}
+			lengths[nd.leaf] = depth
+			return
+		}
+		walk(nd.left, depth+1)
+		walk(nd.right, depth+1)
+	}
+	walk(heap[0], 0)
+	return lengths
+}
+
+// EncodeBlock writes the (run, level) pairs of a quantised block followed
+// by an end-of-block marker. It returns the number of symbols written
+// (work accounting for the encoder's timing model).
+func (cb *Codebook) EncodeBlock(w *bitstream.Writer, pairs []RunLevel) int {
+	for _, p := range pairs {
+		lvl := p.Level
+		neg := lvl < 0
+		if neg {
+			lvl = -lvl
+		}
+		if p.Run <= cb.maxRun && lvl <= cb.maxLvl {
+			c := cb.codes[symbol{p.Run, lvl}]
+			w.WriteBits(c.bits, c.n)
+			if neg {
+				w.WriteBit(1)
+			} else {
+				w.WriteBit(0)
+			}
+		} else {
+			// Escape: code, then raw run and signed level.
+			w.WriteBits(cb.escape.bits, cb.escape.n)
+			w.WriteBits(uint32(p.Run), 6)
+			w.WriteSE(p.Level)
+		}
+	}
+	// End of block: escape with run 63 (cannot occur as a real escape
+	// because a 63-run pair is representable but unused sentinel-wise).
+	w.WriteBits(cb.escape.bits, cb.escape.n)
+	w.WriteBits(63, 6)
+	w.WriteSE(0)
+	return len(pairs) + 1
+}
+
+// DecodeBlock reads pairs until the end-of-block marker.
+func (cb *Codebook) DecodeBlock(r *bitstream.Reader) ([]RunLevel, error) {
+	var pairs []RunLevel
+	for {
+		sym, err := cb.readSymbol(r)
+		if err != nil {
+			return nil, err
+		}
+		if sym.run < 0 {
+			// Escape.
+			run, err := r.ReadBits(6)
+			if err != nil {
+				return nil, err
+			}
+			lvl, err := r.ReadSE()
+			if err != nil {
+				return nil, err
+			}
+			if run == 63 && lvl == 0 {
+				return pairs, nil // end of block
+			}
+			pairs = append(pairs, RunLevel{Run: int(run), Level: lvl})
+			continue
+		}
+		signBit, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		lvl := sym.lvl
+		if signBit == 1 {
+			lvl = -lvl
+		}
+		pairs = append(pairs, RunLevel{Run: sym.run, Level: lvl})
+	}
+}
+
+func (cb *Codebook) readSymbol(r *bitstream.Reader) (symbol, error) {
+	var c code
+	for c.n <= cb.maxBits {
+		b, err := r.ReadBit()
+		if err != nil {
+			return symbol{}, err
+		}
+		c.bits = c.bits<<1 | b
+		c.n++
+		if s, ok := cb.decode[c]; ok {
+			return s, nil
+		}
+	}
+	return symbol{}, fmt.Errorf("vlc: invalid code after %d bits", c.n)
+}

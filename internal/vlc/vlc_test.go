@@ -1,0 +1,165 @@
+package vlc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstream"
+)
+
+func TestZigZagIsPermutation(t *testing.T) {
+	seen := [64]bool{}
+	for _, v := range ZigZag {
+		if v < 0 || v >= 64 || seen[v] {
+			t.Fatalf("zigzag not a permutation at %d", v)
+		}
+		seen[v] = true
+	}
+	// Spot-check the canonical start of the pattern.
+	want := []int{0, 1, 8, 16, 9, 2}
+	for i, w := range want {
+		if ZigZag[i] != w {
+			t.Fatalf("ZigZag[%d] = %d, want %d", i, ZigZag[i], w)
+		}
+	}
+}
+
+func TestRunLengthRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		var block [64]int32
+		// Sparse blocks like real quantised DCT output.
+		for i := 0; i < 64; i++ {
+			if rng.Intn(5) == 0 {
+				block[i] = rng.Int31n(41) - 20
+			}
+		}
+		pairs := RunLength(&block)
+		var back [64]int32
+		if err := Reconstruct(pairs, &back); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if back != block {
+			t.Fatalf("trial %d: runlength roundtrip mismatch", trial)
+		}
+	}
+}
+
+func TestRunLengthEmptyBlock(t *testing.T) {
+	var block [64]int32
+	if pairs := RunLength(&block); len(pairs) != 0 {
+		t.Fatalf("zero block produced %d pairs", len(pairs))
+	}
+}
+
+func TestReconstructRejectsMalformed(t *testing.T) {
+	var block [64]int32
+	if err := Reconstruct([]RunLevel{{Run: 64, Level: 5}}, &block); err == nil {
+		t.Fatal("overflowing run accepted")
+	}
+	if err := Reconstruct([]RunLevel{{Run: 0, Level: 0}}, &block); err == nil {
+		t.Fatal("zero level accepted")
+	}
+}
+
+func TestCodebookPrefixFree(t *testing.T) {
+	cb := NewDefaultCodebook()
+	// Collect all codes (including escape).
+	type entry struct {
+		bits uint32
+		n    uint
+	}
+	var all []entry
+	for _, c := range cb.codes {
+		all = append(all, entry{c.bits, c.n})
+	}
+	all = append(all, entry{cb.escape.bits, cb.escape.n})
+	for i, a := range all {
+		for j, b := range all {
+			if i == j {
+				continue
+			}
+			if a.n <= b.n && b.bits>>(b.n-a.n) == a.bits {
+				t.Fatalf("code %b/%d is a prefix of %b/%d", a.bits, a.n, b.bits, b.n)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeBlockRoundTrip(t *testing.T) {
+	cb := NewDefaultCodebook()
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		var block [64]int32
+		for i := 0; i < 64; i++ {
+			switch rng.Intn(8) {
+			case 0:
+				block[i] = rng.Int31n(15) - 7 // small levels, common
+			case 1:
+				block[i] = rng.Int31n(4001) - 2000 // escapes
+			}
+		}
+		pairs := RunLength(&block)
+		w := bitstream.NewWriter()
+		cb.EncodeBlock(w, pairs)
+		r := bitstream.NewReader(w.Bytes())
+		got, err := cb.DecodeBlock(r)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(got) != len(pairs) {
+			t.Fatalf("trial %d: %d pairs, want %d", trial, len(got), len(pairs))
+		}
+		for k := range pairs {
+			if got[k] != pairs[k] {
+				t.Fatalf("trial %d: pair %d = %+v, want %+v", trial, k, got[k], pairs[k])
+			}
+		}
+	}
+}
+
+func TestEncodeMultipleBlocksSequentially(t *testing.T) {
+	cb := NewDefaultCodebook()
+	w := bitstream.NewWriter()
+	blocks := [][]RunLevel{
+		{{Run: 0, Level: 5}, {Run: 3, Level: -2}},
+		{}, // empty block: just EOB
+		{{Run: 63, Level: 1}},
+	}
+	for _, b := range blocks {
+		cb.EncodeBlock(w, b)
+	}
+	r := bitstream.NewReader(w.Bytes())
+	for i, want := range blocks {
+		got, err := cb.DecodeBlock(r)
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("block %d: %d pairs, want %d", i, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("block %d pair %d mismatch", i, k)
+			}
+		}
+	}
+}
+
+func TestCommonSymbolsShorterThanRare(t *testing.T) {
+	cb := NewDefaultCodebook()
+	common := cb.codes[symbol{0, 1}] // run 0, level 1: most frequent
+	rare := cb.codes[symbol{15, 8}]  // long run, big level
+	if common.n >= rare.n {
+		t.Fatalf("common symbol %d bits, rare %d bits", common.n, rare.n)
+	}
+}
+
+func TestEncodeBlockReturnsSymbolCount(t *testing.T) {
+	cb := NewDefaultCodebook()
+	w := bitstream.NewWriter()
+	pairs := []RunLevel{{0, 1}, {1, 2}, {2, -3}}
+	if n := cb.EncodeBlock(w, pairs); n != 4 { // 3 pairs + EOB
+		t.Fatalf("symbol count %d, want 4", n)
+	}
+}

@@ -1,0 +1,127 @@
+// Package workloads provides additional cyclic multimedia workloads
+// beyond the paper's MPEG encoder, each built from a task graph through
+// the scheduler. The paper's introduction motivates the method for
+// "multimedia and telecommunications" generally; these systems back the
+// generality checks: the same Quality Manager machinery must stay safe
+// and cheap on all of them.
+//
+// All timing values are synthetic but follow each domain's real shape
+// (e.g. psychoacoustic analysis dominates audio encoding; FFT size is
+// the SDR quality knob).
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+func row(baseMicros, slopeMicros int64, levels int) ([]core.Time, []core.Time) {
+	av := make([]core.Time, levels)
+	wc := make([]core.Time, levels)
+	for q := 0; q < levels; q++ {
+		av[q] = core.Time(baseMicros+slopeMicros*int64(q)) * core.Microsecond
+		wc[q] = av[q] * 8 / 5
+	}
+	return av, wc
+}
+
+// AudioEncoder models a perceptual audio encoder cycle: one frame of
+// granules through filterbank → psychoacoustic model → quantisation →
+// Huffman packing. Quality controls the psychoacoustic resolution and
+// the quantisation search depth. granules ≈ 32 gives a ~100-action
+// cycle.
+func AudioEncoder(granules int, deadline core.Time) (*core.System, error) {
+	if granules <= 0 {
+		return nil, fmt.Errorf("workloads: non-positive granule count %d", granules)
+	}
+	const levels = 5
+	inAv, inWC := row(800, 0, levels)
+	fbAv, fbWC := row(120, 15, levels)
+	pmAv, pmWC := row(150, 90, levels) // psychoacoustics dominate at high q
+	qzAv, qzWC := row(100, 40, levels)
+	hfAv, hfWC := row(60, 20, levels)
+	g := &sched.Graph{
+		Levels: levels,
+		Nodes: []sched.Node{
+			{Name: "input", Av: inAv, WC: inWC},
+			{Name: "filterbank", Av: fbAv, WC: fbWC, After: []string{"input"}, Repeat: granules},
+			{Name: "psymodel", Av: pmAv, WC: pmWC, After: []string{"filterbank"}, Repeat: granules},
+			{Name: "quantize", Av: qzAv, WC: qzWC, After: []string{"psymodel"}, Repeat: granules},
+			{Name: "huffman", Av: hfAv, WC: hfWC, After: []string{"quantize"}, Repeat: granules, Deadline: deadline},
+		},
+	}
+	return g.Schedule()
+}
+
+// SDRPipeline models a software-defined-radio receive chain: per-burst
+// channelise → demodulate → decode, where quality selects the FFT
+// resolution and equaliser taps. bursts ≈ 64 gives a ~200-action cycle.
+func SDRPipeline(bursts int, deadline core.Time) (*core.System, error) {
+	if bursts <= 0 {
+		return nil, fmt.Errorf("workloads: non-positive burst count %d", bursts)
+	}
+	const levels = 4
+	chAv, chWC := row(90, 60, levels) // FFT size doubles per level
+	dmAv, dmWC := row(70, 25, levels)
+	dcAv, dcWC := row(50, 10, levels)
+	g := &sched.Graph{
+		Levels: levels,
+		Nodes: []sched.Node{
+			{Name: "channelize", Av: chAv, WC: chWC, Repeat: bursts},
+			{Name: "demod", Av: dmAv, WC: dmWC, After: []string{"channelize"}, Repeat: bursts},
+			{Name: "decode", Av: dcAv, WC: dcWC, After: []string{"demod"}, Repeat: bursts, Deadline: deadline},
+		},
+	}
+	return g.Schedule()
+}
+
+// VideoDecoder models the player-side workload of [15]'s setting: parse →
+// dequantise/IDCT → motion compensate → postprocess per macroblock,
+// where quality selects the postprocessing strength (deblocking taps)
+// and IDCT precision.
+func VideoDecoder(mbs int, deadline core.Time) (*core.System, error) {
+	if mbs <= 0 {
+		return nil, fmt.Errorf("workloads: non-positive macroblock count %d", mbs)
+	}
+	const levels = 6
+	hdAv, hdWC := row(500, 0, levels)
+	psAv, psWC := row(90, 5, levels)
+	idAv, idWC := row(140, 25, levels)
+	mcAv, mcWC := row(120, 15, levels)
+	ppAv, ppWC := row(40, 70, levels) // postprocessing is the big knob
+	g := &sched.Graph{
+		Levels: levels,
+		Nodes: []sched.Node{
+			{Name: "header", Av: hdAv, WC: hdWC},
+			{Name: "parse", Av: psAv, WC: psWC, After: []string{"header"}, Repeat: mbs},
+			{Name: "idct", Av: idAv, WC: idWC, After: []string{"parse"}, Repeat: mbs},
+			{Name: "mocomp", Av: mcAv, WC: mcWC, After: []string{"idct"}, Repeat: mbs},
+			{Name: "postproc", Av: ppAv, WC: ppWC, After: []string{"mocomp"}, Repeat: mbs, Deadline: deadline},
+		},
+	}
+	return g.Schedule()
+}
+
+// Catalog returns every workload at a default, qmin-feasible sizing —
+// the inputs of the generality tests and the cross-workload benchmark.
+func Catalog() (map[string]*core.System, error) {
+	out := map[string]*core.System{}
+	audio, err := AudioEncoder(32, 26*core.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	out["audio-encoder"] = audio
+	sdr, err := SDRPipeline(64, 38*core.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	out["sdr-pipeline"] = sdr
+	dec, err := VideoDecoder(396, 260*core.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	out["video-decoder"] = dec
+	return out, nil
+}

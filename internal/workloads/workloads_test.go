@@ -1,0 +1,110 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/regions"
+	"repro/internal/sim"
+)
+
+func TestCatalogBuilds(t *testing.T) {
+	cat, err := Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat) != 3 {
+		t.Fatalf("catalog size %d", len(cat))
+	}
+	for name, sys := range cat {
+		if err := sys.Feasible(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sys.NumActions() < 50 {
+			t.Fatalf("%s: only %d actions", name, sys.NumActions())
+		}
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	if _, err := AudioEncoder(0, core.Second); err == nil {
+		t.Error("zero granules accepted")
+	}
+	if _, err := SDRPipeline(-1, core.Second); err == nil {
+		t.Error("negative bursts accepted")
+	}
+	if _, err := VideoDecoder(0, core.Second); err == nil {
+		t.Error("zero macroblocks accepted")
+	}
+	// Infeasible deadlines propagate from the scheduler.
+	if _, err := AudioEncoder(32, core.Microsecond); err == nil {
+		t.Error("infeasible audio deadline accepted")
+	}
+}
+
+// TestGeneralityAcrossWorkloads: the full manager stack (numeric,
+// symbolic, relaxed) stays safe and decision-equivalent on every
+// workload in the catalog, under adversarial and content-driven
+// execution — the method is not encoder-specific.
+func TestGeneralityAcrossWorkloads(t *testing.T) {
+	cat, err := Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, sys := range cat {
+		tab := regions.BuildTDTable(sys)
+		rt := regions.MustBuildRelaxTables(tab, []int{1, 5, 10, 25})
+		managers := []core.Manager{
+			core.NewNumericManager(sys),
+			regions.NewSymbolicManager(tab),
+			regions.NewRelaxedManager(rt),
+		}
+		execs := []sim.ExecModel{
+			sim.WorstCase{Sys: sys},
+			sim.Content{Sys: sys, NoiseAmp: 0.4, Seed: 7},
+		}
+		for _, e := range execs {
+			var firstQ []core.Level
+			for mi, m := range managers {
+				tr := (&sim.Runner{Sys: sys, Mgr: m, Exec: e,
+					Overhead: sim.FreeOverhead, Cycles: 2}).MustRun()
+				if tr.Misses != 0 {
+					t.Fatalf("%s/%s under %T: %d misses", name, m.Name(), e, tr.Misses)
+				}
+				qs := make([]core.Level, len(tr.Records))
+				for i, r := range tr.Records {
+					qs[i] = r.Q
+				}
+				if mi == 0 {
+					firstQ = qs
+					continue
+				}
+				for i := range qs {
+					if qs[i] != firstQ[i] {
+						t.Fatalf("%s/%s diverges from numeric at record %d", name, m.Name(), i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRelaxationHelpsEveryWorkload: multi-step relaxation must engage on
+// each workload (decision count clearly below action count).
+func TestRelaxationHelpsEveryWorkload(t *testing.T) {
+	cat, err := Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, sys := range cat {
+		tab := regions.BuildTDTable(sys)
+		rt := regions.MustBuildRelaxTables(tab, []int{1, 5, 10, 25})
+		tr := (&sim.Runner{Sys: sys, Mgr: regions.NewRelaxedManager(rt),
+			Exec:     sim.Content{Sys: sys, NoiseAmp: 0.2, Seed: 3},
+			Overhead: sim.FreeOverhead, Cycles: 2}).MustRun()
+		if tr.Decisions*2 >= len(tr.Records) {
+			t.Fatalf("%s: relaxation weak (%d decisions for %d actions)",
+				name, tr.Decisions, len(tr.Records))
+		}
+	}
+}
