@@ -16,6 +16,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/fleet"
 	"repro/internal/linconstr"
 	"repro/internal/metrics"
 	"repro/internal/power"
@@ -168,6 +169,37 @@ func BenchmarkFig8OverheadSeries(b *testing.B) {
 			}
 			b.ReportMetric(float64(len(bands)), "bands")
 			b.ReportMetric(float64(maxR), "max_r")
+		})
+	}
+}
+
+// E9 — fleet scaling: 16 independent paper-encoder streams on the
+// concurrent multi-stream engine, swept over worker-pool sizes. The
+// per-stream traces are byte-identical across the sweep (the engine's
+// determinism guarantee), so ns/op isolates pure scheduling speedup;
+// near-linear scaling to the core count is the expected shape, and the
+// fleet-wide miss rate rides along as a metric.
+func BenchmarkFleet16Streams(b *testing.B) {
+	s := experiment.Paper(1)
+	s.Cycles = 4
+	const streams = 16
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var res *fleet.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = s.RunFleet(1, streams, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := res.Err(); err != nil {
+				b.Fatal(err)
+			}
+			fs := metrics.AggregateTraces(res.Traces())
+			b.ReportMetric(100*fs.MissRate, "missrate_pct")
+			b.ReportMetric(fs.AvgQuality, "avg_quality")
 		})
 	}
 }

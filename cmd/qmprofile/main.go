@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	qmprofile [-frames 4] [-margin 1.3] [-levels 7] [-w 352 -h 288] [-o tables.json]
+//	qmprofile [-frames 4] [-margin 1.3] [-levels 7] [-w 352 -h 288]
+//	          [-seed 1] [-synthetic] [-o tables.json]
+//
+// With -synthetic the host clock is replaced by a deterministic timing
+// model seeded from -seed, so the emitted tables are reproducible.
 package main
 
 import (
@@ -30,7 +34,8 @@ func main() {
 	width := flag.Int("w", frame.CIFWidth, "frame width (multiple of 16)")
 	height := flag.Int("h", frame.CIFHeight, "frame height (multiple of 16)")
 	out := flag.String("o", "", "output file (default stdout)")
-	seed := flag.Uint64("seed", 1, "video source seed")
+	seed := flag.Uint64("seed", 1, "video source seed; with -synthetic, also the timing seed")
+	synthetic := flag.Bool("synthetic", false, "use the seeded deterministic timing model instead of the host clock (reproducible tables)")
 	flag.Parse()
 
 	src := &frame.Source{W: *width, H: *height, Seed: *seed}
@@ -38,9 +43,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "profiling %d×%d, %d levels, %d frames per level...\n",
-		*width, *height, *levels, *frames)
-	tabs, err := profiler.Profile(enc, *frames, *margin)
+	measure := profiler.WallClock()
+	mode := "host clock"
+	if *synthetic {
+		measure = profiler.Deterministic(*seed)
+		mode = fmt.Sprintf("synthetic (seed %d)", *seed)
+	}
+	fmt.Fprintf(os.Stderr, "profiling %d×%d, %d levels, %d frames per level, %s...\n",
+		*width, *height, *levels, *frames, mode)
+	tabs, err := profiler.ProfileWith(enc, *frames, *margin, measure)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func TestRunFleetMatchesSerialRunner(t *testing.T) {
+	s := Paper(1)
+	s.Cycles = 2
+	res, err := s.RunFleet(9, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	streams, err := s.FleetStreams(9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, stream := range streams {
+		serial := stream.Runner.MustRun()
+		if !reflect.DeepEqual(res.Streams[k].Trace, serial) {
+			t.Fatalf("stream %d: fleet trace differs from serial runner", k)
+		}
+	}
+
+	// A setup whose exec model cannot be reseeded per stream must be
+	// rejected rather than silently replicating one stream n times.
+	bad := Paper(1)
+	bad.Exec = sim.WorstCase{Sys: bad.Sys}
+	if _, err := bad.FleetStreams(1, 4); err == nil {
+		t.Fatal("non-Content exec model accepted")
+	}
+}
+
+func TestPaperFleetStaysSafe(t *testing.T) {
+	s := Paper(2)
+	s.Cycles = 3
+	res, err := s.RunFleet(2, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	fs := metrics.AggregateTraces(res.Traces())
+	if fs.Streams != 6 {
+		t.Fatalf("aggregated %d streams, want 6", fs.Streams)
+	}
+	if fs.Misses != 0 {
+		t.Fatalf("paper fleet missed %d deadlines; the per-stream manager must stay safe", fs.Misses)
+	}
+	if fs.AvgQuality <= 0 {
+		t.Fatalf("degenerate fleet quality %v", fs.AvgQuality)
+	}
+}
+
+func TestWorkloadFleetMixesCatalog(t *testing.T) {
+	streams, err := WorkloadFleet(4, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) != 7 {
+		t.Fatalf("got %d streams", len(streams))
+	}
+	distinct := map[string]int{}
+	for _, st := range streams {
+		distinct[st.Sys.Action(0).Name]++
+	}
+	if len(distinct) != 3 {
+		t.Fatalf("workload mix covers %d workloads, want 3", len(distinct))
+	}
+	res, err := fleet.Run(fleet.Config{Streams: streams, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMisses() != 0 {
+		t.Fatalf("mixed workload fleet missed %d deadlines", res.TotalMisses())
+	}
+	if _, err := WorkloadFleet(1, 0, 2); err == nil {
+		t.Fatal("n=0 must be rejected")
+	}
+	if _, err := WorkloadFleet(1, 2, 0); err == nil {
+		t.Fatal("cycles=0 must be rejected")
+	}
+}

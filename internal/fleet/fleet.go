@@ -1,0 +1,182 @@
+// Package fleet is the concurrent multi-stream engine: it runs N
+// independent quality-managed streams — each with its own cycle clock,
+// RNG seed and workload — over a goroutine worker pool sharded by
+// stream. The paper's Quality Manager was built for exactly this reuse:
+// core.Manager decisions are deterministic functions of (state, time)
+// over immutable pre-computed tables, so one compiled controller.Bundle
+// can drive arbitrarily many concurrent streams without locks.
+//
+// The engine guarantees that parallelism changes wall-clock time, never
+// results: every stream is executed through the same sim.Stream path as
+// a serial sim.Runner, so a stream's trace is byte-identical to the
+// serial run at the same seed regardless of the worker count.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Stream configures one independent quality-managed stream: a name
+// plus the embedded serial runner configuration, so the fleet cannot
+// drift from what a serial run honours. Runner.Mgr must be a
+// per-stream instance unless it is stateless (the policy and table
+// managers are; baseline feedback controllers are not).
+type Stream struct {
+	Name string
+	sim.Runner
+}
+
+// Config is a fleet run: the streams plus the worker pool size.
+type Config struct {
+	Streams []Stream
+	// Workers bounds the goroutine pool (≤ 0 selects GOMAXPROCS).
+	// Work is sharded at stream granularity: each stream is claimed by
+	// exactly one worker and runs start-to-finish on it.
+	Workers int
+}
+
+// StreamResult pairs a stream with its trace (or per-stream error).
+type StreamResult struct {
+	Name  string
+	Trace *sim.Trace
+	Err   error
+}
+
+// Result collects the per-stream outcomes of a fleet run, in input
+// order.
+type Result struct {
+	Streams []StreamResult
+}
+
+// Traces returns the successful traces in stream order.
+func (r *Result) Traces() []*sim.Trace {
+	out := make([]*sim.Trace, 0, len(r.Streams))
+	for _, s := range r.Streams {
+		if s.Err == nil && s.Trace != nil {
+			out = append(out, s.Trace)
+		}
+	}
+	return out
+}
+
+// Err returns the first per-stream error, or nil if every stream ran.
+func (r *Result) Err() error {
+	for _, s := range r.Streams {
+		if s.Err != nil {
+			return fmt.Errorf("fleet: stream %q: %w", s.Name, s.Err)
+		}
+	}
+	return nil
+}
+
+// TotalMisses sums deadline misses across all successful streams.
+func (r *Result) TotalMisses() int {
+	n := 0
+	for _, tr := range r.Traces() {
+		n += tr.Misses
+	}
+	return n
+}
+
+// Run executes every stream of the fleet on the sharded worker pool and
+// returns the per-stream results in input order. Configuration errors
+// of individual streams are reported per stream, so one bad stream does
+// not abort the fleet.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Streams) == 0 {
+		return nil, errors.New("fleet: no streams")
+	}
+	res := &Result{Streams: make([]StreamResult, len(cfg.Streams))}
+	sim.Dispatch(len(cfg.Streams), cfg.Workers, func(i int) {
+		s := cfg.Streams[i]
+		out := StreamResult{Name: s.Name}
+		out.Trace, out.Err = s.Runner.Run()
+		res.Streams[i] = out
+	})
+	return res, nil
+}
+
+// DeriveSeed maps (base seed, stream index) to the stream's own seed
+// with the splitmix64 avalanche, so fleets get decorrelated per-stream
+// content without the caller managing N seeds. It is a pure function:
+// the same base and index always give the same stream seed.
+func DeriveSeed(base uint64, stream int) uint64 {
+	return sim.Mix64(base + 0x9E3779B97F4A7C15*(uint64(stream)+1))
+}
+
+// Options configure FromBundle's stream construction.
+type Options struct {
+	// Manager selects the per-stream Quality Manager instantiated from
+	// the bundle: "symbolic", "relaxed" (default) or "numeric".
+	Manager string
+	// Cycles per stream (required).
+	Cycles int
+	// Period is the cycle arrival period (0 = last deadline).
+	Period core.Time
+	// Overhead is the platform's management-cost model.
+	Overhead sim.OverheadModel
+	// BaseSeed seeds the fleet; stream k draws content with
+	// DeriveSeed(BaseSeed, k).
+	BaseSeed uint64
+	// NoiseAmp is the content model's jitter amplitude.
+	NoiseAmp float64
+	// FrameFactor and ActionFactor shape the content model (nil = flat).
+	FrameFactor  func(c int) float64
+	ActionFactor func(i int) float64
+}
+
+// FromBundle builds n streams that all instantiate their manager from
+// one shared, immutable compiled bundle — the deployment shape the
+// paper's tool flow targets: compile once, serve many streams.
+func FromBundle(b *controller.Bundle, n int, opt Options) ([]Stream, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fleet: non-positive stream count %d", n)
+	}
+	if opt.Cycles <= 0 {
+		return nil, fmt.Errorf("fleet: non-positive cycle count %d", opt.Cycles)
+	}
+	mk, err := managerFactory(b, opt.Manager)
+	if err != nil {
+		return nil, err
+	}
+	sys := b.System()
+	streams := make([]Stream, n)
+	for k := 0; k < n; k++ {
+		streams[k] = Stream{
+			Name: fmt.Sprintf("%s-%03d", b.Spec().Name, k),
+			Runner: sim.Runner{
+				Sys: sys,
+				Mgr: mk(),
+				Exec: sim.Content{
+					Sys:          sys,
+					FrameFactor:  opt.FrameFactor,
+					ActionFactor: opt.ActionFactor,
+					NoiseAmp:     opt.NoiseAmp,
+					Seed:         DeriveSeed(opt.BaseSeed, k),
+				},
+				Overhead: opt.Overhead,
+				Cycles:   opt.Cycles,
+				Period:   opt.Period,
+			},
+		}
+	}
+	return streams, nil
+}
+
+func managerFactory(b *controller.Bundle, name string) (func() core.Manager, error) {
+	switch name {
+	case "", "relaxed":
+		return b.Relaxed, nil
+	case "symbolic":
+		return b.Symbolic, nil
+	case "numeric":
+		return b.Numeric, nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown manager %q", name)
+	}
+}

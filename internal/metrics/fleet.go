@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// FleetSummary aggregates many per-stream traces into fleet-wide
+// quantities: deadline-miss rates per stream and overall, the quality
+// histogram of every executed action, and the distribution of
+// per-stream utilisation. It is the cross-stream view the single-run
+// Summary cannot give.
+type FleetSummary struct {
+	Streams   int
+	Records   int
+	Decisions int
+
+	// Misses and DeadlineRecords count deadline violations and
+	// deadline-carrying action instances across the fleet; MissRate is
+	// their ratio (0 when no action carries a deadline).
+	Misses          int
+	DeadlineRecords int
+	MissRate        float64
+	// PerStreamMissRate is each aggregated stream's own miss rate, in
+	// the order the (non-nil) traces were given; its indices align with
+	// PerStream, not with the caller's original stream list when that
+	// list contained failed (nil) entries.
+	PerStreamMissRate []float64
+	// WorstStreamMissRate is the maximum per-stream miss rate — the
+	// fleet's fairness headline (an average can hide a starving stream).
+	WorstStreamMissRate float64
+
+	// QualityHist counts executed actions per quality level, fleet-wide;
+	// index = level. AvgQuality is the record-weighted mean.
+	QualityHist []int
+	AvgQuality  float64
+
+	// OverheadFraction is management time over busy time, fleet-wide.
+	OverheadFraction float64
+
+	// PerStreamUtilization is each aggregated stream's utilisation
+	// (busy time over wall-clock span), aligned with PerStream;
+	// UtilizationP50/P90/Max summarise its distribution.
+	PerStreamUtilization []float64
+	UtilizationP50       float64
+	UtilizationP90       float64
+	UtilizationMax       float64
+
+	// PerStream holds each aggregated stream's single-run summary,
+	// aligned with PerStreamMissRate.
+	PerStream []Summary
+}
+
+// AggregateTraces computes the fleet summary of the given traces (one
+// per stream, in stream order). Nil traces are skipped — the slice
+// from a fleet result with failed streams can be passed directly —
+// and the per-stream slices are compacted accordingly: entry j
+// describes the j-th non-nil trace.
+func AggregateTraces(traces []*sim.Trace) FleetSummary {
+	fs := FleetSummary{}
+	var qSum float64
+	var exec, overhead core.Time
+	var utils []float64
+	for _, tr := range traces {
+		if tr == nil {
+			continue
+		}
+		fs.Streams++
+		sum := Summarize(tr)
+		fs.PerStream = append(fs.PerStream, sum)
+		fs.Records += len(tr.Records)
+		fs.Decisions += tr.Decisions
+		fs.Misses += tr.Misses
+		exec += tr.TotalExec
+		overhead += tr.TotalOverhead
+
+		deadlines := 0
+		for _, r := range tr.Records {
+			qSum += float64(r.Q)
+			q := int(r.Q)
+			for len(fs.QualityHist) <= q {
+				fs.QualityHist = append(fs.QualityHist, 0)
+			}
+			fs.QualityHist[q]++
+			if !r.Deadline.IsInf() {
+				deadlines++
+			}
+		}
+		fs.DeadlineRecords += deadlines
+		rate := 0.0
+		if deadlines > 0 {
+			rate = float64(tr.Misses) / float64(deadlines)
+		}
+		fs.PerStreamMissRate = append(fs.PerStreamMissRate, rate)
+		fs.WorstStreamMissRate = math.Max(fs.WorstStreamMissRate, rate)
+		fs.PerStreamUtilization = append(fs.PerStreamUtilization, Utilization(tr))
+	}
+	utils = append(utils, fs.PerStreamUtilization...) // Percentile sorts its argument
+	if fs.Records > 0 {
+		fs.AvgQuality = qSum / float64(fs.Records)
+	}
+	if fs.DeadlineRecords > 0 {
+		fs.MissRate = float64(fs.Misses) / float64(fs.DeadlineRecords)
+	}
+	if busy := exec + overhead; busy > 0 {
+		fs.OverheadFraction = float64(overhead) / float64(busy)
+	}
+	fs.UtilizationP50 = Percentile(utils, 0.5)
+	fs.UtilizationP90 = Percentile(utils, 0.9)
+	fs.UtilizationMax = Percentile(utils, 1)
+	return fs
+}
+
+// Percentile returns the p-quantile (p in [0, 1]) of values by linear
+// interpolation between order statistics. It sorts values in place and
+// returns 0 for an empty slice.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sort.Float64s(values)
+	if p <= 0 {
+		return values[0]
+	}
+	if p >= 1 {
+		return values[len(values)-1]
+	}
+	pos := p * float64(len(values)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return values[lo]
+	}
+	frac := pos - float64(lo)
+	return values[lo]*(1-frac) + values[hi]*frac
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/regions"
+	"repro/internal/sim"
+)
+
+func fleetTraces(t *testing.T, n int) []*sim.Trace {
+	t.Helper()
+	sys := core.RandomSystem(rand.New(rand.NewSource(6)), core.RandomSystemConfig{Actions: 20})
+	tab := regions.BuildTDTable(sys)
+	traces := make([]*sim.Trace, n)
+	for k := range traces {
+		tr, err := (&sim.Runner{
+			Sys:      sys,
+			Mgr:      regions.NewSymbolicManager(tab),
+			Exec:     sim.Content{Sys: sys, NoiseAmp: 0.4, Seed: uint64(100 + k)},
+			Overhead: sim.IPodOverhead,
+			Cycles:   3,
+		}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces[k] = tr
+	}
+	return traces
+}
+
+func TestAggregateTraces(t *testing.T) {
+	traces := fleetTraces(t, 5)
+	fs := AggregateTraces(traces)
+	if fs.Streams != 5 || len(fs.PerStream) != 5 || len(fs.PerStreamMissRate) != 5 {
+		t.Fatalf("stream accounting wrong: %+v", fs)
+	}
+	wantRecords, wantMisses, wantDecisions := 0, 0, 0
+	for _, tr := range traces {
+		wantRecords += len(tr.Records)
+		wantMisses += tr.Misses
+		wantDecisions += tr.Decisions
+	}
+	if fs.Records != wantRecords || fs.Misses != wantMisses || fs.Decisions != wantDecisions {
+		t.Fatalf("totals wrong: %+v", fs)
+	}
+	histSum := 0
+	for _, c := range fs.QualityHist {
+		histSum += c
+	}
+	if histSum != wantRecords {
+		t.Fatalf("quality histogram sums to %d, want %d", histSum, wantRecords)
+	}
+	var qSum float64
+	for _, tr := range traces {
+		for _, r := range tr.Records {
+			qSum += float64(r.Q)
+		}
+	}
+	if math.Abs(fs.AvgQuality-qSum/float64(wantRecords)) > 1e-12 {
+		t.Fatalf("AvgQuality = %v", fs.AvgQuality)
+	}
+	if fs.DeadlineRecords == 0 {
+		t.Fatal("random systems carry deadlines; DeadlineRecords must be > 0")
+	}
+	if fs.MissRate != float64(fs.Misses)/float64(fs.DeadlineRecords) {
+		t.Fatalf("MissRate = %v", fs.MissRate)
+	}
+	for _, rate := range fs.PerStreamMissRate {
+		if rate > fs.WorstStreamMissRate {
+			t.Fatal("WorstStreamMissRate below a per-stream rate")
+		}
+	}
+	if fs.UtilizationP50 > fs.UtilizationP90 || fs.UtilizationP90 > fs.UtilizationMax {
+		t.Fatalf("utilisation percentiles not ordered: %v %v %v",
+			fs.UtilizationP50, fs.UtilizationP90, fs.UtilizationMax)
+	}
+	if fs.UtilizationMax <= 0 || fs.UtilizationMax > 1 {
+		t.Fatalf("UtilizationMax = %v outside (0, 1]", fs.UtilizationMax)
+	}
+}
+
+func TestAggregateTracesSkipsNil(t *testing.T) {
+	traces := fleetTraces(t, 2)
+	fs := AggregateTraces([]*sim.Trace{traces[0], nil, traces[1]})
+	if fs.Streams != 2 {
+		t.Fatalf("Streams = %d, want 2", fs.Streams)
+	}
+	empty := AggregateTraces(nil)
+	if empty.Streams != 0 || empty.Records != 0 || empty.MissRate != 0 {
+		t.Fatalf("empty aggregate not zero: %+v", empty)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile must be 0")
+	}
+	v := []float64{4, 1, 3, 2}
+	if got := Percentile(v, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(v, 1); got != 4 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(v, 0.5); got != 2.5 {
+		t.Fatalf("p50 = %v, want 2.5", got)
+	}
+	if got := Percentile([]float64{7}, 0.9); got != 7 {
+		t.Fatalf("single-value percentile = %v", got)
+	}
+}

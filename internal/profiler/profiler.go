@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/encoder"
 	"repro/internal/frame"
+	"repro/internal/sim"
 )
 
 // ClassTiming holds per-quality timing estimates for one action class.
@@ -32,17 +33,73 @@ type Tables struct {
 	Classes map[string]ClassTiming `json:"classes"`
 }
 
+// Measurer executes one encoder action and reports its execution time.
+// Profiling threads an explicit Measurer through the whole run, so the
+// timing source is a parameter rather than an ambient reach for the
+// wall clock: WallClock profiles the real host, Deterministic(seed)
+// replaces it with a seeded synthetic model whose Cav/Cwc tables are
+// bit-reproducible across runs and machines.
+type Measurer func(e *encoder.Encoder, frame, action int, q core.Level) time.Duration
+
+// WallClock returns the host-clock measurer: it runs the action and
+// times it with the real-time clock (the paper's "estimated ... by
+// profiling" step, inherently machine-dependent).
+func WallClock() Measurer {
+	return func(e *encoder.Encoder, _, action int, q core.Level) time.Duration {
+		start := time.Now()
+		e.Exec(action, q)
+		return time.Since(start)
+	}
+}
+
+// Deterministic returns a seeded synthetic measurer: it still executes
+// the action (so the encoder's internal state advances exactly as under
+// wall-clock profiling) but reports a duration drawn from a pure hash
+// of (seed, class, frame, action, quality) over an iPod-shaped cost
+// model. Two profiling runs with the same seed emit identical tables.
+func Deterministic(seed uint64) Measurer {
+	base := map[string]time.Duration{
+		encoder.ClassSetup:     400 * time.Microsecond,
+		encoder.ClassMotion:    25 * time.Microsecond,
+		encoder.ClassTransform: 30 * time.Microsecond,
+		encoder.ClassCode:      18 * time.Microsecond,
+	}
+	return func(e *encoder.Encoder, frame, action int, q core.Level) time.Duration {
+		e.Exec(action, q)
+		cls := encoder.ActionClass(action)
+		b := base[cls]
+		// Quality scales cost linearly; jitter stays within ±20 % so the
+		// max-over-frames worst case remains close to the average, like a
+		// quiet host. The explicit float64 conversions on the products
+		// force their rounding before the add: the spec otherwise lets a
+		// compiler contract x*y+z into FMA (arm64 does, amd64 does not),
+		// which would break byte-reproducibility between architectures.
+		scale := 1 + float64(0.35*float64(q))
+		jitter := 1 + float64(0.2*(2*sim.HashUnit(seed, uint64(frame)<<32|uint64(action), uint64(q))-1))
+		return time.Duration(float64(b) * scale * jitter)
+	}
+}
+
 // Profile measures the encoder's per-class execution times over the given
 // number of frames at every quality level, on the host clock. The
 // worst-case estimate is the observed maximum inflated by the safety
 // margin (paper: conservative estimates; margin 1.3 is the default used
-// by cmd/qmprofile).
+// by cmd/qmprofile). For reproducible tables, use ProfileWith and a
+// Deterministic measurer.
 func Profile(e *encoder.Encoder, frames int, margin float64) (*Tables, error) {
+	return ProfileWith(e, frames, margin, WallClock())
+}
+
+// ProfileWith is Profile with an explicit timing source.
+func ProfileWith(e *encoder.Encoder, frames int, margin float64, measure Measurer) (*Tables, error) {
 	if frames < 2 {
 		return nil, fmt.Errorf("profiler: need ≥2 frames (first is intra), got %d", frames)
 	}
 	if margin < 1 {
 		return nil, fmt.Errorf("profiler: margin %v < 1", margin)
+	}
+	if measure == nil {
+		return nil, fmt.Errorf("profiler: nil measurer")
 	}
 	levels := e.Levels()
 	sums := map[string][]time.Duration{}
@@ -57,9 +114,7 @@ func Profile(e *encoder.Encoder, frames int, margin float64) (*Tables, error) {
 		for f := 0; f < frames; f++ {
 			for i := 0; i < e.NumActions(); i++ {
 				cls := encoder.ActionClass(i)
-				start := time.Now()
-				e.Exec(i, core.Level(q))
-				d := time.Since(start)
+				d := measure(e, f, i, core.Level(q))
 				if f == 0 {
 					continue // intra frame skews inter-frame classes
 				}

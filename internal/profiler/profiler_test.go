@@ -1,6 +1,7 @@
 package profiler
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -134,5 +135,50 @@ func TestNewCIFEncoder(t *testing.T) {
 	e := NewCIFEncoder(1)
 	if e.NumActions() != 1189 || e.Levels() != 7 {
 		t.Fatalf("CIF encoder: %d actions %d levels", e.NumActions(), e.Levels())
+	}
+}
+
+func TestDeterministicProfileReproducible(t *testing.T) {
+	run := func(seed uint64) *Tables {
+		e := encoder.MustNew(&frame.Source{W: 64, H: 48, Seed: 3}, 4)
+		tabs, err := ProfileWith(e, 3, 1.3, Deterministic(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tabs
+	}
+	a, b := run(9), run(9)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must emit identical Cav/Cwc tables")
+	}
+	c := run(10)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should emit different tables")
+	}
+	// The synthetic tables must still satisfy Definition 1 and assemble
+	// into a feasible system, like wall-clock ones.
+	for cls, ct := range a.Classes {
+		for q := 0; q < a.Levels; q++ {
+			if ct.WC[q] < ct.Av[q] {
+				t.Fatalf("class %s level %d: wc < av", cls, q)
+			}
+			if q > 0 && (ct.Av[q] < ct.Av[q-1] || ct.WC[q] < ct.WC[q-1]) {
+				t.Fatalf("class %s tables not monotone", cls)
+			}
+		}
+	}
+	total := core.Time(0)
+	for i := 0; i < 1+3*12; i++ {
+		total += a.Classes[encoder.ActionClass(i)].WC[0]
+	}
+	if _, err := a.System(12, total*2); err != nil {
+		t.Fatalf("synthetic system rejected: %v", err)
+	}
+}
+
+func TestProfileWithNilMeasurer(t *testing.T) {
+	e := encoder.MustNew(&frame.Source{W: 32, H: 32, Seed: 1}, 3)
+	if _, err := ProfileWith(e, 2, 1.3, nil); err == nil {
+		t.Error("nil measurer accepted")
 	}
 }

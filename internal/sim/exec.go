@@ -52,7 +52,7 @@ func (m Uniform) Actual(c, i int, q core.Level) core.Time {
 	if wc == 0 {
 		return 0
 	}
-	u := hashUnit(m.Seed, uint64(c), uint64(i))
+	u := HashUnit(m.Seed, uint64(c), uint64(i))
 	return core.Time(u * float64(wc))
 }
 
@@ -89,7 +89,7 @@ func (m Content) Actual(c, i int, q core.Level) core.Time {
 		f *= m.ActionFactor(i)
 	}
 	if m.NoiseAmp > 0 {
-		f *= 1 + m.NoiseAmp*(2*hashUnit(m.Seed, uint64(c), uint64(i))-1)
+		f *= 1 + m.NoiseAmp*(2*HashUnit(m.Seed, uint64(c), uint64(i))-1)
 	}
 	v := core.Time(f * float64(m.Sys.Av(i, q)))
 	if v < 0 {
@@ -101,15 +101,23 @@ func (m Content) Actual(c, i int, q core.Level) core.Time {
 	return v
 }
 
-// hashUnit maps (seed, a, b) to a uniform float64 in [0, 1) using a
-// splitmix64-style avalanche. It gives every (cycle, action) pair an
+// HashUnit maps (seed, a, b) to a uniform float64 in [0, 1) using the
+// splitmix64 avalanche. It gives every (cycle, action) pair an
 // independent, reproducible draw without any PRNG stream state.
-func hashUnit(seed, a, b uint64) float64 {
-	x := seed ^ (a * 0x9E3779B97F4A7C15) ^ (b * 0xBF58476D1CE4E5B9)
+func HashUnit(seed, a, b uint64) float64 {
+	x := Mix64(seed ^ (a * 0x9E3779B97F4A7C15) ^ (b * 0xBF58476D1CE4E5B9))
+	return float64(x>>11) / float64(1<<53)
+}
+
+// Mix64 finalises x with the splitmix64 avalanche: a bijective mix
+// whose output bits all depend on all input bits. It is the one
+// mixing primitive behind HashUnit and the fleet's per-stream seed
+// derivation.
+func Mix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xBF58476D1CE4E5B9
 	x ^= x >> 27
 	x *= 0x94D049BB133111EB
 	x ^= x >> 31
-	return float64(x>>11) / float64(1<<53)
+	return x
 }

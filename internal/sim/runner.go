@@ -86,8 +86,37 @@ type Runner struct {
 	WorkConserving bool
 }
 
-// Run executes the configured workload and returns its trace.
+// Run executes the configured workload and returns its trace. It is the
+// batch form of the Stream API: Run drives a Stream to completion, so a
+// serial run and a fleet stream share one execution path — their traces
+// are identical by construction, not by careful duplication.
 func (r *Runner) Run() (*Trace, error) {
+	st, err := r.Stream()
+	if err != nil {
+		return nil, err
+	}
+	for st.Step() {
+	}
+	return st.Trace(), nil
+}
+
+// Stream is the incremental form of Runner: one quality-managed stream
+// advanced cycle by cycle. It carries the stream's whole simulation
+// state (virtual clock, cycle counter, accumulating trace), so a fleet
+// engine can hold many of them and advance each on its own schedule
+// without the streams interacting.
+type Stream struct {
+	r      *Runner
+	period core.Time
+	n      int
+	tr     *Trace
+	t      core.Time
+	cycle  int
+}
+
+// Stream validates the runner's configuration and returns the stream
+// positioned before its first cycle.
+func (r *Runner) Stream() (*Stream, error) {
 	if r.Sys == nil || r.Mgr == nil || r.Exec == nil {
 		return nil, errors.New("sim: runner needs Sys, Mgr and Exec")
 	}
@@ -102,56 +131,85 @@ func (r *Runner) Run() (*Trace, error) {
 		return nil, fmt.Errorf("sim: non-positive period %v", period)
 	}
 	n := r.Sys.NumActions()
-	tr := &Trace{
-		Manager: r.Mgr.Name(),
-		Period:  period,
-		Cycles:  r.Cycles,
-		Records: make([]Record, 0, n*r.Cycles),
-	}
-
-	t := core.Time(0)
-	for c := 0; c < r.Cycles; c++ {
-		base := core.Time(c) * period
-		if !r.WorkConserving && t < base {
-			tr.TotalIdle += base - t
-			t = base
-		}
-		pending := 0
-		var curQ core.Level
-		for i := 0; i < n; i++ {
-			rec := Record{Cycle: c, Index: i, Deadline: core.TimeInf}
-			if pending == 0 {
-				d := r.Mgr.Decide(i, t-base)
-				oh := r.Overhead.Cost(d.Work)
-				t += oh
-				curQ = d.Q
-				pending = d.Steps
-				rec.Decision = true
-				rec.Steps = d.Steps
-				rec.Overhead = oh
-				tr.TotalOverhead += oh
-				tr.Decisions++
-			}
-			et := r.Exec.Actual(c, i, curQ)
-			rec.Q = curQ
-			rec.Start = t
-			rec.Exec = et
-			t += et
-			tr.TotalExec += et
-			pending--
-			if a := r.Sys.Action(i); a.HasDeadline() {
-				rec.Deadline = base + a.Deadline
-				if t > rec.Deadline {
-					rec.Missed = true
-					tr.Misses++
-				}
-			}
-			tr.Records = append(tr.Records, rec)
-		}
-	}
-	tr.Final = t
-	return tr, nil
+	return &Stream{
+		r:      r,
+		period: period,
+		n:      n,
+		tr: &Trace{
+			Manager: r.Mgr.Name(),
+			Period:  period,
+			Records: make([]Record, 0, n*r.Cycles),
+		},
+	}, nil
 }
+
+// Step executes the stream's next cycle and reports whether it ran one
+// (false once all cycles have completed). After every step the trace is
+// a valid prefix run — Final tracks the current clock and Cycles the
+// cycles executed so far — so a k-step trace equals a k-cycle Run.
+func (st *Stream) Step() bool {
+	if st.cycle >= st.r.Cycles {
+		return false
+	}
+	c := st.cycle
+	tr := st.tr
+	t := st.t
+	base := core.Time(c) * st.period
+	if !st.r.WorkConserving && t < base {
+		tr.TotalIdle += base - t
+		t = base
+	}
+	pending := 0
+	var curQ core.Level
+	for i := 0; i < st.n; i++ {
+		rec := Record{Cycle: c, Index: i, Deadline: core.TimeInf}
+		if pending == 0 {
+			d := st.r.Mgr.Decide(i, t-base)
+			oh := st.r.Overhead.Cost(d.Work)
+			t += oh
+			curQ = d.Q
+			pending = d.Steps
+			rec.Decision = true
+			rec.Steps = d.Steps
+			rec.Overhead = oh
+			tr.TotalOverhead += oh
+			tr.Decisions++
+		}
+		et := st.r.Exec.Actual(c, i, curQ)
+		rec.Q = curQ
+		rec.Start = t
+		rec.Exec = et
+		t += et
+		tr.TotalExec += et
+		pending--
+		if a := st.r.Sys.Action(i); a.HasDeadline() {
+			rec.Deadline = base + a.Deadline
+			if t > rec.Deadline {
+				rec.Missed = true
+				tr.Misses++
+			}
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	st.t = t
+	st.cycle++
+	tr.Cycles = st.cycle
+	tr.Final = t
+	return true
+}
+
+// Done reports whether every cycle has run.
+func (st *Stream) Done() bool { return st.cycle >= st.r.Cycles }
+
+// CyclesRun returns how many cycles have executed so far.
+func (st *Stream) CyclesRun() int { return st.cycle }
+
+// Clock returns the stream's current virtual time.
+func (st *Stream) Clock() core.Time { return st.t }
+
+// Trace returns the accumulating trace. It is complete once Done
+// reports true; before that it is the valid trace of a shorter run.
+func (st *Stream) Trace() *Trace { return st.tr }
 
 // MustRun is Run that panics on configuration errors; for examples and
 // benchmarks with statically valid configurations.

@@ -58,9 +58,9 @@ func TestExecModelsDeterministic(t *testing.T) {
 func TestHashUnitRange(t *testing.T) {
 	for a := uint64(0); a < 100; a++ {
 		for b := uint64(0); b < 20; b++ {
-			u := hashUnit(42, a, b)
+			u := HashUnit(42, a, b)
 			if u < 0 || u >= 1 {
-				t.Fatalf("hashUnit out of range: %v", u)
+				t.Fatalf("HashUnit out of range: %v", u)
 			}
 		}
 	}

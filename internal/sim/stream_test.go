@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/regions"
+)
+
+func streamRunner(seed int64) *Runner {
+	sys := randSys(seed, core.RandomSystemConfig{Actions: 40})
+	tab := regions.BuildTDTable(sys)
+	return &Runner{
+		Sys:      sys,
+		Mgr:      regions.NewSymbolicManager(tab),
+		Exec:     Content{Sys: sys, NoiseAmp: 0.3, Seed: uint64(seed)},
+		Overhead: IPodOverhead,
+		Cycles:   6,
+	}
+}
+
+func TestStreamStepMatchesRun(t *testing.T) {
+	full := streamRunner(41).MustRun()
+	st, err := streamRunner(41).Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for !st.Done() {
+		if !st.Step() {
+			t.Fatal("Step returned false before Done")
+		}
+		steps++
+		if st.CyclesRun() != steps {
+			t.Fatalf("CyclesRun = %d after %d steps", st.CyclesRun(), steps)
+		}
+		if st.Trace().Final != st.Clock() {
+			t.Fatal("partial trace Final must track the stream clock")
+		}
+	}
+	if steps != 6 {
+		t.Fatalf("stream ran %d cycles, want 6", steps)
+	}
+	if st.Step() {
+		t.Fatal("Step past the last cycle must be a no-op")
+	}
+	if !reflect.DeepEqual(st.Trace(), full) {
+		t.Fatal("stepped trace differs from Run trace")
+	}
+}
+
+func TestStreamPrefixIsShorterRun(t *testing.T) {
+	st, err := streamRunner(42).Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Step()
+	st.Step()
+	short := streamRunner(42)
+	short.Cycles = 2
+	want := short.MustRun()
+	if !reflect.DeepEqual(st.Trace(), want) {
+		t.Fatal("2-step prefix trace differs from a 2-cycle run")
+	}
+}
+
+func TestDispatchCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 3, 7, 64} {
+		n := 53
+		hits := make([]int, n)
+		Dispatch(n, workers, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+	Dispatch(0, 4, func(int) { t.Fatal("fn must not run for n=0") })
+}
+
+func TestSweepWorkersMatchesSweep(t *testing.T) {
+	mk := func() []SweepPoint {
+		return []SweepPoint{
+			{Label: "a", Runner: streamRunner(7)},
+			{Label: "b", Runner: streamRunner(8)},
+			{Label: "bad"},
+			{Label: "c", Runner: streamRunner(9)},
+		}
+	}
+	base := Sweep(mk())
+	for _, workers := range []int{1, 2, 8} {
+		got := SweepWorkers(mk(), workers)
+		if len(got) != len(base) {
+			t.Fatal("result length mismatch")
+		}
+		for i := range got {
+			if got[i].Label != base[i].Label {
+				t.Fatalf("workers=%d: label order changed", workers)
+			}
+			if (got[i].Err == nil) != (base[i].Err == nil) {
+				t.Fatalf("workers=%d: error mismatch at %q", workers, got[i].Label)
+			}
+			if got[i].Err != nil {
+				continue
+			}
+			if !reflect.DeepEqual(got[i].Trace, base[i].Trace) {
+				t.Fatalf("workers=%d: trace %q differs", workers, got[i].Label)
+			}
+		}
+	}
+}

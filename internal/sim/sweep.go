@@ -2,8 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 )
 
 // SweepPoint is one configuration of a parameter sweep: a label and a
@@ -28,32 +26,24 @@ type SweepResult struct {
 // model; only independent runs are parallelised — the usual shape of a
 // benchmark sweep over seeds, managers or parameter grids.
 func Sweep(points []SweepPoint) []SweepResult {
-	results := make([]SweepResult, len(points))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxWorkers())
-	for idx, p := range points {
-		wg.Add(1)
-		go func(idx int, p SweepPoint) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res := SweepResult{Label: p.Label}
-			if p.Runner == nil {
-				res.Err = fmt.Errorf("sim: sweep point %q has no runner", p.Label)
-			} else {
-				res.Trace, res.Err = p.Runner.Run()
-			}
-			results[idx] = res
-		}(idx, p)
-	}
-	wg.Wait()
-	return results
+	return SweepWorkers(points, 0)
 }
 
-func maxWorkers() int {
-	p := runtime.GOMAXPROCS(0)
-	if p < 1 {
-		return 1
-	}
-	return p
+// SweepWorkers is Sweep with an explicit worker count (≤ 0 selects
+// GOMAXPROCS). Points are dispatched on the shared sharded pool, so a
+// point's result never depends on the worker count — only the
+// wall-clock time does.
+func SweepWorkers(points []SweepPoint, workers int) []SweepResult {
+	results := make([]SweepResult, len(points))
+	Dispatch(len(points), workers, func(idx int) {
+		p := points[idx]
+		res := SweepResult{Label: p.Label}
+		if p.Runner == nil {
+			res.Err = fmt.Errorf("sim: sweep point %q has no runner", p.Label)
+		} else {
+			res.Trace, res.Err = p.Runner.Run()
+		}
+		results[idx] = res
+	})
+	return results
 }
