@@ -1,0 +1,145 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/sim"
+)
+
+// E10 — the steady-state fleet hot path. One op is one Stream.Step — a
+// full 1,189-action frame of the paper's encoder under the relaxed
+// manager feeding a StatsSink. The acceptance bar of the zero-retention
+// sink layer is 0 allocs/op: quality management, content drawing and
+// statistics aggregation all run without touching the heap, so fleet
+// memory is O(streams) however long the streams run.
+func BenchmarkFleetStep(b *testing.B) {
+	s := experiment.Paper(1)
+	r := &sim.Runner{
+		Sys:      s.Sys,
+		Mgr:      s.Relaxed(),
+		Exec:     s.Exec,
+		Overhead: s.Overhead,
+		Cycles:   1 << 30, // steady state: never exhausts within a benchmark
+		Period:   s.Period,
+		Sink:     sim.NewStatsSink(s.Sys.NumLevels()),
+	}
+	st, err := r.Stream()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !st.Step() {
+			b.Fatal("stream exhausted")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*s.Sys.NumActions()), "ns/action")
+}
+
+// fleetBenchRow is one configuration of the throughput harness; the set
+// is serialised to BENCH_fleet.json so CI can track the perf trajectory.
+type fleetBenchRow struct {
+	Name            string  `json:"name"`
+	Streams         int     `json:"streams"`
+	Workers         int     `json:"workers"` // 0 = serial loop, no pool
+	Cycles          int     `json:"cycles"`
+	ActionsPerOp    int     `json:"actions_per_op"`
+	NsPerAction     float64 `json:"ns_per_action"`
+	AllocsPerAction float64 `json:"allocs_per_action"`
+}
+
+// E11 — fleet throughput: the paper-encoder fleet through the
+// zero-retention stats path, serially and on 1/2/4/8 workers. Each
+// sub-benchmark reports ns/action and allocs/action (stream setup
+// included, so the steady-state figure is bounded by BenchmarkFleetStep)
+// and the harness writes the set to BENCH_fleet.json. NB: single-core
+// hosts only show scheduling overhead across worker counts.
+func BenchmarkFleetThroughput(b *testing.B) {
+	s := experiment.Paper(1)
+	s.Cycles = 2
+	const streams = 8
+	actionsPerOp := streams * s.Cycles * s.Sys.NumActions()
+	var order []string
+	byName := map[string]fleetBenchRow{}
+
+	measure := func(name string, workers int, run func() error) {
+		b.Run(name, func(b *testing.B) {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if err := run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
+			total := float64(b.N) * float64(actionsPerOp)
+			row := fleetBenchRow{
+				Name:            name,
+				Streams:         streams,
+				Workers:         workers,
+				Cycles:          s.Cycles,
+				ActionsPerOp:    actionsPerOp,
+				NsPerAction:     float64(elapsed.Nanoseconds()) / total,
+				AllocsPerAction: float64(after.Mallocs-before.Mallocs) / total,
+			}
+			b.ReportMetric(row.NsPerAction, "ns/action")
+			b.ReportMetric(row.AllocsPerAction, "allocs/action")
+			// The harness re-invokes sub-benchmarks while calibrating
+			// b.N; keep only the final (largest-N) run per config.
+			if _, seen := byName[name]; !seen {
+				order = append(order, name)
+			}
+			byName[name] = row
+		})
+	}
+
+	measure("serial", 0, func() error {
+		strs, err := s.FleetStreams(1, streams)
+		if err != nil {
+			return err
+		}
+		for k := range strs {
+			st := strs[k]
+			st.Runner.Sink = sim.NewStatsSink(st.Runner.Sys.NumLevels())
+			if _, err := st.Runner.Run(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		measure(fmt.Sprintf("fleet-workers=%d", w), w, func() error {
+			res, err := s.RunFleetStats(1, streams, w)
+			if err != nil {
+				return err
+			}
+			return res.Err()
+		})
+	}
+
+	if len(order) == 0 {
+		return // sub-benchmark filter excluded everything
+	}
+	rows := make([]fleetBenchRow, 0, len(order))
+	for _, name := range order {
+		rows = append(rows, byName[name])
+	}
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_fleet.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_fleet.json (%d configurations)", len(rows))
+}

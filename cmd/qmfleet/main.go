@@ -8,8 +8,12 @@
 //
 // Usage:
 //
-//	qmfleet [-streams 16] [-workers 0] [-cycles 8] [-seed 1]
+//	qmfleet [-streams 16] [-workers 0] [-cycles 8] [-seed 1] [-retain]
 //	        [-mix encoder|workloads | -bundle controller.json [-manager relaxed]]
+//
+// By default streams run zero-retention: each feeds a StatsSink and the
+// report is computed from streamed aggregates, so memory is O(streams)
+// regardless of run length. -retain restores full per-action traces.
 package main
 
 import (
@@ -36,6 +40,7 @@ func main() {
 	mix := flag.String("mix", "encoder", "stream mix: encoder (paper fleet) or workloads (catalog mix)")
 	bundlePath := flag.String("bundle", "", "run the fleet from a compiled controller bundle (qmcompile output) instead of -mix")
 	manager := flag.String("manager", "relaxed", "manager instantiated from the bundle: numeric, symbolic, relaxed (with -bundle)")
+	retain := flag.Bool("retain", false, "retain full per-action traces (memory grows as streams × cycles × actions); default streams O(1)-memory statistics per stream")
 	flag.Parse()
 
 	if *streams <= 0 || *cycles <= 0 {
@@ -85,16 +90,22 @@ func main() {
 		log.Fatalf("unknown -mix %q (want encoder or workloads)", *mix)
 	}
 
+	run := fleet.RunStats
+	mode := "streaming stats, zero retention"
+	if *retain {
+		run = fleet.Run
+		mode = "full traces retained"
+	}
 	start := time.Now()
-	res, err := fleet.Run(cfg)
+	res, err := run(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
 
 	w := sim.EffectiveWorkers(*streams, *workers)
-	fmt.Printf("fleet               %d streams × %d cycles, %d workers (%s)\n",
-		*streams, *cycles, w, label)
+	fmt.Printf("fleet               %d streams × %d cycles, %d workers (%s; %s)\n",
+		*streams, *cycles, w, label, mode)
 	fmt.Printf("wall-clock          %v\n\n", elapsed.Round(time.Millisecond))
 	fmt.Print(report.FleetTable(res))
 	if err := res.Err(); err != nil {

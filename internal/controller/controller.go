@@ -11,6 +11,7 @@
 package controller
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -161,14 +162,14 @@ type bundleJSON struct {
 
 // WriteTo serialises the bundle (spec + pre-computed tables) as JSON.
 func (b *Bundle) WriteTo(w io.Writer) (int64, error) {
-	var tabBuf, relaxBuf bytesBuffer
+	var tabBuf, relaxBuf bytes.Buffer
 	if _, err := b.tab.WriteTo(&tabBuf); err != nil {
 		return 0, err
 	}
 	if _, err := b.relax.WriteTo(&relaxBuf); err != nil {
 		return 0, err
 	}
-	j := bundleJSON{Spec: b.spec, Tables: tabBuf.data, Relax: relaxBuf.data}
+	j := bundleJSON{Spec: b.spec, Tables: tabBuf.Bytes(), Relax: relaxBuf.Bytes()}
 	cw := &countWriter{w: w}
 	err := json.NewEncoder(cw).Encode(j)
 	return cw.n, err
@@ -188,11 +189,11 @@ func Load(r io.Reader) (*Bundle, error) {
 	if err != nil {
 		return nil, err
 	}
-	tab, err := regions.LoadTDTable(bytesReader(j.Tables), skeleton)
+	tab, err := regions.LoadTDTable(bytes.NewReader(j.Tables), skeleton)
 	if err != nil {
 		return nil, fmt.Errorf("controller: %w", err)
 	}
-	relax, err := regions.LoadRelaxTables(bytesReader(j.Relax), tab)
+	relax, err := regions.LoadRelaxTables(bytes.NewReader(j.Relax), tab)
 	if err != nil {
 		return nil, fmt.Errorf("controller: %w", err)
 	}
@@ -213,29 +214,4 @@ func (cw *countWriter) Write(p []byte) (int, error) {
 	n, err := cw.w.Write(p)
 	cw.n += int64(n)
 	return n, err
-}
-
-// bytesBuffer is a minimal in-memory io.Writer (avoiding a bytes import
-// cycle is not a concern; this keeps allocations explicit).
-type bytesBuffer struct{ data []byte }
-
-func (b *bytesBuffer) Write(p []byte) (int, error) {
-	b.data = append(b.data, p...)
-	return len(p), nil
-}
-
-type byteReader struct {
-	data []byte
-	pos  int
-}
-
-func bytesReader(b []byte) io.Reader { return &byteReader{data: b} }
-
-func (r *byteReader) Read(p []byte) (int, error) {
-	if r.pos >= len(r.data) {
-		return 0, io.EOF
-	}
-	n := copy(p, r.data[r.pos:])
-	r.pos += n
-	return n, nil
 }

@@ -73,7 +73,7 @@ func (s *System) CD(i, k int, q Level) Time {
 // to choose qmax). i may equal NumActions(), denoting the final state.
 func (s *System) TD(i int, q Level) Time {
 	n := len(s.actions)
-	hq := s.h[q]
+	hq := s.h[int(q)*n : (int(q)+1)*n]
 	best := TimeInf
 	maxh := TimeNegInf
 	for k := i; k < n; k++ {
@@ -89,7 +89,7 @@ func (s *System) TD(i int, q Level) Time {
 	if best >= TimeInf {
 		return TimeInf
 	}
-	return best + s.avPrefix[q][i]
+	return best + s.avPrefix[i*s.nq+int(q)]
 }
 
 // TDNaive evaluates tD(s_i, q) directly from Definition-level formulas

@@ -101,16 +101,23 @@ type System struct {
 	timing  *TimingTable
 	nq      int
 
-	// avPrefix[q][i] = sum of Cav(a_j, q) for j < i; length n+1 per level.
-	avPrefix [][]Time
-	// wcPrefix[q][i] = sum of Cwc(a_j, q) for j < i; length n+1 per level.
-	wcPrefix [][]Time
-	// wminPrefix[i] = sum of Cwc(a_j, qmin) for j < i (equals wcPrefix[0]).
+	// The prefix tables are contiguous slabs indexed i·nq+q (the same
+	// state-major layout as the symbolic tD table), so the per-state
+	// probes of a decision touch one cache line instead of nq slices.
+	//
+	// avPrefix[i*nq+q] = sum of Cav(a_j, q) for j < i; i in [0, n].
+	avPrefix []Time
+	// wcPrefix[i*nq+q] = sum of Cwc(a_j, q) for j < i; i in [0, n].
+	wcPrefix []Time
+	// wminPrefix[i] = sum of Cwc(a_j, qmin) for j < i, kept as its own
+	// dense row because the policy scans it sequentially.
 	wminPrefix []Time
-	// h[q][j] = Cwc(a_j, q) + avPrefix[q][j] - wminPrefix[j+1]; the
-	// per-position summand of the δmax maximisation (DESIGN.md,
-	// derivation in policy.go).
-	h [][]Time
+	// h[q*n+j] = Cwc(a_j, q) + avPrefix at (j, q) - wminPrefix[j+1];
+	// the per-position summand of the δmax maximisation (DESIGN.md,
+	// derivation in policy.go). Unlike the per-state probes above, h is
+	// only ever scanned sequentially at a fixed level (System.TD), so
+	// its flat slab is level-major to keep that scan contiguous.
+	h []Time
 
 	// deadlineIdx lists the indices of actions with finite deadlines,
 	// in increasing order.
@@ -162,26 +169,24 @@ func MustNewSystem(actions []Action, timing *TimingTable) *System {
 
 func (s *System) buildPrefixes() {
 	n := len(s.actions)
-	s.avPrefix = make([][]Time, s.nq)
-	s.wcPrefix = make([][]Time, s.nq)
-	for q := 0; q < s.nq; q++ {
-		ap := make([]Time, n+1)
-		wp := make([]Time, n+1)
+	nq := s.nq
+	s.avPrefix = make([]Time, (n+1)*nq)
+	s.wcPrefix = make([]Time, (n+1)*nq)
+	for q := 0; q < nq; q++ {
 		for i := 0; i < n; i++ {
-			ap[i+1] = ap[i] + s.timing.Av(i, Level(q))
-			wp[i+1] = wp[i] + s.timing.WC(i, Level(q))
+			s.avPrefix[(i+1)*nq+q] = s.avPrefix[i*nq+q] + s.timing.Av(i, Level(q))
+			s.wcPrefix[(i+1)*nq+q] = s.wcPrefix[i*nq+q] + s.timing.WC(i, Level(q))
 		}
-		s.avPrefix[q] = ap
-		s.wcPrefix[q] = wp
 	}
-	s.wminPrefix = s.wcPrefix[0]
-	s.h = make([][]Time, s.nq)
-	for q := 0; q < s.nq; q++ {
-		hq := make([]Time, n)
+	s.wminPrefix = make([]Time, n+1)
+	for i := 0; i <= n; i++ {
+		s.wminPrefix[i] = s.wcPrefix[i*nq]
+	}
+	s.h = make([]Time, n*nq)
+	for q := 0; q < nq; q++ {
 		for j := 0; j < n; j++ {
-			hq[j] = s.timing.WC(j, Level(q)) + s.avPrefix[q][j] - s.wminPrefix[j+1]
+			s.h[q*n+j] = s.timing.WC(j, Level(q)) + s.avPrefix[j*nq+q] - s.wminPrefix[j+1]
 		}
-		s.h[q] = hq
 	}
 }
 
@@ -210,10 +215,10 @@ func (s *System) WC(i int, q Level) Time { return s.timing.WC(i, q) }
 func (s *System) Av(i int, q Level) Time { return s.timing.Av(i, q) }
 
 // AvPrefix returns the sum of Cav(a_j, q) over j < i (0 ≤ i ≤ n).
-func (s *System) AvPrefix(i int, q Level) Time { return s.avPrefix[q][i] }
+func (s *System) AvPrefix(i int, q Level) Time { return s.avPrefix[i*s.nq+int(q)] }
 
 // WCPrefix returns the sum of Cwc(a_j, q) over j < i (0 ≤ i ≤ n).
-func (s *System) WCPrefix(i int, q Level) Time { return s.wcPrefix[q][i] }
+func (s *System) WCPrefix(i int, q Level) Time { return s.wcPrefix[i*s.nq+int(q)] }
 
 // AvRange returns Cav(a_i..a_k, q), the total average execution time of
 // actions i..k inclusive.
@@ -221,7 +226,7 @@ func (s *System) AvRange(i, k int, q Level) Time {
 	if i > k {
 		return 0
 	}
-	return s.avPrefix[q][k+1] - s.avPrefix[q][i]
+	return s.avPrefix[(k+1)*s.nq+int(q)] - s.avPrefix[i*s.nq+int(q)]
 }
 
 // WCRange returns Cwc(a_i..a_k, q), the total worst-case execution time of
@@ -230,7 +235,7 @@ func (s *System) WCRange(i, k int, q Level) Time {
 	if i > k {
 		return 0
 	}
-	return s.wcPrefix[q][k+1] - s.wcPrefix[q][i]
+	return s.wcPrefix[(k+1)*s.nq+int(q)] - s.wcPrefix[i*s.nq+int(q)]
 }
 
 // DeadlineIndices returns the indices of actions with finite deadlines in

@@ -56,6 +56,18 @@ func (s *Setup) RunFleet(seed uint64, n, workers int) (*fleet.Result, error) {
 	return fleet.Run(fleet.Config{Streams: streams, Workers: workers})
 }
 
+// RunFleetStats is RunFleet through the zero-retention sink path: each
+// stream feeds a StatsSink and no records are materialised, so memory
+// stays O(streams) however long the run. The aggregates equal the
+// retained run's exactly.
+func (s *Setup) RunFleetStats(seed uint64, n, workers int) (*fleet.Result, error) {
+	streams, err := s.FleetStreams(seed, n)
+	if err != nil {
+		return nil, err
+	}
+	return fleet.RunStats(fleet.Config{Streams: streams, Workers: workers})
+}
+
 // WorkloadFleet builds a mixed fleet over the workloads catalog: stream
 // k runs catalog workload k mod |catalog| (audio encoder, SDR pipeline,
 // video decoder, in name order) under its own relaxed manager, with

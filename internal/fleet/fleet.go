@@ -41,9 +41,15 @@ type Config struct {
 }
 
 // StreamResult pairs a stream with its trace (or per-stream error).
+// Under Run the trace retains every record; under RunStats it carries
+// only the O(1) scalar aggregates and Stats holds the streamed
+// record-derived quantities.
 type StreamResult struct {
 	Name  string
 	Trace *sim.Trace
+	// Stats is the stream's zero-retention aggregate; non-nil only for
+	// streams executed through RunStats.
+	Stats *sim.StatsSink
 	Err   error
 }
 
@@ -95,6 +101,42 @@ func Run(cfg Config) (*Result, error) {
 	sim.Dispatch(len(cfg.Streams), cfg.Workers, func(i int) {
 		s := cfg.Streams[i]
 		out := StreamResult{Name: s.Name}
+		// Run's contract is retained traces; a caller-set sink would
+		// leave Trace.Records empty and downstream aggregation would
+		// silently read zeroes. Reject it like any other per-stream
+		// misconfiguration — use RunStats (or sim directly) for
+		// sink-based runs.
+		if s.Runner.Sink != nil {
+			out.Err = errors.New("fleet: stream has a Runner.Sink; Run retains traces — use RunStats for sink-based runs")
+		} else {
+			out.Trace, out.Err = s.Runner.Run()
+		}
+		res.Streams[i] = out
+	})
+	return res, nil
+}
+
+// RunStats executes the fleet with one StatsSink per stream: no records
+// are retained anywhere, so fleet memory is O(streams · |Q|) instead of
+// O(streams × cycles × actions), and the steady-state hot path is
+// allocation-free. Each StreamResult carries the scalar-only trace plus
+// its Stats; metrics.AggregateStats turns them into the same
+// FleetSummary a retained Run would yield (property-tested). Any sink
+// the caller pre-set on a stream's Runner is replaced.
+func RunStats(cfg Config) (*Result, error) {
+	if len(cfg.Streams) == 0 {
+		return nil, errors.New("fleet: no streams")
+	}
+	res := &Result{Streams: make([]StreamResult, len(cfg.Streams))}
+	sim.Dispatch(len(cfg.Streams), cfg.Workers, func(i int) {
+		s := cfg.Streams[i]
+		levels := 0
+		if s.Runner.Sys != nil {
+			levels = s.Runner.Sys.NumLevels()
+		}
+		sink := sim.NewStatsSink(levels)
+		s.Runner.Sink = sink
+		out := StreamResult{Name: s.Name, Stats: sink}
 		out.Trace, out.Err = s.Runner.Run()
 		res.Streams[i] = out
 	})

@@ -227,3 +227,65 @@ func TestDeriveSeed(t *testing.T) {
 		t.Fatal("different bases should give different seeds")
 	}
 }
+
+// TestRunStatsEqualsRetainedAggregation is the zero-retention engine's
+// acceptance property: a fleet run through RunStats (StatsSink per
+// stream, no records anywhere) must produce exactly the FleetSummary
+// that the retained Run yields through AggregateTraces on the same
+// seeds — and its scalar traces must match the retained ones field for
+// field.
+func TestRunStatsEqualsRetainedAggregation(t *testing.T) {
+	retained, err := Run(Config{Streams: mixedStreams(t, 9, 4, 23), Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := RunStats(Config{Streams: mixedStreams(t, 9, 4, 23), Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := streamed.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var traces []*sim.Trace
+	var stats []*sim.StatsSink
+	for k, s := range streamed.Streams {
+		if len(s.Trace.Records) != 0 {
+			t.Fatalf("stream %d retained %d records under RunStats", k, len(s.Trace.Records))
+		}
+		if s.Stats == nil {
+			t.Fatalf("stream %d carries no stats", k)
+		}
+		scalar := *retained.Streams[k].Trace
+		scalar.Records = nil
+		if !reflect.DeepEqual(*s.Trace, scalar) {
+			t.Fatalf("stream %d: scalar trace diverges between RunStats and Run", k)
+		}
+		traces = append(traces, s.Trace)
+		stats = append(stats, s.Stats)
+	}
+
+	got := metrics.AggregateStats(traces, stats)
+	want := metrics.AggregateTraces(retained.Traces())
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("streamed fleet summary diverges from retained aggregation:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestRunRejectsPresetSink: Run's contract is retained traces, so a
+// stream arriving with a caller-set sink must fail per-stream instead
+// of silently dropping either the sink or the records.
+func TestRunRejectsPresetSink(t *testing.T) {
+	streams := mixedStreams(t, 2, 2, 31)
+	streams[1].Runner.Sink = &sim.TraceSink{}
+	res, err := Run(Config{Streams: streams, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Streams[0].Err != nil {
+		t.Fatal("sink-free stream must still run")
+	}
+	if res.Streams[1].Err == nil {
+		t.Fatal("stream with a pre-set sink must be rejected by Run")
+	}
+}

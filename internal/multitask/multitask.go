@@ -28,6 +28,10 @@ type Task struct {
 	Period   core.Time // cycle arrival period; 0 = last deadline
 	Cycles   int
 	Overhead sim.OverheadModel
+	// Sink, when non-nil, observes the task's records instead of the
+	// trace retaining them (same contract as sim.Runner.Sink): the
+	// task's Trace then carries only scalar aggregates.
+	Sink sim.Sink
 }
 
 // InflateTiming scales a timing table by num/den, modelling a task that
@@ -224,7 +228,11 @@ func Run(tasks []*Task) (*Result, error) {
 				tr.Misses++
 			}
 		}
-		tr.Records = append(tr.Records, rec)
+		if st.task.Sink != nil {
+			st.task.Sink.Observe(rec)
+		} else {
+			tr.Records = append(tr.Records, rec)
+		}
 
 		st.index++
 		if st.index == st.task.Sys.NumActions() {

@@ -212,3 +212,46 @@ func TestRunGroupsValidation(t *testing.T) {
 		t.Fatal("task validation errors must surface")
 	}
 }
+
+// TestTaskSinkMatchesRetainedRun: a task run under a sink must leave
+// its trace record-free while the sink observes the identical record
+// sequence a retained run stores — the sim.Runner sink contract carried
+// over to the EDF interleaver.
+func TestTaskSinkMatchesRetainedRun(t *testing.T) {
+	mk := func(sink sim.Sink) []*Task {
+		sys := uniformSystem(6, 200, 4000, 3)
+		return []*Task{
+			{Name: "a", Sys: sys, Mgr: core.NewNumericManager(sys),
+				Exec: sim.Content{Sys: sys, NoiseAmp: 0.2, Seed: 5}, Cycles: 3,
+				Overhead: sim.IPodOverhead, Sink: sink},
+			{Name: "b", Sys: sys, Mgr: core.NewNumericManager(sys),
+				Exec: sim.Content{Sys: sys, NoiseAmp: 0.2, Seed: 9}, Cycles: 3,
+				Overhead: sim.IPodOverhead},
+		}
+	}
+	ref, err := Run(mk(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &sim.TraceSink{}
+	got, err := Run(mk(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(got.Traces["a"].Records); n != 0 {
+		t.Fatalf("sunk task retained %d records", n)
+	}
+	if len(sink.Records) != len(ref.Traces["a"].Records) {
+		t.Fatalf("sink saw %d records, retained run stored %d",
+			len(sink.Records), len(ref.Traces["a"].Records))
+	}
+	for j, rec := range sink.Records {
+		if rec != ref.Traces["a"].Records[j] {
+			t.Fatalf("record %d diverges: %+v vs %+v", j, rec, ref.Traces["a"].Records[j])
+		}
+	}
+	if got.Traces["a"].TotalExec != ref.Traces["a"].TotalExec ||
+		got.Traces["a"].Misses != ref.Traces["a"].Misses {
+		t.Fatal("scalar trace fields diverge under sink")
+	}
+}

@@ -1,0 +1,75 @@
+package regions
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestChooseBinaryMatchesLinear property-tests the binary-search Choose
+// against the linear-scan executable specification on random systems:
+// for every state, a time grid spanning each region border (the stored
+// tD values ±1, plus the extremes) must yield the identical level.
+func TestChooseBinaryMatchesLinear(t *testing.T) {
+	cfgs := []core.RandomSystemConfig{
+		{},
+		{Actions: 60, Levels: 2},
+		{Actions: 37, Levels: 9, DeadlineEvery: 4},
+		{Actions: 13, Levels: 7, DeadlineEvery: 1, SlackNum: 3, SlackDen: 2},
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		cfg := cfgs[seed%int64(len(cfgs))]
+		sys := core.RandomSystem(rand.New(rand.NewSource(seed)), cfg)
+		tab := BuildTDTable(sys)
+		n := sys.NumActions()
+		nq := sys.NumLevels()
+		for i := 0; i <= n; i++ {
+			grid := make([]core.Time, 0, 3*nq+3)
+			for q := 0; q < nq; q++ {
+				v := tab.TD(i, core.Level(q))
+				if v.IsInf() {
+					continue
+				}
+				grid = append(grid, v-1, v, v+1)
+			}
+			grid = append(grid, core.TimeNegInf+1, 0, core.TimeInf)
+			for _, tm := range grid {
+				gotQ, gotWork := tab.Choose(i, tm)
+				wantQ, _ := tab.chooseLinear(i, tm)
+				if gotQ != wantQ {
+					t.Fatalf("seed %d: Choose(%d, %v) = q%d, linear reference q%d",
+						seed, i, tm, gotQ, wantQ)
+				}
+				if gotWork < 1 || gotWork > ceilLog2(nq)+1 {
+					t.Fatalf("seed %d: Choose(%d, %v) spent %d probes on %d levels",
+						seed, i, tm, gotWork, nq)
+				}
+			}
+		}
+	}
+}
+
+func ceilLog2(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// TestChooseWorkCounted pins the Work accounting: a binary search over
+// |Q| levels probes at most ⌈log2 |Q|⌉+1 entries, so on the paper-sized
+// 7-level system every decision spends at most 3 probes — the per-call
+// cost the overhead model converts to platform time.
+func TestChooseWorkCounted(t *testing.T) {
+	sys := core.RandomSystem(rand.New(rand.NewSource(42)), core.RandomSystemConfig{Actions: 50, Levels: 7})
+	tab := BuildTDTable(sys)
+	for i := 0; i <= sys.NumActions(); i++ {
+		for _, tm := range []core.Time{0, core.Millisecond, core.TimeInf} {
+			if _, work := tab.Choose(i, tm); work > 3 {
+				t.Fatalf("Choose(%d, %v) spent %d probes, want ≤ 3 on 7 levels", i, tm, work)
+			}
+		}
+	}
+}

@@ -14,28 +14,20 @@ import (
 // systems a downstream user may bring (long GOP structures, many levels)
 // and is proven equivalent by tests.
 func BuildTDTableParallel(sys *core.System) *TDTable {
-	n := sys.NumActions()
-	nq := sys.NumLevels()
-	t := &TDTable{sys: sys, td: make([][]core.Time, nq)}
+	t := newTDTable(sys)
+	c := deadlineSlack(sys)
 
-	c := make([]core.Time, n)
-	for k := 0; k < n; k++ {
-		if a := sys.Action(k); a.HasDeadline() {
-			c[k] = a.Deadline - sys.WCPrefix(k+1, 0)
-		} else {
-			c[k] = core.TimeInf
-		}
-	}
-
+	// Each level writes the disjoint strided entries td[i*nq+q] of the
+	// shared slab, so levels may run concurrently.
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, maxParallelism())
-	for q := 0; q < nq; q++ {
+	for q := 0; q < t.nq; q++ {
 		wg.Add(1)
 		go func(q int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			t.td[q] = buildLevel(sys, core.Level(q), c)
+			buildLevel(sys, core.Level(q), c, t)
 		}(q)
 	}
 	wg.Wait()
@@ -44,16 +36,16 @@ func BuildTDTableParallel(sys *core.System) *TDTable {
 
 // buildLevel runs the monotonic-stack pass for one level (the body of
 // BuildTDTable's per-level loop, shared by the serial and parallel
-// builders).
-func buildLevel(sys *core.System, q core.Level, c []core.Time) []core.Time {
+// builders), writing the level's strided column of t's flat payload.
+func buildLevel(sys *core.System, q core.Level, c []core.Time, t *TDTable) {
 	n := sys.NumActions()
+	nq := t.nq
 	type segment struct {
 		hmax core.Time
 		minC core.Time
 		best core.Time
 	}
-	col := make([]core.Time, n+1)
-	col[n] = core.TimeInf
+	t.td[n*nq+int(q)] = core.TimeInf
 	stack := make([]segment, 0, 64)
 	for i := n - 1; i >= 0; i-- {
 		h := hq(sys, i, q)
@@ -73,12 +65,11 @@ func buildLevel(sys *core.System, q core.Level, c []core.Time) []core.Time {
 		}
 		stack = append(stack, segment{hmax: h, minC: minC, best: best})
 		if best >= core.TimeInf {
-			col[i] = core.TimeInf
+			t.td[i*nq+int(q)] = core.TimeInf
 		} else {
-			col[i] = best + sys.AvPrefix(i, q)
+			t.td[i*nq+int(q)] = best + sys.AvPrefix(i, q)
 		}
 	}
-	return col
 }
 
 // BuildRelaxTablesParallel computes the same tables as BuildRelaxTables
@@ -129,7 +120,7 @@ func fillRelaxRow(rt *RelaxTables, q, ri int) {
 	lo := rt.lower[q][ri]
 	deque := make([]int, 0, r+1)
 	e := func(j int) core.Time {
-		tdv := rt.td.td[q][j]
+		tdv := rt.td.TD(j, core.Level(q))
 		if tdv >= core.TimeInf {
 			return core.TimeInf
 		}
@@ -155,7 +146,7 @@ func fillRelaxRow(rt *RelaxTables, q, ri int) {
 		if q == nq-1 {
 			lo[i] = core.TimeNegInf
 		} else {
-			lo[i] = rt.td.td[q+1][i+r-1]
+			lo[i] = rt.td.TD(i+r-1, core.Level(q+1))
 		}
 	}
 	for i := n - r + 1; i < n; i++ {

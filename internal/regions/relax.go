@@ -65,7 +65,7 @@ func BuildRelaxTables(td *TDTable, rho []int) (*RelaxTables, error) {
 		// bounds after adding back Wq[i].
 		e := make([]core.Time, n)
 		for j := 0; j < n; j++ {
-			tdv := td.td[q][j]
+			tdv := td.TD(j, core.Level(q))
 			if tdv >= core.TimeInf {
 				e[j] = core.TimeInf
 			} else {
@@ -98,7 +98,7 @@ func BuildRelaxTables(td *TDTable, rho []int) (*RelaxTables, error) {
 				if q == nq-1 {
 					lo[i] = core.TimeNegInf
 				} else {
-					lo[i] = td.td[q+1][i+r-1]
+					lo[i] = td.TD(i+r-1, core.Level(q+1))
 				}
 			}
 			// States that cannot accommodate r further actions carry

@@ -18,17 +18,20 @@ type tdTableJSON struct {
 	TD      [][]int64 `json:"td"` // [level][state]
 }
 
-// WriteTo serialises the table as JSON.
+// WriteTo serialises the table as JSON. The wire format stays
+// [level][state] (the pre-flattening layout), so bundles written before
+// the payload became one contiguous slab load unchanged.
 func (t *TDTable) WriteTo(w io.Writer) (int64, error) {
+	n := t.sys.NumActions()
 	j := tdTableJSON{
-		Actions: t.sys.NumActions(),
-		Levels:  t.sys.NumLevels(),
-		TD:      make([][]int64, len(t.td)),
+		Actions: n,
+		Levels:  t.nq,
+		TD:      make([][]int64, t.nq),
 	}
-	for q, col := range t.td {
-		row := make([]int64, len(col))
-		for i, v := range col {
-			row[i] = int64(v)
+	for q := 0; q < t.nq; q++ {
+		row := make([]int64, n+1)
+		for i := 0; i <= n; i++ {
+			row[i] = int64(t.td[i*t.nq+q])
 		}
 		j.TD[q] = row
 	}
@@ -48,16 +51,22 @@ func LoadTDTable(r io.Reader, sys *core.System) (*TDTable, error) {
 		return nil, fmt.Errorf("regions: table is %d×%d, system is %d×%d",
 			j.Actions, j.Levels, sys.NumActions(), sys.NumLevels())
 	}
-	t := &TDTable{sys: sys, td: make([][]core.Time, j.Levels)}
+	if len(j.TD) != j.Levels {
+		return nil, fmt.Errorf("regions: %d level rows in payload, want %d", len(j.TD), j.Levels)
+	}
+	t := newTDTable(sys)
 	for q, row := range j.TD {
 		if len(row) != j.Actions+1 {
 			return nil, fmt.Errorf("regions: level %d has %d entries, want %d", q, len(row), j.Actions+1)
 		}
-		col := make([]core.Time, len(row))
 		for i, v := range row {
-			col[i] = core.Time(v)
+			t.td[i*t.nq+q] = core.Time(v)
 		}
-		t.td[q] = col
+	}
+	// The binary-search Choose relies on the monotonicity invariants;
+	// a hand-edited or corrupt bundle must fail here, not misdecide.
+	if err := t.Validate(); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -2,6 +2,7 @@ package regions
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -69,5 +70,42 @@ func TestLoadRelaxTablesRejectsMismatch(t *testing.T) {
 	mangled := strings.Replace(buf.String(), `"rho":[1,2]`, `"rho":[1,2,3]`, 1)
 	if _, err := LoadRelaxTables(strings.NewReader(mangled), tab); err == nil {
 		t.Fatal("inconsistent rho accepted")
+	}
+}
+
+// TestLoadTDTableRejectsNonMonotone: the binary-search Choose is only
+// correct on q/i-monotone tables, so a corrupt or hand-edited bundle
+// payload must be rejected at load time, not misdecide at run time.
+func TestLoadTDTableRejectsNonMonotone(t *testing.T) {
+	sys := randSys(43, core.RandomSystemConfig{Actions: 12, DeadlineEvery: 3})
+	tab := BuildTDTable(sys)
+	var buf bytes.Buffer
+	if _, err := tab.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the untouched payload loads.
+	if _, err := LoadTDTable(bytes.NewReader(buf.Bytes()), sys); err != nil {
+		t.Fatal(err)
+	}
+	// Swap two levels of one state: tD becomes increasing in q there.
+	var j struct {
+		Actions int       `json:"actions"`
+		Levels  int       `json:"levels"`
+		TD      [][]int64 `json:"td"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &j); err != nil {
+		t.Fatal(err)
+	}
+	if j.TD[0][0] == j.TD[j.Levels-1][0] {
+		j.TD[j.Levels-1][0] = j.TD[0][0] + 1
+	} else {
+		j.TD[0][0], j.TD[j.Levels-1][0] = j.TD[j.Levels-1][0], j.TD[0][0]
+	}
+	mangled, err := json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTDTable(bytes.NewReader(mangled), sys); err == nil {
+		t.Fatal("non-monotone table accepted at load time")
 	}
 }

@@ -18,16 +18,31 @@ import (
 // TDTable stores tD(s_i, q) for every state i ∈ [0, n) and level q: the
 // |A|·|Q| integers that characterise the quality regions (§4.1 reports
 // 8,323 of them for the 1,189-action, 7-level encoder).
+//
+// The payload is one contiguous slab indexed i·|Q|+q, so the |Q| entries
+// a Decide probes at state i share a cache line instead of living in |Q|
+// separate column slices.
 type TDTable struct {
 	sys *core.System
-	td  [][]core.Time // td[q][i], i in [0, n]
+	nq  int
+	td  []core.Time // td[i*nq+q], i in [0, n]
 }
 
 // Sys returns the system the table was built for.
 func (t *TDTable) Sys() *core.System { return t.sys }
 
 // TD returns the tabulated tD(s_i, q); i may equal NumActions().
-func (t *TDTable) TD(i int, q core.Level) core.Time { return t.td[q][i] }
+func (t *TDTable) TD(i int, q core.Level) core.Time { return t.td[i*t.nq+int(q)] }
+
+// newTDTable allocates the flat payload for sys (all entries zero).
+func newTDTable(sys *core.System) *TDTable {
+	nq := sys.NumLevels()
+	return &TDTable{
+		sys: sys,
+		nq:  nq,
+		td:  make([]core.Time, (sys.NumActions()+1)*nq),
+	}
+}
 
 // NumEntries returns the |A|·|Q| count of stored region integers, the
 // figure the paper reports in §4.1 (state n is excluded: it has no
@@ -58,16 +73,18 @@ func (t *TDTable) MemoryBytes() int {
 // c − hmax over itself and all segments below it, so the global minimum
 // is read off the top of the stack in O(1).
 func BuildTDTable(sys *core.System) *TDTable {
-	n := sys.NumActions()
-	nq := sys.NumLevels()
-	t := &TDTable{sys: sys, td: make([][]core.Time, nq)}
-
-	type segment struct {
-		hmax core.Time // plateau value of the running maximum
-		minC core.Time // min of c(k) over deadline positions in the segment
-		best core.Time // min over this segment and all segments below
+	t := newTDTable(sys)
+	c := deadlineSlack(sys)
+	for q := 0; q < t.nq; q++ {
+		buildLevel(sys, core.Level(q), c, t)
 	}
-	// c(k) is level-independent; precompute once.
+	return t
+}
+
+// deadlineSlack precomputes the level-independent c(k) = D(a_k) − W[k+1]
+// terms shared by every level's monotonic-stack pass.
+func deadlineSlack(sys *core.System) []core.Time {
+	n := sys.NumActions()
 	c := make([]core.Time, n)
 	for k := 0; k < n; k++ {
 		if a := sys.Action(k); a.HasDeadline() {
@@ -76,38 +93,7 @@ func BuildTDTable(sys *core.System) *TDTable {
 			c[k] = core.TimeInf
 		}
 	}
-
-	stack := make([]segment, 0, n)
-	for q := 0; q < nq; q++ {
-		col := make([]core.Time, n+1)
-		col[n] = core.TimeInf
-		stack = stack[:0]
-		for i := n - 1; i >= 0; i-- {
-			h := hq(sys, i, core.Level(q))
-			minC := c[i]
-			for len(stack) > 0 && stack[len(stack)-1].hmax <= h {
-				top := stack[len(stack)-1]
-				minC = core.MinTime(minC, top.minC)
-				stack = stack[:len(stack)-1]
-			}
-			contrib := core.TimeInf
-			if minC < core.TimeInf {
-				contrib = minC - h
-			}
-			best := contrib
-			if len(stack) > 0 {
-				best = core.MinTime(best, stack[len(stack)-1].best)
-			}
-			stack = append(stack, segment{hmax: h, minC: minC, best: best})
-			if best >= core.TimeInf {
-				col[i] = core.TimeInf
-			} else {
-				col[i] = best + sys.AvPrefix(i, core.Level(q))
-			}
-		}
-		t.td[q] = col
-	}
-	return t
+	return c
 }
 
 // hq returns h_q(j) = Cwc(a_j, q) + A_q[j] − W[j+1], the per-position
@@ -120,15 +106,12 @@ func hq(sys *core.System, j int, q core.Level) core.Time {
 // evaluator for every state: an O(n²·|Q|) executable specification used
 // to validate BuildTDTable.
 func BuildTDTableReference(sys *core.System) *TDTable {
+	t := newTDTable(sys)
 	n := sys.NumActions()
-	nq := sys.NumLevels()
-	t := &TDTable{sys: sys, td: make([][]core.Time, nq)}
-	for q := 0; q < nq; q++ {
-		col := make([]core.Time, n+1)
+	for q := 0; q < t.nq; q++ {
 		for i := 0; i <= n; i++ {
-			col[i] = sys.TD(i, core.Level(q))
+			t.td[i*t.nq+q] = sys.TD(i, core.Level(q))
 		}
-		t.td[q] = col
 	}
 	return t
 }
@@ -137,11 +120,12 @@ func BuildTDTableReference(sys *core.System) *TDTable {
 // i and level q: (s_i, t) ∈ R_q iff lo < t ≤ hi, with lo = TimeNegInf for
 // q = qmax.
 func (t *TDTable) Interval(i int, q core.Level) (lo, hi core.Time) {
-	hi = t.td[q][i]
+	row := i * t.nq
+	hi = t.td[row+int(q)]
 	if q == t.sys.QMax() {
 		return core.TimeNegInf, hi
 	}
-	return t.td[q+1][i], hi
+	return t.td[row+int(q)+1], hi
 }
 
 // InRegion reports whether (s_i, t) lies in the quality region R_q.
@@ -152,11 +136,37 @@ func (t *TDTable) InRegion(i int, tm core.Time, q core.Level) bool {
 
 // Choose returns the quality the mixed policy assigns at (s_i, t):
 // the maximal q with tD(s_i, q) ≥ t, or qmin if no level qualifies.
+// tD is non-increasing in q (property-tested), so the qualifying levels
+// form a prefix of [0, qmax] and Choose binary-searches the contiguous
+// row for its upper border in O(log |Q|) probes of one cache line.
 // work reports the number of table probes spent.
 func (t *TDTable) Choose(i int, tm core.Time) (q core.Level, work int) {
+	row := t.td[i*t.nq : (i+1)*t.nq]
+	lo, hi := 0, len(row)-1
+	best := -1
+	for lo <= hi {
+		mid := int(uint(lo+hi) >> 1)
+		work++
+		if row[mid] >= tm {
+			best = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	if best <= 0 {
+		return 0, work
+	}
+	return core.Level(best), work
+}
+
+// chooseLinear is the original qmax-downward linear scan, kept as the
+// executable specification the binary-search Choose is property-tested
+// against.
+func (t *TDTable) chooseLinear(i int, tm core.Time) (q core.Level, work int) {
 	for q := t.sys.QMax(); q > 0; q-- {
 		work++
-		if t.td[q][i] >= tm {
+		if t.TD(i, q) >= tm {
 			return q, work
 		}
 	}
@@ -168,12 +178,12 @@ func (t *TDTable) Choose(i int, tm core.Time) (q core.Level, work int) {
 // agreement of adjacent-interval borders. Returns the first violation.
 func (t *TDTable) Validate() error {
 	n := t.sys.NumActions()
-	for q := 0; q < t.sys.NumLevels(); q++ {
+	for q := 0; q < t.nq; q++ {
 		for i := 0; i <= n; i++ {
-			if q > 0 && t.td[q][i] > t.td[q-1][i] {
+			if q > 0 && t.td[i*t.nq+q] > t.td[i*t.nq+q-1] {
 				return fmt.Errorf("regions: tD increasing in q at i=%d q=%d", i, q)
 			}
-			if i > 0 && t.td[q][i] < t.td[q][i-1] {
+			if i > 0 && t.td[i*t.nq+q] < t.td[(i-1)*t.nq+q] {
 				return fmt.Errorf("regions: tD decreasing in i at i=%d q=%d", i, q)
 			}
 		}

@@ -12,12 +12,17 @@ import (
 // FleetTable formats the cross-stream view of a fleet run: one line per
 // stream (including failed ones), then the fleet-wide aggregation —
 // miss rates, the quality histogram and the utilisation distribution.
+// It accepts both retained (fleet.Run) and zero-retention
+// (fleet.RunStats) results: streams that carry streamed stats are
+// aggregated from them, retained streams are replayed — the two routes
+// produce identical summaries.
 func FleetTable(res *fleet.Result) string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "== fleet — per-stream results ==")
 	fmt.Fprintf(&b, "%-4s %-18s %8s %9s %12s %11s %6s\n",
 		"#", "stream", "misses", "missrate", "avg quality", "overhead %", "util")
-	fs := metrics.AggregateTraces(tracesWithHoles(res))
+	traces, stats := streamAggregates(res)
+	fs := metrics.AggregateStats(traces, stats)
 	si := 0
 	for k, s := range res.Streams {
 		if s.Err != nil {
@@ -43,16 +48,25 @@ func FleetTable(res *fleet.Result) string {
 	return b.String()
 }
 
-// tracesWithHoles keeps stream order but passes nil for failed streams,
-// which AggregateTraces skips.
-func tracesWithHoles(res *fleet.Result) []*sim.Trace {
-	out := make([]*sim.Trace, len(res.Streams))
+// streamAggregates keeps stream order but passes nil for failed streams
+// (which AggregateStats skips), pairing each healthy stream's scalar
+// trace with its streamed stats — replayed from the retained records
+// when the stream ran without a sink.
+func streamAggregates(res *fleet.Result) ([]*sim.Trace, []*sim.StatsSink) {
+	traces := make([]*sim.Trace, len(res.Streams))
+	stats := make([]*sim.StatsSink, len(res.Streams))
 	for k, s := range res.Streams {
-		if s.Err == nil {
-			out[k] = s.Trace
+		if s.Err != nil {
+			continue
+		}
+		traces[k] = s.Trace
+		if s.Stats != nil {
+			stats[k] = s.Stats
+		} else {
+			stats[k] = metrics.StatsOfTrace(s.Trace)
 		}
 	}
-	return out
+	return traces, stats
 }
 
 func histogram(hist []int, total int) string {

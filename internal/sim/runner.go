@@ -84,6 +84,14 @@ type Runner struct {
 	// (batch mode). Off by default: streaming frames are not available
 	// early, which matches the encoder experiment.
 	WorkConserving bool
+	// Sink, when non-nil, receives every Record instead of the trace
+	// retaining it: Trace.Records stays empty, the trace carries only
+	// its O(1) scalar aggregates, and the stream's memory no longer
+	// grows with cycles × actions. Nil keeps the historical
+	// full-retention behaviour (equivalent to a TraceSink feeding
+	// Trace.Records). The sink sees the identical record sequence
+	// either way.
+	Sink Sink
 }
 
 // Run executes the configured workload and returns its trace. It is the
@@ -110,9 +118,16 @@ type Stream struct {
 	period core.Time
 	n      int
 	tr     *Trace
+	sink   Sink // nil = retain records in tr
 	t      core.Time
 	cycle  int
 }
+
+// maxInitialRecords caps the retained trace's preallocation: a long run
+// (n·Cycles in the millions) must not pre-commit gigabytes before a
+// single cycle executes. Beyond the cap the slice grows geometrically
+// as usual. 65,536 records ≈ 6 MB.
+const maxInitialRecords = 1 << 16
 
 // Stream validates the runner's configuration and returns the stream
 // positioned before its first cycle.
@@ -131,16 +146,34 @@ func (r *Runner) Stream() (*Stream, error) {
 		return nil, fmt.Errorf("sim: non-positive period %v", period)
 	}
 	n := r.Sys.NumActions()
-	return &Stream{
+	st := &Stream{
 		r:      r,
 		period: period,
 		n:      n,
+		sink:   r.Sink,
 		tr: &Trace{
 			Manager: r.Mgr.Name(),
 			Period:  period,
-			Records: make([]Record, 0, n*r.Cycles),
 		},
-	}, nil
+	}
+	if st.sink == nil {
+		c := n * r.Cycles
+		if c > maxInitialRecords {
+			c = maxInitialRecords
+		}
+		st.tr.Records = make([]Record, 0, c)
+	}
+	return st, nil
+}
+
+// observe hands one record to the stream's sink, or retains it in the
+// trace when no sink is configured (the historical default).
+func (st *Stream) observe(rec Record) {
+	if st.sink != nil {
+		st.sink.Observe(rec)
+		return
+	}
+	st.tr.Records = append(st.tr.Records, rec)
 }
 
 // Step executes the stream's next cycle and reports whether it ran one
@@ -189,7 +222,7 @@ func (st *Stream) Step() bool {
 				tr.Misses++
 			}
 		}
-		tr.Records = append(tr.Records, rec)
+		st.observe(rec)
 	}
 	st.t = t
 	st.cycle++

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Sink observes the record stream of one quality-managed run. The
+// executor calls Observe exactly once per action instance, in execution
+// order, with the identical Record the retained trace would have stored
+// — so any aggregate computed by a sink is trace-equivalent by
+// construction. Implementations are not required to be goroutine-safe:
+// a sink belongs to exactly one stream.
+type Sink interface {
+	// Observe receives one record by value; it must not retain pointers
+	// into the caller's state.
+	Observe(rec Record)
+}
+
+// TraceSink retains every record — the full-retention behaviour the
+// default Runner path has always had, expressed as a sink. Memory grows
+// as cycles × actions; use StatsSink when only aggregates are needed.
+type TraceSink struct {
+	Records []Record
+}
+
+// Observe implements Sink.
+func (s *TraceSink) Observe(rec Record) { s.Records = append(s.Records, rec) }
+
+// StatsSink computes, on-line, every record-derived quantity the metrics
+// layer needs — quality histogram/sum/extremes, smoothness, deadline and
+// decision counts, exec and overhead totals — without retaining records:
+// its memory is O(|Q|), constant in the run length. Observe never
+// allocates once the histogram has reached its preallocated level count,
+// which makes the steady-state fleet hot path allocation-free (proved by
+// BenchmarkFleetStep).
+//
+// The accumulators mirror metrics.Summarize/AggregateTraces exactly:
+// quality levels are small integers, so the float64 sums are exact and a
+// stats-based summary is byte-equal to one computed from a retained
+// trace (property-tested in the metrics package).
+type StatsSink struct {
+	// Records counts observed action instances; Decisions those with a
+	// manager invocation; Misses the deadline violations;
+	// DeadlineRecords the deadline-carrying instances.
+	Records, Decisions, Misses, DeadlineRecords int
+	// TotalExec and TotalOverhead accumulate the per-record execution
+	// and management times.
+	TotalExec, TotalOverhead core.Time
+	// QualitySum is the sum of quality levels over all records;
+	// QualityHist counts records per level (length = 1 + highest level
+	// observed, matching the lazily-grown fleet histogram).
+	QualitySum  float64
+	QualityHist []int
+	// Switches and AbsDeltaSum are the smoothness accumulators: the
+	// number of quality changes between consecutive records and the sum
+	// of their absolute differences.
+	Switches    int
+	AbsDeltaSum float64
+
+	minQ, maxQ int
+	lastQ      core.Level
+}
+
+// NewStatsSink returns an empty sink. levels preallocates the quality
+// histogram (pass the system's level count to keep Observe
+// allocation-free; 0 is valid and grows on demand).
+func NewStatsSink(levels int) *StatsSink {
+	return &StatsSink{
+		QualityHist: make([]int, 0, levels),
+		minQ:        math.MaxInt32,
+		maxQ:        -1,
+	}
+}
+
+// Observe implements Sink.
+func (s *StatsSink) Observe(rec Record) {
+	q := int(rec.Q)
+	if s.Records > 0 {
+		if d := q - int(s.lastQ); d != 0 {
+			s.Switches++
+			s.AbsDeltaSum += math.Abs(float64(d))
+		}
+	}
+	s.lastQ = rec.Q
+	s.Records++
+	s.QualitySum += float64(q)
+	if q < s.minQ {
+		s.minQ = q
+	}
+	if q > s.maxQ {
+		s.maxQ = q
+	}
+	for len(s.QualityHist) <= q {
+		s.QualityHist = append(s.QualityHist, 0)
+	}
+	s.QualityHist[q]++
+	if rec.Decision {
+		s.Decisions++
+	}
+	if rec.Missed {
+		s.Misses++
+	}
+	if !rec.Deadline.IsInf() {
+		s.DeadlineRecords++
+	}
+	s.TotalExec += rec.Exec
+	s.TotalOverhead += rec.Overhead
+}
+
+// MinQuality returns the lowest observed level (0 when no records have
+// been observed, matching the retained-trace summary convention).
+func (s *StatsSink) MinQuality() core.Level {
+	if s.Records == 0 {
+		return 0
+	}
+	return core.Level(s.minQ)
+}
+
+// MaxQuality returns the highest observed level (0 when empty).
+func (s *StatsSink) MaxQuality() core.Level {
+	if s.Records == 0 {
+		return 0
+	}
+	return core.Level(s.maxQ)
+}

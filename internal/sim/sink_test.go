@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func sinkTestRunner(seed int64, cycles int) (*core.System, Runner) {
+	sys := core.RandomSystem(rand.New(rand.NewSource(seed)), core.RandomSystemConfig{Actions: 30, DeadlineEvery: 3})
+	return sys, Runner{
+		Sys:      sys,
+		Mgr:      core.NewNumericManager(sys),
+		Exec:     Content{Sys: sys, NoiseAmp: 0.3, Seed: uint64(seed)},
+		Overhead: IPodOverhead,
+		Cycles:   cycles,
+	}
+}
+
+// TestTraceSinkSeesIdenticalRecords: the sink layer's contract — a sink
+// observes the exact record sequence a retained run stores, and a run
+// under a sink leaves Trace.Records empty while every scalar aggregate
+// on the trace stays identical.
+func TestTraceSinkSeesIdenticalRecords(t *testing.T) {
+	_, retained := sinkTestRunner(3, 5)
+	ref, err := retained.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, sunk := sinkTestRunner(3, 5)
+	sink := &TraceSink{}
+	sunk.Sink = sink
+	tr, err := sunk.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 0 {
+		t.Fatalf("sink run retained %d records in the trace", len(tr.Records))
+	}
+	if !reflect.DeepEqual(sink.Records, ref.Records) {
+		t.Fatal("TraceSink observed a different record sequence than the retained run stored")
+	}
+	tr.Records = ref.Records // scalar comparison: everything else must match
+	if !reflect.DeepEqual(tr, ref) {
+		t.Fatalf("scalar trace fields diverged between sink and retained runs:\n%+v\n%+v", tr, ref)
+	}
+}
+
+// TestStatsSinkMatchesTraceScalars: the streaming aggregates must agree
+// with the totals the executor maintains on the trace, and with a
+// replay of the retained records.
+func TestStatsSinkMatchesTraceScalars(t *testing.T) {
+	sys, r := sinkTestRunner(7, 6)
+	stats := NewStatsSink(sys.NumLevels())
+	r.Sink = stats
+	tr, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != sys.NumActions()*6 {
+		t.Fatalf("observed %d records, want %d", stats.Records, sys.NumActions()*6)
+	}
+	if stats.Decisions != tr.Decisions || stats.Misses != tr.Misses {
+		t.Fatalf("sink decisions/misses %d/%d, trace %d/%d",
+			stats.Decisions, stats.Misses, tr.Decisions, tr.Misses)
+	}
+	if stats.TotalExec != tr.TotalExec || stats.TotalOverhead != tr.TotalOverhead {
+		t.Fatal("sink exec/overhead totals diverge from the trace scalars")
+	}
+
+	_, retained := sinkTestRunner(7, 6)
+	ref, err := retained.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := NewStatsSink(sys.NumLevels())
+	for _, rec := range ref.Records {
+		replay.Observe(rec)
+	}
+	if !reflect.DeepEqual(stats, replay) {
+		t.Fatalf("streamed stats differ from replayed stats:\n%+v\n%+v", stats, replay)
+	}
+}
+
+// TestStatsSinkEmpty pins the empty-stream conventions (min = max = 0).
+func TestStatsSinkEmpty(t *testing.T) {
+	s := NewStatsSink(4)
+	if s.MinQuality() != 0 || s.MaxQuality() != 0 {
+		t.Fatal("empty sink must report 0/0 quality extremes")
+	}
+	if len(s.QualityHist) != 0 {
+		t.Fatal("empty sink must have an empty histogram")
+	}
+}
+
+// TestStreamStepAllocationFree: the acceptance criterion of the sink
+// layer — in steady state, advancing a stream under a StatsSink
+// performs zero heap allocations per cycle.
+func TestStreamStepAllocationFree(t *testing.T) {
+	sys, r := sinkTestRunner(11, 1<<30)
+	r.Sink = NewStatsSink(sys.NumLevels())
+	st, err := r.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ { // warm up past any lazy growth
+		st.Step()
+	}
+	if allocs := testing.AllocsPerRun(100, func() { st.Step() }); allocs != 0 {
+		t.Fatalf("Stream.Step allocates %.1f objects per cycle under StatsSink, want 0", allocs)
+	}
+}
+
+// TestTracePreallocationClamped: a long run must not pre-commit
+// gigabytes of record storage before the first cycle executes.
+func TestTracePreallocationClamped(t *testing.T) {
+	_, r := sinkTestRunner(1, 1<<20) // 30 actions × 2^20 cycles ≫ clamp
+	st, err := r.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := cap(st.Trace().Records); c > maxInitialRecords {
+		t.Fatalf("initial trace capacity %d exceeds the %d-record clamp", c, maxInitialRecords)
+	}
+	_, small := sinkTestRunner(1, 2)
+	st2, err := small.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := cap(st2.Trace().Records); c != 60 {
+		t.Fatalf("short runs should still preallocate exactly n·Cycles (got %d)", c)
+	}
+}
