@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/fleet"
 	"repro/internal/sim"
 )
 
@@ -20,10 +22,15 @@ import (
 // memory is O(streams) however long the streams run.
 func BenchmarkFleetStep(b *testing.B) {
 	s := experiment.Paper(1)
+	content, ok := s.Exec.(sim.Content)
+	if !ok {
+		b.Fatalf("paper setup exec is %T", s.Exec)
+	}
 	r := &sim.Runner{
-		Sys:      s.Sys,
-		Mgr:      s.Relaxed(),
-		Exec:     s.Exec,
+		Sys: s.Sys,
+		Mgr: s.Relaxed(),
+		// The memoized per-stream model, exactly what FleetStreams runs.
+		Exec:     sim.NewFastContent(content, s.Sys.NumActions()),
 		Overhead: s.Overhead,
 		Cycles:   1 << 30, // steady state: never exhausts within a benchmark
 		Period:   s.Period,
@@ -32,6 +39,9 @@ func BenchmarkFleetStep(b *testing.B) {
 	st, err := r.Stream()
 	if err != nil {
 		b.Fatal(err)
+	}
+	if !st.Step() { // steady state: lazy decision-plan build happens here, untimed
+		b.Fatal("stream exhausted during warm-up")
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -45,31 +55,71 @@ func BenchmarkFleetStep(b *testing.B) {
 
 // fleetBenchRow is one configuration of the throughput harness; the set
 // is serialised to BENCH_fleet.json so CI can track the perf trajectory.
+// NumCPU and Gomaxprocs pin the row to the host shape that produced it:
+// a flat worker-sweep curve on a 1-CPU CI runner is expected, the same
+// curve with num_cpu 8 is a scaling regression.
 type fleetBenchRow struct {
 	Name            string  `json:"name"`
 	Streams         int     `json:"streams"`
 	Workers         int     `json:"workers"` // 0 = serial loop, no pool
+	BatchCycles     int     `json:"batch_cycles"`
 	Cycles          int     `json:"cycles"`
+	NumCPU          int     `json:"num_cpu"`
+	Gomaxprocs      int     `json:"gomaxprocs"`
 	ActionsPerOp    int     `json:"actions_per_op"`
 	NsPerAction     float64 `json:"ns_per_action"`
 	AllocsPerAction float64 `json:"allocs_per_action"`
 }
 
+// fleetBenchBatch reads the batch size under test from
+// FLEET_BENCH_BATCH (CI sweeps {1, 32}); unset selects the scheduler
+// default.
+func fleetBenchBatch(b *testing.B) int {
+	env := os.Getenv("FLEET_BENCH_BATCH")
+	if env == "" {
+		return fleet.DefaultBatchCycles
+	}
+	batch, err := strconv.Atoi(env)
+	if err != nil || batch <= 0 {
+		b.Fatalf("FLEET_BENCH_BATCH=%q: want a positive integer", env)
+	}
+	return batch
+}
+
+// fleetBenchFile keeps the default-batch results in the canonical
+// tracked file; swept batches land in their own artifacts.
+func fleetBenchFile(batch int) string {
+	if batch == fleet.DefaultBatchCycles {
+		return "BENCH_fleet.json"
+	}
+	return fmt.Sprintf("BENCH_fleet_batch%d.json", batch)
+}
+
 // E11 — fleet throughput: the paper-encoder fleet through the
-// zero-retention stats path, serially and on 1/2/4/8 workers. Each
-// sub-benchmark reports ns/action and allocs/action (stream setup
-// included, so the steady-state figure is bounded by BenchmarkFleetStep)
-// and the harness writes the set to BENCH_fleet.json. NB: single-core
-// hosts only show scheduling overhead across worker counts.
+// zero-retention stats path, serially and on the shard-affine scheduler
+// at 1/2/4/8 workers. Each sub-benchmark reports ns/action and
+// allocs/action (stream setup included, so the steady-state figure is
+// bounded by BenchmarkFleetStep) and the harness writes the set — host
+// shape and batch size included — to BENCH_fleet.json. The
+// serial-uncached row runs the table-probing manager with the
+// regions.DecisionPlan bypassed, so the plan cache's contribution is
+// the serial-uncached → serial delta, separate from the scheduler's.
+// NB: single-core hosts only show scheduling overhead across worker
+// counts.
 func BenchmarkFleetThroughput(b *testing.B) {
 	s := experiment.Paper(1)
 	s.Cycles = 2
 	const streams = 8
+	batch := fleetBenchBatch(b)
+	s.Relaxed().Decide(0, 0) // build the shared decision plan outside the timed regions
 	actionsPerOp := streams * s.Cycles * s.Sys.NumActions()
 	var order []string
 	byName := map[string]fleetBenchRow{}
 
-	measure := func(name string, workers int, run func() error) {
+	// batchUsed is 0 for the serial rows: they never enter the
+	// scheduler, so labelling them with the swept batch size would make
+	// identical configurations look different across artifacts.
+	measure := func(name string, workers, batchUsed int, run func() error) {
 		b.Run(name, func(b *testing.B) {
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)
@@ -86,7 +136,10 @@ func BenchmarkFleetThroughput(b *testing.B) {
 				Name:            name,
 				Streams:         streams,
 				Workers:         workers,
+				BatchCycles:     batchUsed,
 				Cycles:          s.Cycles,
+				NumCPU:          runtime.NumCPU(),
+				Gomaxprocs:      runtime.GOMAXPROCS(0),
 				ActionsPerOp:    actionsPerOp,
 				NsPerAction:     float64(elapsed.Nanoseconds()) / total,
 				AllocsPerAction: float64(after.Mallocs-before.Mallocs) / total,
@@ -102,24 +155,32 @@ func BenchmarkFleetThroughput(b *testing.B) {
 		})
 	}
 
-	measure("serial", 0, func() error {
-		strs, err := s.FleetStreams(1, streams)
-		if err != nil {
-			return err
-		}
-		for k := range strs {
-			st := strs[k]
-			st.Runner.Sink = sim.NewStatsSink(st.Runner.Sys.NumLevels())
-			if _, err := st.Runner.Run(); err != nil {
+	serialLoop := func(mk func() ([]fleet.Stream, error)) func() error {
+		return func() error {
+			strs, err := mk()
+			if err != nil {
 				return err
 			}
+			for k := range strs {
+				st := strs[k]
+				st.Runner.Sink = sim.NewStatsSink(st.Runner.Sys.NumLevels())
+				if _, err := st.Runner.Run(); err != nil {
+					return err
+				}
+			}
+			return nil
 		}
-		return nil
-	})
+	}
+	measure("serial", 0, 0, serialLoop(func() ([]fleet.Stream, error) { return s.FleetStreams(1, streams) }))
+	measure("serial-uncached", 0, 0, serialLoop(func() ([]fleet.Stream, error) { return s.FleetStreamsUncached(1, streams) }))
 	for _, w := range []int{1, 2, 4, 8} {
 		w := w
-		measure(fmt.Sprintf("fleet-workers=%d", w), w, func() error {
-			res, err := s.RunFleetStats(1, streams, w)
+		measure(fmt.Sprintf("fleet-workers=%d", w), w, batch, func() error {
+			strs, err := s.FleetStreams(1, streams)
+			if err != nil {
+				return err
+			}
+			res, err := fleet.RunStats(fleet.Config{Streams: strs, Workers: w, BatchCycles: batch})
 			if err != nil {
 				return err
 			}
@@ -138,8 +199,9 @@ func BenchmarkFleetThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_fleet.json", append(out, '\n'), 0o644); err != nil {
+	file := fleetBenchFile(batch)
+	if err := os.WriteFile(file, append(out, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
-	b.Logf("wrote BENCH_fleet.json (%d configurations)", len(rows))
+	b.Logf("wrote %s (%d configurations)", file, len(rows))
 }

@@ -8,15 +8,20 @@
 //
 // Usage:
 //
-//	qmfleet [-streams 16] [-workers 0] [-cycles 8] [-seed 1] [-retain]
+//	qmfleet [-streams 16] [-workers 0] [-batch 32] [-cycles 8] [-seed 1]
+//	        [-retain] [-csv records.csv]
 //	        [-mix encoder|workloads | -bundle controller.json [-manager relaxed]]
 //
 // By default streams run zero-retention: each feeds a StatsSink and the
 // report is computed from streamed aggregates, so memory is O(streams)
 // regardless of run length. -retain restores full per-action traces.
+// -csv streams every action record to the given file as it is observed
+// (still zero retention; rows of different streams interleave in worker
+// order and carry a stream column).
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -35,20 +40,29 @@ func main() {
 	log.SetPrefix("qmfleet: ")
 	streams := flag.Int("streams", 16, "number of independent streams")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	batch := flag.Int("batch", fleet.DefaultBatchCycles, "cycles a worker advances one stream before moving to the next in its shard")
 	cycles := flag.Int("cycles", 8, "cycles (frames) per stream")
 	seed := flag.Uint64("seed", 1, "base content seed; stream k uses a seed derived from it")
 	mix := flag.String("mix", "encoder", "stream mix: encoder (paper fleet) or workloads (catalog mix)")
 	bundlePath := flag.String("bundle", "", "run the fleet from a compiled controller bundle (qmcompile output) instead of -mix")
 	manager := flag.String("manager", "relaxed", "manager instantiated from the bundle: numeric, symbolic, relaxed (with -bundle)")
 	retain := flag.Bool("retain", false, "retain full per-action traces (memory grows as streams × cycles × actions); default streams O(1)-memory statistics per stream")
+	csvPath := flag.String("csv", "", "stream per-action records to this CSV file with zero retention (incompatible with -retain)")
 	flag.Parse()
 
 	if *streams <= 0 || *cycles <= 0 {
 		log.Fatalf("need positive -streams and -cycles, got %d and %d", *streams, *cycles)
 	}
+	if *batch <= 0 {
+		log.Fatalf("need positive -batch, got %d", *batch)
+	}
+	if *csvPath != "" && *retain {
+		log.Fatal("-csv streams records through the sink path; drop -retain (use metrics.WriteTraceCSV for retained traces)")
+	}
 
 	var cfg fleet.Config
 	cfg.Workers = *workers
+	cfg.BatchCycles = *batch
 	label := *mix
 	switch {
 	case *bundlePath != "":
@@ -96,16 +110,40 @@ func main() {
 		run = fleet.Run
 		mode = "full traces retained"
 	}
+	var csvFile *os.File
+	var csvBuf *bufio.Writer
+	var cw *sim.CSVWriter
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		csvFile, csvBuf = f, bufio.NewWriterSize(f, 1<<20)
+		cw = sim.NewCSVWriter(csvBuf)
+		cfg.Export = func(_ int, name string) sim.Sink { return cw.Stream(name) }
+		mode += ", CSV export"
+	}
 	start := time.Now()
 	res, err := run(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
+	if cw != nil {
+		if err := cw.Err(); err != nil {
+			log.Fatal(err)
+		}
+		if err := csvBuf.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := csvFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	w := sim.EffectiveWorkers(*streams, *workers)
-	fmt.Printf("fleet               %d streams × %d cycles, %d workers (%s; %s)\n",
-		*streams, *cycles, w, label, mode)
+	fmt.Printf("fleet               %d streams × %d cycles, %d workers, batch %d (%s; %s)\n",
+		*streams, *cycles, w, *batch, label, mode)
 	fmt.Printf("wall-clock          %v\n\n", elapsed.Round(time.Millisecond))
 	fmt.Print(report.FleetTable(res))
 	if err := res.Err(); err != nil {

@@ -19,6 +19,11 @@ import (
 // sim.Content cannot be reseeded per stream and is rejected — silently
 // running n byte-identical streams would make every cross-stream
 // statistic meaningless.
+//
+// Streams run the memoized sim.FastContent form of the model — the
+// action-complexity profile tabulated once and shared read-only by all
+// n streams, the frame factor cached per cycle — which draws
+// bit-identical times to the plain model (property-tested in sim).
 func (s *Setup) FleetStreams(seed uint64, n int) ([]fleet.Stream, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("experiment: non-positive stream count %d", n)
@@ -27,20 +32,37 @@ func (s *Setup) FleetStreams(seed uint64, n int) ([]fleet.Stream, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiment: fleet needs a sim.Content execution model to reseed per stream, got %T", s.Exec)
 	}
+	base := sim.NewFastContent(content, s.Sys.NumActions())
 	streams := make([]fleet.Stream, n)
 	for k := 0; k < n; k++ {
-		content.Seed = fleet.DeriveSeed(seed, k)
 		streams[k] = fleet.Stream{
 			Name: fmt.Sprintf("encoder-%03d", k),
 			Runner: sim.Runner{
 				Sys:      s.Sys,
 				Mgr:      s.Relaxed(),
-				Exec:     content,
+				Exec:     base.WithSeed(fleet.DeriveSeed(seed, k)),
 				Overhead: s.Overhead,
 				Cycles:   s.Cycles,
 				Period:   s.Period,
 			},
 		}
+	}
+	return streams, nil
+}
+
+// FleetStreamsUncached is FleetStreams with every stream driven by the
+// uncached relaxed manager — the table-probing path that bypasses the
+// regions.DecisionPlan memo. Traces are byte-identical to FleetStreams
+// runs (the plan preserves Work accounting exactly); only the decision
+// cost differs, which is what lets the throughput benchmarks account
+// for the plan cache separately.
+func (s *Setup) FleetStreamsUncached(seed uint64, n int) ([]fleet.Stream, error) {
+	streams, err := s.FleetStreams(seed, n)
+	if err != nil {
+		return nil, err
+	}
+	for k := range streams {
+		streams[k].Runner.Mgr = regions.NewRelaxedManagerUncached(s.Relax)
 	}
 	return streams, nil
 }

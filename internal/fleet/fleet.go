@@ -1,15 +1,22 @@
 // Package fleet is the concurrent multi-stream engine: it runs N
 // independent quality-managed streams — each with its own cycle clock,
-// RNG seed and workload — over a goroutine worker pool sharded by
-// stream. The paper's Quality Manager was built for exactly this reuse:
+// RNG seed and workload — on a shard-affine run-to-completion
+// scheduler. Stream state lives in a struct-of-arrays StreamTable
+// (contiguous slabs of clocks, cycle counters, trace aggregates and
+// StatsSink accumulators); persistent workers own disjoint contiguous
+// shards of it, advance each stream in configurable cycle batches, and
+// only touch a shared atomic counter to steal leftover work once their
+// shard drains — there is no channel round-trip per stream-step. The
+// paper's Quality Manager was built for exactly this reuse:
 // core.Manager decisions are deterministic functions of (state, time)
-// over immutable pre-computed tables, so one compiled controller.Bundle
-// can drive arbitrarily many concurrent streams without locks.
+// over immutable pre-computed tables (memoized further by the regions
+// DecisionPlan), so one compiled controller.Bundle can drive
+// arbitrarily many concurrent streams without locks.
 //
-// The engine guarantees that parallelism changes wall-clock time, never
+// The engine guarantees that scheduling changes wall-clock time, never
 // results: every stream is executed through the same sim.Stream path as
 // a serial sim.Runner, so a stream's trace is byte-identical to the
-// serial run at the same seed regardless of the worker count.
+// serial run at the same seed regardless of worker count or batch size.
 package fleet
 
 import (
@@ -31,13 +38,25 @@ type Stream struct {
 	sim.Runner
 }
 
-// Config is a fleet run: the streams plus the worker pool size.
+// Config is a fleet run: the streams plus the scheduler shape.
 type Config struct {
 	Streams []Stream
-	// Workers bounds the goroutine pool (≤ 0 selects GOMAXPROCS).
-	// Work is sharded at stream granularity: each stream is claimed by
-	// exactly one worker and runs start-to-finish on it.
+	// Workers bounds the persistent worker pool (≤ 0 selects
+	// GOMAXPROCS). Each worker owns a contiguous shard of the stream
+	// table and advances its streams in cycle batches; a worker whose
+	// shard drains steals leftover streams from the others. Worker
+	// count and stealing order change wall-clock time, never results.
 	Workers int
+	// BatchCycles is the number of cycles a worker advances one stream
+	// before moving on to the next in its shard (≤ 0 selects
+	// DefaultBatchCycles). Traces are independent of the batch size.
+	BatchCycles int
+	// Export, when non-nil, supplies an extra per-stream sink (e.g. a
+	// CSVWriter's per-stream sinks) that RunStats tees each stream's
+	// records into alongside its StatsSink; returning nil skips the
+	// stream. Run rejects it: retained records and streamed export are
+	// redundant — export the retained trace instead.
+	Export func(k int, name string) sim.Sink
 }
 
 // StreamResult pairs a stream with its trace (or per-stream error).
@@ -89,31 +108,15 @@ func (r *Result) TotalMisses() int {
 	return n
 }
 
-// Run executes every stream of the fleet on the sharded worker pool and
-// returns the per-stream results in input order. Configuration errors
-// of individual streams are reported per stream, so one bad stream does
-// not abort the fleet.
+// Run executes every stream of the fleet on the shard-affine scheduler
+// and returns the per-stream results in input order, with full traces
+// retained. Configuration errors of individual streams are reported per
+// stream, so one bad stream does not abort the fleet.
 func Run(cfg Config) (*Result, error) {
-	if len(cfg.Streams) == 0 {
-		return nil, errors.New("fleet: no streams")
+	if cfg.Export != nil {
+		return nil, errors.New("fleet: Export needs the streaming path; use RunStats")
 	}
-	res := &Result{Streams: make([]StreamResult, len(cfg.Streams))}
-	sim.Dispatch(len(cfg.Streams), cfg.Workers, func(i int) {
-		s := cfg.Streams[i]
-		out := StreamResult{Name: s.Name}
-		// Run's contract is retained traces; a caller-set sink would
-		// leave Trace.Records empty and downstream aggregation would
-		// silently read zeroes. Reject it like any other per-stream
-		// misconfiguration — use RunStats (or sim directly) for
-		// sink-based runs.
-		if s.Runner.Sink != nil {
-			out.Err = errors.New("fleet: stream has a Runner.Sink; Run retains traces — use RunStats for sink-based runs")
-		} else {
-			out.Trace, out.Err = s.Runner.Run()
-		}
-		res.Streams[i] = out
-	})
-	return res, nil
+	return run(cfg, false)
 }
 
 // RunStats executes the fleet with one StatsSink per stream: no records
@@ -122,25 +125,22 @@ func Run(cfg Config) (*Result, error) {
 // allocation-free. Each StreamResult carries the scalar-only trace plus
 // its Stats; metrics.AggregateStats turns them into the same
 // FleetSummary a retained Run would yield (property-tested). Any sink
-// the caller pre-set on a stream's Runner is replaced.
+// the caller pre-set on a stream's Runner is replaced; Config.Export
+// sinks are teed in.
 func RunStats(cfg Config) (*Result, error) {
-	if len(cfg.Streams) == 0 {
-		return nil, errors.New("fleet: no streams")
+	return run(cfg, true)
+}
+
+// run lays the streams out in a struct-of-arrays StreamTable, drains it
+// on the shard-affine run-to-completion scheduler, and collects the
+// results.
+func run(cfg Config, stats bool) (*Result, error) {
+	tbl, err := NewStreamTable(cfg.Streams, stats, cfg.Export)
+	if err != nil {
+		return nil, err
 	}
-	res := &Result{Streams: make([]StreamResult, len(cfg.Streams))}
-	sim.Dispatch(len(cfg.Streams), cfg.Workers, func(i int) {
-		s := cfg.Streams[i]
-		levels := 0
-		if s.Runner.Sys != nil {
-			levels = s.Runner.Sys.NumLevels()
-		}
-		sink := sim.NewStatsSink(levels)
-		s.Runner.Sink = sink
-		out := StreamResult{Name: s.Name, Stats: sink}
-		out.Trace, out.Err = s.Runner.Run()
-		res.Streams[i] = out
-	})
-	return res, nil
+	tbl.Run(cfg.Workers, cfg.BatchCycles)
+	return tbl.Result(), nil
 }
 
 // DeriveSeed maps (base seed, stream index) to the stream's own seed

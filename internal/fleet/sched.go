@@ -1,0 +1,193 @@
+package fleet
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// DefaultBatchCycles is the number of cycles a worker advances one
+// stream before moving to the next in its shard. 32 cycles of the
+// paper's encoder is ≈38k actions — long enough to amortise the switch
+// and keep the manager's tables hot, short enough that shard sweeps
+// revisit every stream's struct-of-arrays state while it is still in
+// cache and that stolen streams migrate at a useful granularity.
+const DefaultBatchCycles = 32
+
+// Per-stream scheduler states. A stream's owner moves it free → claimed
+// → free once per batch; a thief moves it free → stolen exactly once
+// and runs it to completion; the finisher stores done. All transitions
+// go through the atomic status word, so exactly one worker ever
+// advances a given stream at a time and every hand-off is a
+// synchronised publication of the stream's slab state. Claimed is the
+// only transient state — once every live stream is stolen, no stream
+// can ever become claimable again, which is what lets drained workers
+// exit instead of spinning until the last thief finishes.
+const (
+	streamFree int32 = iota
+	streamClaimed
+	streamStolen
+	streamDone
+)
+
+// sched is the fleet's shard-affine run-to-completion scheduler.
+// Persistent workers own disjoint contiguous stream shards and advance
+// each live stream of their shard in BatchCycles-cycle batches —
+// run-to-completion within the batch, no channel round-trip per
+// stream-step, no shared state touched beyond one CAS pair per batch on
+// the stream's own status word. Only when a worker's shard drains does
+// it touch the shared steal counter to scan for leftover work on other
+// shards; a stolen stream is run to completion by the thief. Scheduling
+// order changes wall-clock time, never results: every stream is a
+// serial sim.Stream whatever worker advances it.
+type sched struct {
+	tbl    *StreamTable
+	batch  int
+	status []atomic.Int32
+	steal  atomic.Int64 // shared work-stealing dispenser, touched only by drained workers
+}
+
+// Run advances every stream of the table to completion on the given
+// worker pool (≤ 0 selects GOMAXPROCS, capped at the stream count).
+// batch ≤ 0 selects DefaultBatchCycles.
+func (tbl *StreamTable) Run(workers, batch int) {
+	n := tbl.Len()
+	if batch <= 0 {
+		batch = DefaultBatchCycles
+	}
+	workers = sim.EffectiveWorkers(n, workers)
+	if workers == 1 {
+		// One worker owns the whole table: plain batch sweeps, no
+		// atomics at all. This is also the in-order reference the
+		// concurrent path is property-tested against. The live set is
+		// compacted in place as streams finish, so rounds cost O(live),
+		// not O(n) — with skewed lengths the tail rounds sweep only the
+		// stragglers.
+		live := make([]int32, 0, n)
+		for k := 0; k < n; k++ {
+			if tbl.errs[k] == nil {
+				live = append(live, int32(k))
+			}
+		}
+		for len(live) > 0 {
+			out := live[:0]
+			for _, k := range live {
+				if !advance(&tbl.streams[k], batch) {
+					out = append(out, k)
+				}
+			}
+			live = out
+		}
+		return
+	}
+
+	s := &sched{tbl: tbl, batch: batch, status: make([]atomic.Int32, n)}
+	for k := 0; k < n; k++ {
+		if tbl.errs[k] != nil {
+			s.status[k].Store(streamDone)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		// Contiguous shards, remainder spread over the first workers,
+		// so shard k's streams are adjacent in every slab.
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		go func() {
+			defer wg.Done()
+			s.worker(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+// advance runs one batch of cycles on st and reports whether the stream
+// has completed.
+func advance(st *sim.Stream, batch int) bool {
+	for c := 0; c < batch; c++ {
+		if !st.Step() {
+			return true
+		}
+	}
+	return st.Done()
+}
+
+// worker drains the shard [lo, hi) and then steals.
+func (s *sched) worker(lo, hi int) {
+	// Shard phase: sweep the owned shard in batch rounds. Streams are
+	// claimed per batch, so a drained thief can pick up the remains of
+	// a loaded shard between two of its owner's batches.
+	for {
+		live, progressed := false, false
+		for k := lo; k < hi; k++ {
+			switch s.status[k].Load() {
+			case streamDone:
+				continue
+			case streamStolen: // a thief is on it; it will finish it
+				live = true
+				continue
+			}
+			if !s.status[k].CompareAndSwap(streamFree, streamClaimed) {
+				live = true
+				continue
+			}
+			progressed = true
+			if advance(&s.tbl.streams[k], s.batch) {
+				s.status[k].Store(streamDone)
+			} else {
+				live = true
+				s.status[k].Store(streamFree)
+			}
+		}
+		if !live {
+			break // shard drained
+		}
+		if !progressed {
+			break // everything left is in thieves' hands; go steal elsewhere
+		}
+	}
+
+	// Steal phase: the only place the shared counter is touched — it
+	// staggers where each drained worker starts scanning. Each pass
+	// claims every free stream it finds and runs it to completion. A
+	// stream in the transient claimed state may yet be released by its
+	// owner, so passes repeat while any is seen; once everything left
+	// is stolen or done, nothing can become claimable again and the
+	// worker exits rather than spinning until the last thief finishes.
+	n := s.tbl.Len()
+	for {
+		stole, transient := false, false
+		start := int(s.steal.Add(1)-1) % n
+		for j := 0; j < n; j++ {
+			k := start + j
+			if k >= n {
+				k -= n
+			}
+			switch s.status[k].Load() {
+			case streamDone, streamStolen:
+				continue
+			case streamClaimed:
+				transient = true
+				continue
+			}
+			if !s.status[k].CompareAndSwap(streamFree, streamStolen) {
+				transient = true // raced with its owner or another thief
+				continue
+			}
+			stole = true
+			for !advance(&s.tbl.streams[k], s.batch) {
+			}
+			s.status[k].Store(streamDone)
+		}
+		if !stole {
+			if !transient {
+				return // all remaining streams are in terminal hands
+			}
+			// An owner holds a batch claim; be polite until it releases.
+			runtime.Gosched()
+		}
+	}
+}

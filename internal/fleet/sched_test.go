@@ -1,0 +1,224 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/regions"
+	"repro/internal/sim"
+)
+
+// hetStreams builds a fleet with deliberately unequal stream lengths so
+// shard durations are skewed and the steal path actually fires: the
+// longest stream is ~an order of magnitude longer than the shortest.
+func hetStreams(t *testing.T, n int, baseSeed uint64) []Stream {
+	t.Helper()
+	sys := core.RandomSystem(rand.New(rand.NewSource(21)), core.RandomSystemConfig{Actions: 20, Levels: 4, DeadlineEvery: 3})
+	tab := regions.BuildTDTable(sys)
+	rt := regions.MustBuildRelaxTables(tab, []int{1, 2, 5})
+	mgr := regions.NewRelaxedManager(rt) // shared: stateless by design
+	streams := make([]Stream, n)
+	for k := range streams {
+		streams[k] = Stream{
+			Name: fmt.Sprintf("het-%03d", k),
+			Runner: sim.Runner{
+				Sys:    sys,
+				Mgr:    mgr,
+				Exec:   sim.Content{Sys: sys, NoiseAmp: 0.4, Seed: DeriveSeed(baseSeed, k)},
+				Cycles: 2 + 11*(k%13),
+			},
+		}
+	}
+	return streams
+}
+
+// TestQuickFleetInvariantAcrossWorkersAndBatches is the v2 engine's
+// acceptance property: for fuzzed fleets and arbitrary (workers,
+// BatchCycles) settings — including batch 1, batches straddling stream
+// ends and batches far beyond any stream — every trace equals the
+// serial runner's for the same stream, byte for byte.
+func TestQuickFleetInvariantAcrossWorkersAndBatches(t *testing.T) {
+	f := func(seed int64, nRaw, wRaw, bRaw uint8) bool {
+		n := int(nRaw%13) + 1
+		workers := int(wRaw%9) + 1
+		batch := []int{1, 2, 3, 7, 32, 1 << 20}[int(bRaw)%6]
+		streams := hetStreams(t, n, uint64(seed))
+		res, err := Run(Config{Streams: streams, Workers: workers, BatchCycles: batch})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if err := res.Err(); err != nil {
+			t.Log(err)
+			return false
+		}
+		for k := range streams {
+			serial, err := streams[k].Runner.Run()
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if !reflect.DeepEqual(res.Streams[k].Trace, serial) {
+				t.Logf("n=%d workers=%d batch=%d: stream %d diverges from serial", n, workers, batch, k)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFleetWorkStealing oversubscribes the pool with heterogeneous
+// stream lengths (streams ≫ workers, shard durations skewed ~10×) so
+// drained workers must steal from loaded shards mid-run; under -race
+// this is the scheduler's hand-off correctness check. Batch 1 maximises
+// the number of claim/release transitions.
+func TestFleetWorkStealing(t *testing.T) {
+	streams := hetStreams(t, 160, 7)
+	for _, batch := range []int{1, 3, DefaultBatchCycles} {
+		res, err := RunStats(Config{Streams: streams, Workers: 4, BatchCycles: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Err(); err != nil {
+			t.Fatal(err)
+		}
+		for k := range streams {
+			want := streams[k].Runner.Cycles
+			tr := res.Streams[k].Trace
+			if tr.Cycles != want {
+				t.Fatalf("batch=%d: stream %d ran %d cycles, want %d", batch, k, tr.Cycles, want)
+			}
+			if res.Streams[k].Stats.Records != want*streams[k].Runner.Sys.NumActions() {
+				t.Fatalf("batch=%d: stream %d observed wrong record count", batch, k)
+			}
+		}
+	}
+}
+
+// TestStreamTableSoALayout: the mutable state the workers sweep must
+// actually live in the table's contiguous slabs — adjacent streams'
+// states and sinks at fixed strides — or the cache-affinity argument is
+// fiction.
+func TestStreamTableSoALayout(t *testing.T) {
+	streams := hetStreams(t, 8, 3)
+	tbl, err := NewStreamTable(streams, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 8 {
+		t.Fatalf("table length %d", tbl.Len())
+	}
+	for k := 1; k < 8; k++ {
+		if &tbl.states[k] != &tbl.states[0:8][k] || &tbl.sinks[k] != &tbl.sinks[0:8][k] {
+			t.Fatal("slabs must be single allocations")
+		}
+	}
+	// Histogram windows: contiguous partition of one backing slab.
+	levels := streams[0].Runner.Sys.NumLevels()
+	if len(tbl.hist) != 8*levels {
+		t.Fatalf("hist slab has %d cells, want %d", len(tbl.hist), 8*levels)
+	}
+	tbl.Run(2, 4)
+	for k := 0; k < 8; k++ {
+		total := 0
+		for _, c := range tbl.hist[k*levels : (k+1)*levels] {
+			total += c
+		}
+		if want := tbl.sinks[k].Records; total != want {
+			t.Fatalf("stream %d: slab histogram holds %d records, sink says %d", k, total, want)
+		}
+	}
+}
+
+// TestRunRejectsExport: Run retains full traces; pairing it with a
+// streaming export hook is a configuration contradiction that must be
+// loud, not silent.
+func TestRunRejectsExport(t *testing.T) {
+	streams := hetStreams(t, 2, 1)
+	_, err := Run(Config{Streams: streams, Export: func(int, string) sim.Sink { return nil }})
+	if err == nil {
+		t.Fatal("Run must reject Config.Export")
+	}
+}
+
+// TestRunStatsExportTee: Export sinks observe exactly the stream's
+// record sequence alongside the StatsSink, and a nil return skips the
+// stream.
+func TestRunStatsExportTee(t *testing.T) {
+	streams := hetStreams(t, 3, 9)
+	got := make([]*sim.TraceSink, len(streams))
+	res, err := RunStats(Config{
+		Streams: streams,
+		Workers: 2,
+		Export: func(k int, name string) sim.Sink {
+			if k == 1 {
+				return nil // opting out must be allowed
+			}
+			got[k] = &sim.TraceSink{}
+			return got[k]
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for k := range streams {
+		serial, err := streams[k].Runner.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == 1 {
+			if got[k] != nil {
+				t.Fatal("skipped stream must have no export sink")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got[k].Records, serial.Records) {
+			t.Fatalf("stream %d: exported records diverge from serial trace", k)
+		}
+		if res.Streams[k].Stats.Records != len(serial.Records) {
+			t.Fatalf("stream %d: stats sink missed records under tee", k)
+		}
+	}
+}
+
+// TestDeriveSeedFleetScale: per-stream seeds stay distinct across a
+// 100k-stream fleet and match frozen golden values — the derivation is
+// part of the reproducibility contract, so a silent change to the mix
+// would invalidate every recorded result.
+func TestDeriveSeedFleetScale(t *testing.T) {
+	seen := make(map[uint64]int, 100000)
+	for k := 0; k < 100000; k++ {
+		s := DeriveSeed(12345, k)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision: streams %d and %d both get %#x", prev, k, s)
+		}
+		seen[s] = k
+	}
+	golden := []struct {
+		base uint64
+		k    int
+		want uint64
+	}{
+		{0, 0, 0xE220A8397B1DCDAF},
+		{1, 0, 0x910A2DEC89025CC1},
+		{1, 1, 0xBEEB8DA1658EEC67},
+		{1, 2, 0xF893A2EEFB32555E},
+		{42, 7, 0xCCF635EE9E9E2FA4},
+		{1 << 63, 99999, 0xEDFD6323B5963102},
+	}
+	for _, g := range golden {
+		if got := DeriveSeed(g.base, g.k); got != g.want {
+			t.Fatalf("DeriveSeed(%d, %d) = %#x, want %#x (derivation changed!)", g.base, g.k, got, g.want)
+		}
+	}
+}

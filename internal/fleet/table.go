@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"errors"
+
+	"repro/internal/sim"
+)
+
+// StreamTable is the fleet's struct-of-arrays stream store: the mutable
+// per-stream simulation state — clocks and cycle counters (sim.State),
+// trace aggregates (sim.Trace), and in stats mode the StatsSink
+// accumulators and their histograms — lives in contiguous slabs, one
+// entry per stream, instead of N individually heap-allocated objects.
+// A worker sweeping its shard in cycle batches therefore walks arrays
+// in index order and stays in cache; the sim.Stream views in the table
+// are exactly the serial runner's streams, pointed at the slabs, so the
+// SoA layout changes memory behaviour, never results.
+type StreamTable struct {
+	names   []string
+	runners []sim.Runner    // per-stream runner configs (copies; sinks rewritten)
+	streams []sim.Stream    // views over the slabs below; invalid where errs[k] != nil
+	states  []sim.State     // hot scalars: clock + cycle counter
+	traces  []sim.Trace     // scalar aggregates (and records in retain mode)
+	sinks   []sim.StatsSink // stats mode only; len 0 in retain mode
+	hist    []int           // shared backing slab for the sink histograms
+	errs    []error         // per-stream configuration errors
+}
+
+// NewStreamTable validates and lays out the given streams. stats
+// selects the zero-retention shape: every stream gets a StatsSink from
+// the table's contiguous sink slab (replacing any caller-set sink) with
+// its histogram window in one shared int slab. In retain mode streams
+// keep full traces and a caller-set Runner.Sink is a per-stream error,
+// exactly as fleet.Run has always enforced. export, when non-nil,
+// supplies an extra per-stream sink that records are teed into (stats
+// mode only).
+//
+// Configuration errors of individual streams are recorded per stream —
+// one bad stream does not abort the fleet.
+func NewStreamTable(streams []Stream, stats bool, export func(k int, name string) sim.Sink) (*StreamTable, error) {
+	n := len(streams)
+	if n == 0 {
+		return nil, errors.New("fleet: no streams")
+	}
+	tbl := &StreamTable{
+		names:   make([]string, n),
+		runners: make([]sim.Runner, n),
+		streams: make([]sim.Stream, n),
+		states:  make([]sim.State, n),
+		traces:  make([]sim.Trace, n),
+		errs:    make([]error, n),
+	}
+	if stats {
+		tbl.sinks = make([]sim.StatsSink, n)
+		// One histogram slab, one full-capacity window per stream.
+		offs := make([]int, n+1)
+		for k, s := range streams {
+			levels := 0
+			if s.Runner.Sys != nil {
+				levels = s.Runner.Sys.NumLevels()
+			}
+			offs[k+1] = offs[k] + levels
+		}
+		tbl.hist = make([]int, offs[n])
+		for k := range streams {
+			tbl.sinks[k].Init(tbl.hist[offs[k]:offs[k]:offs[k+1]])
+		}
+	}
+	for k := range streams {
+		s := &streams[k]
+		tbl.names[k] = s.Name
+		r := &tbl.runners[k]
+		*r = s.Runner // copy: the table must not mutate the caller's config
+		if stats {
+			var sink sim.Sink = &tbl.sinks[k]
+			if export != nil {
+				if extra := export(k, s.Name); extra != nil {
+					sink = sim.TeeSink{&tbl.sinks[k], extra}
+				}
+			}
+			r.Sink = sink
+		} else if r.Sink != nil {
+			// Run's contract is retained traces; a caller-set sink would
+			// leave Trace.Records empty and downstream aggregation would
+			// silently read zeroes.
+			tbl.errs[k] = errors.New("fleet: stream has a Runner.Sink; Run retains traces — use RunStats for sink-based runs")
+			continue
+		}
+		tbl.errs[k] = r.InitStream(&tbl.streams[k], &tbl.states[k], &tbl.traces[k])
+	}
+	return tbl, nil
+}
+
+// Len returns the stream count.
+func (tbl *StreamTable) Len() int { return len(tbl.streams) }
+
+// Stream returns the k-th stream view, or nil when the stream's
+// configuration was rejected.
+func (tbl *StreamTable) Stream(k int) *sim.Stream {
+	if tbl.errs[k] != nil {
+		return nil
+	}
+	return &tbl.streams[k]
+}
+
+// Result assembles the per-stream outcomes in input order. Traces and
+// stats are copied out of the table's slabs (record slices and
+// histograms carry over; histograms are re-backed per stream), so a
+// caller keeping one stream's result does not pin every stream's state
+// for its lifetime.
+func (tbl *StreamTable) Result() *Result {
+	res := &Result{Streams: make([]StreamResult, tbl.Len())}
+	for k := range res.Streams {
+		sr := StreamResult{Name: tbl.names[k], Err: tbl.errs[k]}
+		if tbl.sinks != nil {
+			s := tbl.sinks[k]
+			s.QualityHist = append([]int(nil), s.QualityHist...)
+			sr.Stats = &s
+		}
+		if sr.Err == nil {
+			tr := tbl.traces[k]
+			sr.Trace = &tr
+		}
+		res.Streams[k] = sr
+	}
+	return res
+}

@@ -7,8 +7,12 @@ import (
 	"repro/internal/sim"
 )
 
-// WriteTraceCSV dumps a trace as CSV: one row per action instance with
-// the fields downstream analysis needs (spreadsheets, pandas, gnuplot).
+// WriteTraceCSV dumps a retained trace as CSV: one row per action
+// instance with the fields downstream analysis needs (spreadsheets,
+// pandas, gnuplot). The streaming sim.CSVWriter emits the same columns
+// prefixed by a stream label (its rows for one stream are byte-equal to
+// these, tested in sim), so zero-retention fleet exports and retained
+// dumps stay analysable by one pipeline.
 func WriteTraceCSV(w io.Writer, tr *sim.Trace) error {
 	if _, err := fmt.Fprintln(w, "cycle,index,quality,start_ns,exec_ns,overhead_ns,decision,steps,deadline_ns,missed"); err != nil {
 		return err

@@ -1,0 +1,157 @@
+package regions
+
+import (
+	"slices"
+
+	"repro/internal/core"
+)
+
+// DecisionPlan is the memoized form of the symbolic decision procedure:
+// for every state i it stores the finite partition of the time axis into
+// slack segments on which the decision (quality level, relaxation steps,
+// Work charge) is constant, together with that constant. The decision
+// function t ↦ (Choose, Steps) is piecewise constant with breakpoints
+// only at the tD row values and the relaxation interval borders, so the
+// whole steady-state decision procedure — the Choose binary search plus
+// the descending relaxation probe with its three-level slice chasing —
+// collapses into one binary search over a contiguous sorted slab and a
+// single indexed load of the pre-evaluated decision.
+//
+// The plan is an exact memo, not an approximation: every segment's entry
+// is produced by running the uncached procedure at a representative
+// point, and the cached and uncached managers agree on (Q, Steps, Work)
+// for every time value (property-tested, including the borders). Because
+// Work is constant per segment it is stored, so overhead accounting — and
+// therefore traces — are byte-identical to the uncached manager's.
+//
+// Layout: state i's breakpoints are bounds[off[i]:off[i+1]], sorted
+// ascending; its entries start at entries[int(off[i])+i] and hold one
+// more element than the breakpoints (segment j is (bounds[j-1],
+// bounds[j]], with open ends below the first and above the last
+// breakpoint). Both slabs are contiguous across all states.
+type DecisionPlan struct {
+	off     []int32
+	bounds  []core.Time
+	entries []planEntry
+}
+
+// planEntry is one memoized decision: 12 bytes, three per cache line
+// in the contiguous entries slab.
+type planEntry struct {
+	work  int32
+	steps int32
+	q     int32
+}
+
+// Decide returns the memoized decision at state i and elapsed time t:
+// one binary search over the state's contiguous breakpoint row, one
+// entry load. It is read-only and safe for concurrent use by any number
+// of streams.
+func (p *DecisionPlan) Decide(i int, t core.Time) core.Decision {
+	lo, hi := p.off[i], p.off[i+1]
+	b := p.bounds[lo:hi]
+	// Smallest j with b[j] ≥ t selects the segment (b[j-1], b[j]].
+	x, y := 0, len(b)
+	for x < y {
+		mid := int(uint(x+y) >> 1)
+		if b[mid] >= t {
+			y = mid
+		} else {
+			x = mid + 1
+		}
+	}
+	e := p.entries[int(lo)+i+x]
+	return core.Decision{Q: core.Level(e.q), Steps: int(e.steps), Work: int(e.work)}
+}
+
+// NumStates returns the number of states the plan covers.
+func (p *DecisionPlan) NumStates() int { return len(p.off) - 1 }
+
+// NumSegments returns the total slack-segment count across all states.
+func (p *DecisionPlan) NumSegments() int { return len(p.entries) }
+
+// MemoryBytes returns the resident size of the plan's slabs.
+func (p *DecisionPlan) MemoryBytes() int {
+	return len(p.off)*4 + len(p.bounds)*8 + len(p.entries)*12
+}
+
+// buildPlan memoizes the decision procedure over td (and, when rt is
+// non-nil, the relaxation grant over rt) for every state. Cost is
+// O(n·k·(log k + log|Q| + |ρ|)) for k breakpoints per state — paid once
+// per table, off the hot path, and shared read-only by all streams.
+func buildPlan(td *TDTable, rt *RelaxTables) *DecisionPlan {
+	n := td.sys.NumActions()
+	nq := td.nq
+	p := &DecisionPlan{off: make([]int32, n+1)}
+	// Per-state scratch, reused across states.
+	cap0 := nq
+	if rt != nil {
+		cap0 += 2 * nq * len(rt.rho)
+	}
+	bp := make([]core.Time, 0, cap0)
+	for i := 0; i < n; i++ {
+		bp = bp[:0]
+		for q := 0; q < nq; q++ {
+			bp = appendBreakpoint(bp, td.td[i*nq+q])
+			if rt != nil {
+				for ri := range rt.rho {
+					bp = appendBreakpoint(bp, rt.upper[q][ri][i])
+					bp = appendBreakpoint(bp, rt.lower[q][ri][i])
+				}
+			}
+		}
+		slices.Sort(bp)
+		bp = slices.Compact(bp)
+		p.off[i+1] = p.off[i] + int32(len(bp))
+		p.bounds = append(p.bounds, bp...)
+		// Evaluate the uncached procedure once per segment: segment j is
+		// (bp[j-1], bp[j]], represented by its right endpoint; the open
+		// top segment by the first time past the last breakpoint.
+		for j := 0; j <= len(bp); j++ {
+			var rep core.Time
+			if j < len(bp) {
+				rep = bp[j]
+			} else if len(bp) > 0 {
+				rep = bp[len(bp)-1] + 1
+			}
+			q, work := td.Choose(i, rep)
+			steps := 1
+			if rt != nil {
+				r, w2 := rt.Steps(i, rep, q)
+				steps = r
+				work += 2 * w2
+			}
+			p.entries = append(p.entries, planEntry{work: int32(work), steps: int32(steps), q: int32(q)})
+		}
+	}
+	return p
+}
+
+// appendBreakpoint keeps v as a segment border. TimeNegInf is dropped —
+// no finite time is ≤ it, so it borders no non-empty segment. TimeInf
+// is kept so the plan stays exact even for (unreachable) times beyond
+// every deadline.
+func appendBreakpoint(bp []core.Time, v core.Time) []core.Time {
+	if v <= core.TimeNegInf {
+		return bp
+	}
+	return append(bp, v)
+}
+
+// Plan returns the table's decision plan for the pure quality-region
+// decision (Steps ≡ 1), building it on first use; the built plan is
+// immutable and shared read-only by every symbolic manager over this
+// table.
+func (t *TDTable) Plan() *DecisionPlan {
+	t.planOnce.Do(func() { t.plan = buildPlan(t, nil) })
+	return t.plan
+}
+
+// Plan returns the decision plan covering both the quality choice and
+// the relaxation grant, building it on first use; the built plan is
+// immutable and shared read-only by every relaxed manager over these
+// tables.
+func (rt *RelaxTables) Plan() *DecisionPlan {
+	rt.planOnce.Do(func() { rt.plan = buildPlan(rt.td, rt) })
+	return rt.plan
+}

@@ -3,6 +3,7 @@ package regions
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 )
@@ -23,6 +24,9 @@ type RelaxTables struct {
 	rho   []int
 	upper [][][]core.Time // [q][ri][i]
 	lower [][][]core.Time // [q][ri][i]
+
+	planOnce sync.Once
+	plan     *DecisionPlan // lazily memoized decision procedure; see plan.go
 }
 
 // BuildRelaxTables derives the relaxation tables from a tD table and a

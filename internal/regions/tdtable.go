@@ -11,6 +11,7 @@ package regions
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 )
@@ -26,6 +27,9 @@ type TDTable struct {
 	sys *core.System
 	nq  int
 	td  []core.Time // td[i*nq+q], i in [0, n]
+
+	planOnce sync.Once
+	plan     *DecisionPlan // lazily memoized decision procedure; see plan.go
 }
 
 // Sys returns the system the table was built for.

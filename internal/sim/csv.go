@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// csvHeader matches metrics.WriteTraceCSV's columns with a leading
+// stream column, so fleet exports from many streams concatenate into
+// one analysable table.
+const csvHeader = "stream,cycle,index,quality,start_ns,exec_ns,overhead_ns,decision,steps,deadline_ns,missed\n"
+
+// CSVWriter streams fleet records to one io.Writer as CSV with zero
+// retention: every record is formatted and written as it is observed,
+// so exporting a run costs O(1) memory however long the streams are.
+// One CSVWriter serves a whole fleet — Stream hands out one CSVSink per
+// stream, each formatting rows into its own scratch buffer and pushing
+// them through the writer under a shared mutex, one Write per row.
+// Rows of one stream appear in execution order; rows of different
+// streams interleave in worker execution order (sort on the stream,
+// cycle and index columns to reconstruct any global order).
+type CSVWriter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	err    error
+	failed atomic.Bool // mirrors err != nil; lock-free fast path for sinks
+	header bool
+}
+
+// NewCSVWriter wraps w for CSV record export. The header row is written
+// lazily before the first record. Wrap files in a bufio.Writer and
+// flush it after the run; CSVWriter itself buffers nothing.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{w: w}
+}
+
+// Err returns the first write error, if any; once a write has failed
+// all subsequent rows are dropped. Check it after the run — Observe has
+// no error channel.
+func (cw *CSVWriter) Err() error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return cw.err
+}
+
+// Stream returns the sink that exports one stream's records under the
+// given stream label. The sink belongs to exactly one stream; distinct
+// sinks of the same writer are safe to use concurrently.
+func (cw *CSVWriter) Stream(name string) *CSVSink {
+	return &CSVSink{cw: cw, name: name, buf: make([]byte, 0, 128+len(name))}
+}
+
+// write pushes one formatted row (or the header) through the shared
+// writer, keeping the first error sticky.
+func (cw *CSVWriter) write(row []byte) {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.err != nil {
+		return
+	}
+	if !cw.header {
+		cw.header = true
+		if _, err := io.WriteString(cw.w, csvHeader); err != nil {
+			cw.err = err
+			cw.failed.Store(true)
+			return
+		}
+	}
+	if _, err := cw.w.Write(row); err != nil {
+		cw.err = err
+		cw.failed.Store(true)
+	}
+}
+
+// CSVSink exports one stream's records through its CSVWriter. It
+// retains nothing: each Observe formats the record into a reused
+// scratch buffer and hands it to the writer, so the steady-state export
+// path is allocation-free.
+type CSVSink struct {
+	cw   *CSVWriter
+	name string
+	buf  []byte
+}
+
+// Observe implements Sink.
+func (s *CSVSink) Observe(rec Record) {
+	if s.cw.failed.Load() {
+		return // writer latched an error; skip the dead formatting work
+	}
+	b := s.buf[:0]
+	b = append(b, s.name...)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(rec.Cycle), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(rec.Index), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(rec.Q), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(rec.Start), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(rec.Exec), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(rec.Overhead), 10)
+	b = append(b, ',')
+	b = strconv.AppendBool(b, rec.Decision)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(rec.Steps), 10)
+	b = append(b, ',')
+	deadline := int64(-1)
+	if !rec.Deadline.IsInf() {
+		deadline = int64(rec.Deadline)
+	}
+	b = strconv.AppendInt(b, deadline, 10)
+	b = append(b, ',')
+	b = strconv.AppendBool(b, rec.Missed)
+	b = append(b, '\n')
+	s.buf = b
+	s.cw.write(b)
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestCSVSinkMatchesTraceCSV: a stream exported through a CSVSink must
+// produce exactly the rows of the retained trace's CSV dump (modulo the
+// leading stream column) — the sink is a zero-retention transport, not
+// a different format.
+func TestCSVSinkMatchesTraceCSV(t *testing.T) {
+	full := streamRunner(51).MustRun()
+
+	var buf bytes.Buffer
+	cw := NewCSVWriter(&buf)
+	r := streamRunner(51)
+	r.Sink = cw.Stream("s0")
+	tr, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 0 {
+		t.Fatalf("CSV export retained %d records", len(tr.Records))
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(full.Records)+1 {
+		t.Fatalf("exported %d lines, want %d records + header", len(lines), len(full.Records))
+	}
+	if lines[0] != strings.TrimRight(csvHeader, "\n") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	for k, rec := range full.Records {
+		deadline := int64(-1)
+		if !rec.Deadline.IsInf() {
+			deadline = int64(rec.Deadline)
+		}
+		// Independent fmt-based rendering of the metrics.WriteTraceCSV
+		// row shape, with the stream column prefixed.
+		want := fmt.Sprintf("s0,%d,%d,%d,%d,%d,%d,%t,%d,%d,%t",
+			rec.Cycle, rec.Index, int(rec.Q), int64(rec.Start), int64(rec.Exec),
+			int64(rec.Overhead), rec.Decision, rec.Steps, deadline, rec.Missed)
+		if lines[k+1] != want {
+			t.Fatalf("row %d = %q, want %q", k, lines[k+1], want)
+		}
+	}
+}
+
+// TestCSVSinkObserveAllocationFree: the steady-state export path must
+// not allocate, or -csv would break the fleet's allocation-free hot
+// path.
+func TestCSVSinkObserveAllocationFree(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Grow(1 << 20)
+	s := NewCSVWriter(&buf).Stream("stream-000")
+	rec := Record{Cycle: 3, Index: 41, Q: 5, Start: 123456, Exec: 9999, Overhead: 17,
+		Decision: true, Steps: 10, Deadline: 4567890, Missed: false}
+	s.Observe(rec) // warm the scratch buffer and header
+	avg := testing.AllocsPerRun(500, func() { s.Observe(rec) })
+	if avg != 0 {
+		t.Fatalf("CSVSink.Observe allocates %v/op, want 0", avg)
+	}
+}
+
+// TestCSVWriterStickyError: the first write failure is retained and all
+// later rows are dropped instead of panicking mid-fleet.
+func TestCSVWriterStickyError(t *testing.T) {
+	cw := NewCSVWriter(failWriter{})
+	s := cw.Stream("x")
+	s.Observe(Record{})
+	s.Observe(Record{})
+	if cw.Err() == nil {
+		t.Fatal("write error must be sticky and visible")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+// TestTeeSink: every sink sees every record, in order.
+func TestTeeSink(t *testing.T) {
+	a := &TraceSink{}
+	b := NewStatsSink(4)
+	tee := TeeSink{a, b}
+	recs := []Record{{Q: 1}, {Q: 3, Missed: true, Decision: true}, {Q: 0}}
+	for _, r := range recs {
+		tee.Observe(r)
+	}
+	if len(a.Records) != 3 || b.Records != 3 || b.Misses != 1 || b.Decisions != 1 {
+		t.Fatalf("tee fanned out incorrectly: %d trace records, stats %+v", len(a.Records), b)
+	}
+}
+
+// TestInitStreamOnSlabs: a stream initialised onto caller-owned State
+// and Trace cells (the fleet table shape) runs identically to a
+// self-contained stream, and actually mutates the provided cells.
+func TestInitStreamOnSlabs(t *testing.T) {
+	want := streamRunner(77).MustRun()
+
+	states := make([]State, 3)
+	traces := make([]Trace, 3)
+	streams := make([]Stream, 3)
+	r := streamRunner(77)
+	if err := r.InitStream(&streams[1], &states[1], &traces[1]); err != nil {
+		t.Fatal(err)
+	}
+	for streams[1].Step() {
+	}
+	if states[1].Cycle != r.Cycles || states[1].T != want.Final {
+		t.Fatalf("slab state not driven: %+v, want cycle %d final %v", states[1], r.Cycles, want.Final)
+	}
+	got := traces[1]
+	if got.Final != want.Final || got.Misses != want.Misses || got.TotalExec != want.TotalExec ||
+		got.Decisions != want.Decisions || len(got.Records) != len(want.Records) {
+		t.Fatalf("slab trace diverges from self-contained run")
+	}
+	if states[0] != (State{}) || states[2] != (State{}) {
+		t.Fatal("neighbouring state cells must stay untouched")
+	}
+
+	// StatsSink on a shared histogram slab: accumulators must land in
+	// the slab window, not a private array.
+	hist := make([]int, 8)
+	var sink StatsSink
+	sink.Init(hist[2:2:6])
+	sink.Observe(Record{Q: 3})
+	if hist[5] != 1 {
+		t.Fatalf("slab-backed histogram not updated in place: %v", hist)
+	}
+}

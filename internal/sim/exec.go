@@ -101,6 +101,80 @@ func (m Content) Actual(c, i int, q core.Level) core.Time {
 	return v
 }
 
+// FastContent is Content with the per-action closure work memoized for
+// the fleet hot path: the action-complexity profile is tabulated once
+// (it is a pure function of the action index, identical for every
+// stream sharing the model shape), and the frame factor is cached per
+// cycle instead of recomputed per action — on the paper's encoder that
+// removes two math.Exp calls from every action. The floating-point
+// operation sequence is exactly Content.Actual's, so a FastContent
+// stream's trace is bit-identical to the plain Content stream's
+// (property-tested).
+//
+// The frame memo makes Actual stateful: a FastContent value belongs to
+// exactly one stream at a time (the same ownership rule core.Manager
+// imposes on stateful managers). Use WithSeed to give every fleet
+// stream its own instance sharing one read-only action table.
+type FastContent struct {
+	Content
+	actionTab []float64 // ActionFactor(i) for i < len; shared read-only
+	frameC    int       // cycle of the memoized frame factor
+	frameF    float64
+}
+
+// NewFastContent tabulates c's action factors for the n actions of the
+// target system and returns the memoized model. The table is built
+// eagerly so streams sharing it (see WithSeed) never write it.
+func NewFastContent(c Content, n int) *FastContent {
+	m := &FastContent{Content: c, frameC: -1}
+	if c.ActionFactor != nil {
+		m.actionTab = make([]float64, n)
+		for i := range m.actionTab {
+			m.actionTab[i] = c.ActionFactor(i)
+		}
+	}
+	return m
+}
+
+// WithSeed returns a copy of m drawing content with the given seed —
+// its own frame memo, the shared read-only action table. This is the
+// fleet's per-stream reseeding shape: tabulate once, fork cheaply.
+func (m *FastContent) WithSeed(seed uint64) *FastContent {
+	c := *m
+	c.Seed = seed
+	c.frameC = -1
+	return &c
+}
+
+// Actual implements ExecModel. It mirrors Content.Actual's operation
+// order exactly; only the factor lookups are memoized.
+func (m *FastContent) Actual(c, i int, q core.Level) core.Time {
+	f := 1.0
+	if m.FrameFactor != nil {
+		if c != m.frameC {
+			m.frameC, m.frameF = c, m.FrameFactor(c)
+		}
+		f *= m.frameF
+	}
+	if m.actionTab != nil {
+		f *= m.actionTab[i]
+	} else if m.ActionFactor != nil {
+		// Constructed without NewFastContent; fall back to the closure.
+		f *= m.ActionFactor(i)
+	}
+	if m.NoiseAmp > 0 {
+		f *= 1 + m.NoiseAmp*(2*HashUnit(m.Seed, uint64(c), uint64(i))-1)
+	}
+	v := core.Time(f * float64(m.Sys.Av(i, q)))
+	if v < 0 {
+		v = 0
+	}
+	if wc := m.Sys.WC(i, q); v > wc {
+		v = wc
+	}
+	return v
+}
+
 // HashUnit maps (seed, a, b) to a uniform float64 in [0, 1) using the
 // splitmix64 avalanche. It gives every (cycle, action) pair an
 // independent, reproducible draw without any PRNG stream state.

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/regions"
+)
+
+// TestQuickFastContentBitIdentical: the memoized content model must
+// draw exactly the plain model's times — same floating-point operation
+// sequence, just cached factor lookups — for arbitrary access patterns,
+// including the out-of-order cycle revisits a batch scheduler produces.
+func TestQuickFastContentBitIdentical(t *testing.T) {
+	f := func(seed int64, contentSeed uint64, noise float64, probes []uint16) bool {
+		sys := randSys(seed, core.RandomSystemConfig{Actions: 30, Levels: 5})
+		if math.IsNaN(noise) || math.IsInf(noise, 0) {
+			noise = 0.5
+		}
+		plain := Content{
+			Sys:          sys,
+			FrameFactor:  func(c int) float64 { return 0.8 + 0.3*math.Exp(-float64(c%7)) },
+			ActionFactor: func(i int) float64 { return 0.9 + 0.2*math.Sin(float64(i)) },
+			NoiseAmp:     math.Abs(noise) - math.Floor(math.Abs(noise)),
+			Seed:         contentSeed,
+		}
+		fast := NewFastContent(plain, sys.NumActions())
+		for _, p := range probes {
+			c := int(p >> 8)       // revisit cycles in arbitrary order
+			i := int(p) % sys.NumActions()
+			q := core.Level(int(p) % sys.NumLevels())
+			if fast.Actual(c, i, q) != plain.Actual(c, i, q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFastContentTraceEqualsPlain: a full run under the memoized model
+// equals the plain model's run record for record, and WithSeed forks
+// draw independently while sharing one action table.
+func TestFastContentTraceEqualsPlain(t *testing.T) {
+	sys := randSys(63, core.RandomSystemConfig{Actions: 40})
+	tab := regions.BuildTDTable(sys)
+	plain := Content{
+		Sys:          sys,
+		FrameFactor:  func(c int) float64 { return 0.9 + 0.1*math.Exp(-float64(c)) },
+		ActionFactor: func(i int) float64 { return 1 - 0.002*float64(i%9) },
+		NoiseAmp:     0.3,
+		Seed:         7,
+	}
+	mk := func(exec ExecModel) *Runner {
+		return &Runner{
+			Sys:      sys,
+			Mgr:      regions.NewSymbolicManager(tab),
+			Exec:     exec,
+			Overhead: IPodOverhead,
+			Cycles:   5,
+		}
+	}
+	fast := NewFastContent(plain, sys.NumActions())
+	a := mk(plain).MustRun()
+	b := mk(fast).MustRun()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("FastContent trace diverges from plain Content")
+	}
+
+	fork := fast.WithSeed(99)
+	if fork.Actual(0, 1, 0) == fast.Actual(0, 1, 0) && fork.Actual(1, 2, 0) == fast.Actual(1, 2, 0) {
+		t.Fatal("forked seed should draw different content")
+	}
+	plain99 := plain
+	plain99.Seed = 99
+	c := mk(fork).MustRun()
+	d := mk(plain99).MustRun()
+	if !reflect.DeepEqual(c, d) {
+		t.Fatal("WithSeed fork diverges from a plain model at the same seed")
+	}
+}

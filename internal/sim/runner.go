@@ -108,19 +108,34 @@ func (r *Runner) Run() (*Trace, error) {
 	return st.Trace(), nil
 }
 
+// State is the hot mutable scalar state of one Stream: the virtual
+// clock and the executed-cycle count — everything Step reads and writes
+// besides the trace aggregates. It is split out of Stream so a fleet
+// engine can keep the states of many streams in one contiguous
+// struct-of-arrays slab (see fleet.StreamTable) and a worker sweeping
+// its shard stays in cache instead of pointer-chasing heap objects; a
+// stand-alone Stream simply embeds its own.
+type State struct {
+	// T is the stream's virtual clock.
+	T core.Time
+	// Cycle counts the cycles executed so far.
+	Cycle int
+}
+
 // Stream is the incremental form of Runner: one quality-managed stream
-// advanced cycle by cycle. It carries the stream's whole simulation
-// state (virtual clock, cycle counter, accumulating trace), so a fleet
-// engine can hold many of them and advance each on its own schedule
-// without the streams interacting.
+// advanced cycle by cycle. Its mutable simulation state (State, Trace)
+// lives behind pointers that InitStream can aim at caller-owned slabs,
+// so a fleet engine holds many streams as contiguous arrays and
+// advances each on its own schedule without the streams interacting.
+// A Stream must not be copied after initialisation.
 type Stream struct {
 	r      *Runner
 	period core.Time
 	n      int
 	tr     *Trace
-	sink   Sink // nil = retain records in tr
-	t      core.Time
-	cycle  int
+	sink   Sink   // nil = retain records in tr
+	state  *State // points at own for stand-alone streams
+	own    State
 }
 
 // maxInitialRecords caps the retained trace's preallocation: a long run
@@ -130,40 +145,64 @@ type Stream struct {
 const maxInitialRecords = 1 << 16
 
 // Stream validates the runner's configuration and returns the stream
-// positioned before its first cycle.
+// positioned before its first cycle, with self-owned state and trace.
 func (r *Runner) Stream() (*Stream, error) {
+	st := new(Stream)
+	if err := r.InitStream(st, nil, nil); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// InitStream initialises st in place as a stream of r positioned before
+// its first cycle. state and tr, when non-nil, become the stream's
+// mutable scalar state and trace — the fleet engine passes pointers
+// into its contiguous slabs, so the per-stream hot state is
+// struct-of-arrays instead of per-stream heap objects. Nil selects
+// self-owned storage (state embedded in st, trace freshly allocated),
+// which is what Stream does. Provided cells are reset; st must stay at
+// a stable address afterwards.
+func (r *Runner) InitStream(st *Stream, state *State, tr *Trace) error {
 	if r.Sys == nil || r.Mgr == nil || r.Exec == nil {
-		return nil, errors.New("sim: runner needs Sys, Mgr and Exec")
+		return errors.New("sim: runner needs Sys, Mgr and Exec")
 	}
 	if r.Cycles <= 0 {
-		return nil, fmt.Errorf("sim: non-positive cycle count %d", r.Cycles)
+		return fmt.Errorf("sim: non-positive cycle count %d", r.Cycles)
 	}
 	period := r.Period
 	if period == 0 {
 		period = r.Sys.LastDeadline()
 	}
 	if period <= 0 {
-		return nil, fmt.Errorf("sim: non-positive period %v", period)
+		return fmt.Errorf("sim: non-positive period %v", period)
 	}
-	n := r.Sys.NumActions()
-	st := &Stream{
+	if tr == nil {
+		tr = new(Trace)
+	}
+	*st = Stream{
 		r:      r,
 		period: period,
-		n:      n,
+		n:      r.Sys.NumActions(),
 		sink:   r.Sink,
-		tr: &Trace{
-			Manager: r.Mgr.Name(),
-			Period:  period,
-		},
+		tr:     tr,
+		state:  state,
+	}
+	if st.state == nil {
+		st.state = &st.own
+	}
+	*st.state = State{}
+	*tr = Trace{
+		Manager: r.Mgr.Name(),
+		Period:  period,
 	}
 	if st.sink == nil {
-		c := n * r.Cycles
+		c := st.n * r.Cycles
 		if c > maxInitialRecords {
 			c = maxInitialRecords
 		}
-		st.tr.Records = make([]Record, 0, c)
+		tr.Records = make([]Record, 0, c)
 	}
-	return st, nil
+	return nil
 }
 
 // observe hands one record to the stream's sink, or retains it in the
@@ -181,12 +220,12 @@ func (st *Stream) observe(rec Record) {
 // a valid prefix run — Final tracks the current clock and Cycles the
 // cycles executed so far — so a k-step trace equals a k-cycle Run.
 func (st *Stream) Step() bool {
-	if st.cycle >= st.r.Cycles {
+	if st.state.Cycle >= st.r.Cycles {
 		return false
 	}
-	c := st.cycle
+	c := st.state.Cycle
 	tr := st.tr
-	t := st.t
+	t := st.state.T
 	base := core.Time(c) * st.period
 	if !st.r.WorkConserving && t < base {
 		tr.TotalIdle += base - t
@@ -224,21 +263,21 @@ func (st *Stream) Step() bool {
 		}
 		st.observe(rec)
 	}
-	st.t = t
-	st.cycle++
-	tr.Cycles = st.cycle
+	st.state.T = t
+	st.state.Cycle++
+	tr.Cycles = st.state.Cycle
 	tr.Final = t
 	return true
 }
 
 // Done reports whether every cycle has run.
-func (st *Stream) Done() bool { return st.cycle >= st.r.Cycles }
+func (st *Stream) Done() bool { return st.state.Cycle >= st.r.Cycles }
 
 // CyclesRun returns how many cycles have executed so far.
-func (st *Stream) CyclesRun() int { return st.cycle }
+func (st *Stream) CyclesRun() int { return st.state.Cycle }
 
 // Clock returns the stream's current virtual time.
-func (st *Stream) Clock() core.Time { return st.t }
+func (st *Stream) Clock() core.Time { return st.state.T }
 
 // Trace returns the accumulating trace. It is complete once Done
 // reports true; before that it is the valid trace of a shorter run.

@@ -67,8 +67,21 @@ type StatsSink struct {
 // histogram (pass the system's level count to keep Observe
 // allocation-free; 0 is valid and grows on demand).
 func NewStatsSink(levels int) *StatsSink {
-	return &StatsSink{
-		QualityHist: make([]int, 0, levels),
+	s := new(StatsSink)
+	s.Init(make([]int, 0, levels))
+	return s
+}
+
+// Init (re)initialises s as an empty sink whose quality histogram grows
+// into hist's backing array — the fleet's struct-of-arrays table hands
+// every stream's sink a full-capacity window of one shared slab, so the
+// accumulators of all streams stay contiguous. hist's capacity bounds
+// the allocation-free level range; pass a three-index slice of the slab
+// so an overflowing append reallocates instead of growing into a
+// neighbouring stream's window.
+func (s *StatsSink) Init(hist []int) {
+	*s = StatsSink{
+		QualityHist: hist[:0],
 		minQ:        math.MaxInt32,
 		maxQ:        -1,
 	}
@@ -107,6 +120,18 @@ func (s *StatsSink) Observe(rec Record) {
 	}
 	s.TotalExec += rec.Exec
 	s.TotalOverhead += rec.Overhead
+}
+
+// TeeSink fans one record stream out to several sinks, in order: the
+// way qmfleet feeds a stream's records to both its StatsSink and a
+// streaming exporter without running the stream twice.
+type TeeSink []Sink
+
+// Observe implements Sink.
+func (t TeeSink) Observe(rec Record) {
+	for _, s := range t {
+		s.Observe(rec)
+	}
 }
 
 // MinQuality returns the lowest observed level (0 when no records have
