@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/arrivals"
 	"repro/internal/experiment"
 	"repro/internal/fleet"
 	"repro/internal/sim"
@@ -69,6 +70,10 @@ type fleetBenchRow struct {
 	ActionsPerOp    int     `json:"actions_per_op"`
 	NsPerAction     float64 `json:"ns_per_action"`
 	AllocsPerAction float64 `json:"allocs_per_action"`
+	// Open-system rows additionally record the arrival process and
+	// admission policy that shaped the run; closed rows omit them.
+	Arrivals string `json:"arrivals,omitempty"`
+	Admit    string `json:"admit,omitempty"`
 }
 
 // fleetBenchBatch reads the batch size under test from
@@ -195,13 +200,108 @@ func BenchmarkFleetThroughput(b *testing.B) {
 	for _, name := range order {
 		rows = append(rows, byName[name])
 	}
-	out, err := json.MarshalIndent(rows, "", "  ")
+	mergeFleetBenchRows(b, fleetBenchFile(batch), rows)
+}
+
+// mergeFleetBenchRows folds rows into the artifact file without
+// clobbering rows other benchmarks wrote: existing rows with the same
+// names are replaced, everything else is preserved in order. This is
+// how the closed and open row families coexist in BENCH_fleet.json
+// whichever benchmark runs first (or alone, as in the CI smoke steps).
+func mergeFleetBenchRows(b *testing.B, file string, rows []fleetBenchRow) {
+	b.Helper()
+	replaced := map[string]bool{}
+	for _, r := range rows {
+		replaced[r.Name] = true
+	}
+	var all []fleetBenchRow
+	if raw, err := os.ReadFile(file); err == nil {
+		var prev []fleetBenchRow
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			b.Fatalf("%s exists but does not parse: %v", file, err)
+		}
+		for _, r := range prev {
+			if !replaced[r.Name] {
+				all = append(all, r)
+			}
+		}
+	}
+	all = append(all, rows...)
+	out, err := json.MarshalIndent(all, "", "  ")
 	if err != nil {
 		b.Fatal(err)
 	}
-	file := fleetBenchFile(batch)
 	if err := os.WriteFile(file, append(out, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
-	b.Logf("wrote %s (%d configurations)", file, len(rows))
+	b.Logf("merged %d rows into %s (%d total)", len(rows), file, len(all))
+}
+
+// E12 — open-system throughput: the paper-encoder fleet arriving as a
+// Poisson process under cap-K admission, through the zero-retention
+// event loop. One op is the whole open run (arrival ordering, admission
+// decisions, admission waves on the scheduler, lifecycle bookkeeping
+// included), normalised to ns/action and allocs/action over the actions
+// the admitted streams execute — directly comparable with the closed
+// rows, so the artifact tracks the open loop's overhead as its own row
+// family in BENCH_fleet.json.
+func BenchmarkFleetOpen(b *testing.B) {
+	s := experiment.Paper(1)
+	s.Cycles = 2
+	const streams = 8
+	batch := fleetBenchBatch(b)
+	s.Relaxed().Decide(0, 0) // build the shared decision plan outside the timed region
+	proc := arrivals.Poisson{MeanGap: s.Period, Seed: 7}
+	times, err := proc.Times(streams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	adm := fleet.CapK{K: 4, Queue: -1} // unbounded queue: every stream runs
+	actionsPerOp := streams * s.Cycles * s.Sys.NumActions()
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		strs, err := s.FleetStreams(1, streams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := fleet.OpenRunStats(fleet.OpenConfig{
+			Streams:     strs,
+			Arrivals:    times,
+			Admit:       adm,
+			Workers:     2,
+			BatchCycles: batch,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if res.Admitted != streams {
+			b.Fatalf("admitted %d of %d streams", res.Admitted, streams)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	total := float64(b.N) * float64(actionsPerOp)
+	row := fleetBenchRow{
+		Name:            "open-poisson-cap4",
+		Streams:         streams,
+		Workers:         2,
+		BatchCycles:     batch,
+		Cycles:          s.Cycles,
+		NumCPU:          runtime.NumCPU(),
+		Gomaxprocs:      runtime.GOMAXPROCS(0),
+		ActionsPerOp:    actionsPerOp,
+		NsPerAction:     float64(elapsed.Nanoseconds()) / total,
+		AllocsPerAction: float64(after.Mallocs-before.Mallocs) / total,
+		Arrivals:        proc.Name(),
+		Admit:           adm.Name(),
+	}
+	b.ReportMetric(row.NsPerAction, "ns/action")
+	b.ReportMetric(row.AllocsPerAction, "allocs/action")
+	mergeFleetBenchRows(b, fleetBenchFile(batch), []fleetBenchRow{row})
 }

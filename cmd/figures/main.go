@@ -12,9 +12,14 @@
 //	fig7             average quality level per frame, 3 managers
 //	fig8             per-action management overhead, actions 200–700
 //
+// With -fleet, a fleet section is appended from a persisted qmfleet run
+// (`qmfleet -json fleet.json`): the cross-stream aggregate — and, for
+// open-system runs, the admission/backlog/sojourn summary — plus a
+// fleet-quality histogram artefact.
+//
 // Usage:
 //
-//	figures [-out results] [-seed 1] [-frames 29]
+//	figures [-out results] [-seed 1] [-frames 29] [-fleet fleet.json]
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/experiment"
+	"repro/internal/metrics"
 	"repro/internal/plot"
 	"repro/internal/report"
 )
@@ -35,6 +41,7 @@ func main() {
 	out := flag.String("out", "results", "output directory for CSV/SVG artefacts")
 	seed := flag.Uint64("seed", 1, "content seed for the execution model")
 	frames := flag.Int("frames", 0, "override frame count (default: the paper's 29)")
+	fleetPath := flag.String("fleet", "", "render a fleet section from this persisted qmfleet run (qmfleet -json output)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -60,6 +67,19 @@ func main() {
 	emit(fig3, *out, "fig3")
 	emit(report.Fig4(s), *out, "fig4")
 	emit(report.Fig6(s, 4), *out, "fig6")
+	if *fleetPath != "" {
+		f, err := os.Open(*fleetPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		doc, err := metrics.ReadFleetDoc(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(report.FleetDocText(doc))
+		emit(report.FleetQualityChart(doc), *out, "fleet-quality")
+	}
 	fmt.Printf("artefacts written to %s/\n", *out)
 }
 

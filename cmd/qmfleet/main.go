@@ -9,15 +9,26 @@
 // Usage:
 //
 //	qmfleet [-streams 16] [-workers 0] [-batch 32] [-cycles 8] [-seed 1]
-//	        [-retain] [-csv records.csv]
+//	        [-retain] [-csv records.csv] [-json fleet.json]
+//	        [-arrivals fixed|poisson|bursty|trace:file.csv]
+//	        [-rate 1] [-burst 4] [-admit all|cap=K[,queue=N]|budget=U[,queue=N]]
 //	        [-mix encoder|workloads | -bundle controller.json [-manager relaxed]]
 //
-// By default streams run zero-retention: each feeds a StatsSink and the
+// By default the fleet is closed: all streams start at t = 0 and run to
+// completion. -arrivals opens the system — streams arrive over simulated
+// time from the selected deterministic process (rate/burst are relative
+// to the first stream's cycle period), pass the -admit controller
+// (queueing and shedding included) and depart when done; the report
+// gains lifecycle, backlog and sojourn sections. A fixed seed produces
+// byte-identical traces and admission decisions at any -workers/-batch.
+//
+// Streams run zero-retention by default: each feeds a StatsSink and the
 // report is computed from streamed aggregates, so memory is O(streams)
 // regardless of run length. -retain restores full per-action traces.
 // -csv streams every action record to the given file as it is observed
 // (still zero retention; rows of different streams interleave in worker
-// order and carry a stream column).
+// order and carry a stream column). -json persists the run — config
+// headline, fleet summary, open-system summary — for cmd/figures.
 package main
 
 import (
@@ -25,12 +36,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/arrivals"
 	"repro/internal/controller"
+	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/fleet"
+	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/sim"
 )
@@ -48,19 +64,65 @@ func main() {
 	manager := flag.String("manager", "relaxed", "manager instantiated from the bundle: numeric, symbolic, relaxed (with -bundle)")
 	retain := flag.Bool("retain", false, "retain full per-action traces (memory grows as streams × cycles × actions); default streams O(1)-memory statistics per stream")
 	csvPath := flag.String("csv", "", "stream per-action records to this CSV file with zero retention (incompatible with -retain)")
+	arrivalsSpec := flag.String("arrivals", "", "open the system with this arrival process: fixed, poisson, bursty, or trace:file.csv (default: closed fleet, all streams at t=0)")
+	rate := flag.Float64("rate", 1, "mean arrivals per stream period (fixed/poisson/bursty)")
+	burst := flag.Float64("burst", 4, "burstiness of the bursty process: peak-to-mean arrival-rate ratio ≥ 1")
+	admitSpec := flag.String("admit", "all", "admission policy: all, cap=K[,queue=N] or budget=U[,queue=N] (with -arrivals)")
+	jsonPath := flag.String("json", "", "persist the run (config, fleet summary, open-system summary) as JSON for cmd/figures")
 	flag.Parse()
 
-	if *streams <= 0 || *cycles <= 0 {
-		log.Fatalf("need positive -streams and -cycles, got %d and %d", *streams, *cycles)
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments %q; qmfleet is configured by flags only", flag.Args())
+	}
+	if *streams <= 0 {
+		log.Fatalf("-streams must be a positive stream count, got %d", *streams)
+	}
+	if *cycles <= 0 {
+		log.Fatalf("-cycles must be a positive cycle count, got %d", *cycles)
+	}
+	if *workers < 0 {
+		log.Fatalf("-workers must be ≥ 0 (0 selects GOMAXPROCS), got %d", *workers)
 	}
 	if *batch <= 0 {
-		log.Fatalf("need positive -batch, got %d", *batch)
+		log.Fatalf("-batch must be a positive cycle batch, got %d", *batch)
+	}
+	if *rate <= 0 || math.IsNaN(*rate) || math.IsInf(*rate, 0) {
+		log.Fatalf("-rate must be a positive arrival rate, got %v", *rate)
+	}
+	if *burst < 1 || math.IsNaN(*burst) || math.IsInf(*burst, 0) {
+		log.Fatalf("-burst must be a peak-to-mean ratio ≥ 1, got %v", *burst)
 	}
 	if *csvPath != "" && *retain {
 		log.Fatal("-csv streams records through the sink path; drop -retain (use metrics.WriteTraceCSV for retained traces)")
 	}
+	admitter, err := fleet.ParseAdmitter(*admitSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Open-system flags must not be silently ignored: an explicitly set
+	// -rate/-burst/-admit without the arrival process (or with one that
+	// does not consume it) would report a run the user did not ask for.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *arrivalsSpec == "" {
+		for _, name := range []string{"rate", "burst"} {
+			if set[name] {
+				log.Fatalf("-%s shapes an arrival process; add -arrivals", name)
+			}
+		}
+		if *admitSpec != "all" {
+			log.Fatalf("-admit %s needs an open system; add -arrivals", *admitSpec)
+		}
+	} else {
+		if strings.HasPrefix(*arrivalsSpec, "trace:") && (set["rate"] || set["burst"]) {
+			log.Fatal("-rate/-burst do not apply to a trace replay; the recorded instants are used as-is")
+		}
+		if set["burst"] && *arrivalsSpec != "bursty" {
+			log.Fatalf("-burst only shapes -arrivals bursty, not %q", *arrivalsSpec)
+		}
+	}
 
-	var cfg fleet.Config
+	var cfg fleet.OpenConfig
 	cfg.Workers = *workers
 	cfg.BatchCycles = *batch
 	label := *mix
@@ -104,10 +166,8 @@ func main() {
 		log.Fatalf("unknown -mix %q (want encoder or workloads)", *mix)
 	}
 
-	run := fleet.RunStats
 	mode := "streaming stats, zero retention"
 	if *retain {
-		run = fleet.Run
 		mode = "full traces retained"
 	}
 	var csvFile *os.File
@@ -123,12 +183,69 @@ func main() {
 		cfg.Export = func(_ int, name string) sim.Sink { return cw.Stream(name) }
 		mode += ", CSV export"
 	}
+
+	doc := &metrics.FleetDoc{
+		Label:       label,
+		Mode:        "closed",
+		Streams:     *streams,
+		Workers:     sim.EffectiveWorkers(*streams, *workers),
+		BatchCycles: *batch,
+		Cycles:      *cycles,
+		Seed:        *seed,
+	}
+
+	var proc arrivals.Process
+	if *arrivalsSpec != "" {
+		proc, err = buildProcess(*arrivalsSpec, &cfg, *rate, *burst, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Arrivals, err = proc.Times(*streams)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Admit = admitter
+		doc.Mode = "open"
+		doc.Arrivals = proc.Name()
+		doc.Admission = admitter.Name()
+	}
+
 	start := time.Now()
-	res, err := run(cfg)
-	if err != nil {
-		log.Fatal(err)
+	var table string
+	var flat *fleet.Result
+	var fsum metrics.FleetSummary
+	if proc != nil {
+		run := fleet.OpenRunStats
+		if *retain {
+			run = fleet.OpenRun
+		}
+		res, err := run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		flat = res.FleetResult()
+		fsum = report.Aggregate(flat)
+		open := metrics.SummarizeOpen(res.OpenObservations)
+		table = report.OpenTable(res, open, flat, fsum)
+		doc.Open = &open
+	} else {
+		closed := fleet.Config{Streams: cfg.Streams, Workers: cfg.Workers, BatchCycles: cfg.BatchCycles, Export: cfg.Export}
+		run := fleet.RunStats
+		if *retain {
+			run = fleet.Run
+		}
+		res, err := run(closed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		flat = res
+		fsum = report.Aggregate(flat)
+		table = report.FleetTable(res, fsum)
 	}
 	elapsed := time.Since(start)
+	doc.Summary = fsum
+	runErr := flat.Err()
+
 	if cw != nil {
 		if err := cw.Err(); err != nil {
 			log.Fatal(err)
@@ -140,13 +257,85 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-
-	w := sim.EffectiveWorkers(*streams, *workers)
-	fmt.Printf("fleet               %d streams × %d cycles, %d workers, batch %d (%s; %s)\n",
-		*streams, *cycles, w, *batch, label, mode)
-	fmt.Printf("wall-clock          %v\n\n", elapsed.Round(time.Millisecond))
-	fmt.Print(report.FleetTable(res))
-	if err := res.Err(); err != nil {
-		log.Fatal(err)
+	// A failed run persists no artifact: a FleetDoc whose aggregate
+	// silently excluded errored streams would present a partial run as a
+	// complete one. The error itself is reported after the table.
+	if *jsonPath != "" && runErr == nil {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := doc.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
+
+	system := "closed system"
+	if proc != nil {
+		system = fmt.Sprintf("open system, %s, admit %s", doc.Arrivals, doc.Admission)
+	}
+	fmt.Printf("fleet               %d streams × %d cycles, %d workers, batch %d (%s; %s)\n",
+		*streams, *cycles, doc.Workers, *batch, label, mode)
+	fmt.Printf("scenario            %s\n", system)
+	fmt.Printf("wall-clock          %v\n\n", elapsed.Round(time.Millisecond))
+	fmt.Print(table)
+	if runErr != nil {
+		log.Fatal(runErr)
+	}
+}
+
+// buildProcess maps the -arrivals/-rate/-burst flags to an arrival
+// process. Rates are relative to the reference period — the first
+// stream's resolved cycle period — so "-rate 1" means on average one
+// stream arrives per frame time.
+func buildProcess(spec string, cfg *fleet.OpenConfig, rate, burst float64, seed uint64) (arrivals.Process, error) {
+	r := &cfg.Streams[0].Runner
+	period := r.ResolvedPeriod()
+	if period <= 0 {
+		return nil, fmt.Errorf("cannot derive a reference period from stream %q", cfg.Streams[0].Name)
+	}
+	if path, ok := strings.CutPrefix(spec, "trace:"); ok {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return arrivals.ReadCSV(f)
+	}
+	gap := core.Time(math.Round(float64(period) / rate))
+	if gap < 1 {
+		return nil, fmt.Errorf("-rate %v means more than one arrival per tick of the reference period %v; use a smaller rate", rate, period)
+	}
+	switch {
+	case spec == "fixed":
+		return arrivals.Fixed{Period: gap}, nil
+	case spec == "poisson":
+		return arrivals.Poisson{MeanGap: gap, Seed: sim.Mix64(seed ^ 0xA5A5A5A5)}, nil
+	case spec == "bursty":
+		if burst <= 1 {
+			return nil, fmt.Errorf("-arrivals bursty needs -burst > 1 (a ratio of 1 is plain poisson), got %v", burst)
+		}
+		// Peak rate is burst × the mean rate; the ON duty cycle 1/burst
+		// restores the configured mean. Dwell means span a few periods
+		// so bursts hold several arrivals.
+		gapOn := core.Time(math.Round(float64(gap) / burst))
+		if gapOn < 1 {
+			return nil, fmt.Errorf("-rate %v with -burst %v means more than one peak arrival per tick; lower the rate or the burst ratio", rate, burst)
+		}
+		on := 4 * period
+		off := core.Time(math.Round(float64(on) * (burst - 1)))
+		if off < 1 {
+			return nil, fmt.Errorf("-burst %v is too close to 1: the off dwell rounds below one tick; raise the ratio or use -arrivals poisson", burst)
+		}
+		return arrivals.Bursty{
+			GapOn:   gapOn,
+			MeanOn:  on,
+			MeanOff: off,
+			Seed:    sim.Mix64(seed ^ 0x5A5A5A5A),
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown -arrivals %q (want fixed, poisson, bursty or trace:file.csv)", spec)
 }

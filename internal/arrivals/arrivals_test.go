@@ -1,0 +1,180 @@
+package arrivals
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// checkProcess asserts the Process contract: determinism, monotonicity,
+// non-negative instants.
+func checkProcess(t *testing.T, p Process, n int) []core.Time {
+	t.Helper()
+	a, err := p.Times(n)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name(), err)
+	}
+	b, err := p.Times(n)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name(), err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: two generations of the same process differ", p.Name())
+	}
+	if len(a) != n {
+		t.Fatalf("%s: got %d instants, want %d", p.Name(), len(a), n)
+	}
+	for k, at := range a {
+		if at < 0 {
+			t.Fatalf("%s: negative instant %v at %d", p.Name(), at, k)
+		}
+		if k > 0 && at < a[k-1] {
+			t.Fatalf("%s: instants not monotone at %d: %v < %v", p.Name(), k, at, a[k-1])
+		}
+	}
+	return a
+}
+
+func TestFixed(t *testing.T) {
+	a := checkProcess(t, Fixed{Start: 5, Period: 10}, 4)
+	want := []core.Time{5, 15, 25, 35}
+	if !reflect.DeepEqual(a, want) {
+		t.Fatalf("fixed: got %v, want %v", a, want)
+	}
+	// Period 0 is the closed fleet's all-at-once shape.
+	a = checkProcess(t, Fixed{}, 3)
+	if !reflect.DeepEqual(a, []core.Time{0, 0, 0}) {
+		t.Fatalf("fixed period 0: got %v", a)
+	}
+	if _, err := (Fixed{Period: -1}).Times(2); err == nil {
+		t.Fatal("negative period accepted")
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	const n = 2000
+	mean := core.Time(1000)
+	a := checkProcess(t, Poisson{MeanGap: mean, Seed: 42}, n)
+	// Empirical mean gap within 10% of the configured mean: a loose
+	// sanity band, deterministic because the draws are.
+	avg := float64(a[n-1]) / float64(n)
+	if avg < 0.9*float64(mean) || avg > 1.1*float64(mean) {
+		t.Fatalf("poisson mean gap %v off the configured %v", avg, mean)
+	}
+	// Distinct seeds decorrelate.
+	b := checkProcess(t, Poisson{MeanGap: mean, Seed: 43}, n)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different seeds gave identical arrivals")
+	}
+	if _, err := (Poisson{MeanGap: 0}).Times(2); err == nil {
+		t.Fatal("zero mean gap accepted")
+	}
+	if _, err := (Poisson{MeanGap: 10}).Times(-1); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestBursty(t *testing.T) {
+	const n = 500
+	p := Bursty{GapOn: 100, MeanOn: 1000, MeanOff: 10000, Seed: 7}
+	a := checkProcess(t, p, n)
+	// The on–off structure must show: gaps inside bursts are on the
+	// GapOn scale, OFF dwells insert much larger ones. Count gaps well
+	// above the ON scale — there must be some (bursts end), and far
+	// fewer than n (arrivals cluster).
+	large := 0
+	for k := 1; k < n; k++ {
+		if a[k]-a[k-1] > 2000 {
+			large++
+		}
+	}
+	if large == 0 || large > n/4 {
+		t.Fatalf("bursty: %d large gaps out of %d — no on/off structure", large, n)
+	}
+	if _, err := (Bursty{GapOn: 0, MeanOn: 1, MeanOff: 1}).Times(2); err == nil {
+		t.Fatal("zero burst gap accepted")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	tr, err := NewTrace([]core.Time{30, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tr.Times(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, []core.Time{10, 20, 30}) {
+		t.Fatalf("trace not sorted: %v", a)
+	}
+	if _, err := tr.Times(4); err == nil {
+		t.Fatal("overdrawn trace accepted")
+	}
+	if _, err := NewTrace([]core.Time{-1}); err == nil {
+		t.Fatal("negative instant accepted")
+	}
+}
+
+func TestReadCSV(t *testing.T) {
+	in := strings.Join([]string{
+		"arrival",        // header
+		"# a comment",    // comment
+		"",               // blank
+		"1000",           // integer — but the file's unit is seconds (below)
+		"0.5, streamxyz", // seconds, extra column
+		"2.5e-9",         // scientific seconds → ~2.5 ticks
+	}, "\n")
+	tr, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Times(tr.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unit is inferred once per file: any decimal/exponent value
+	// makes the whole file seconds, so the bare "1000" is 1000 s, not
+	// 1000 ticks — per-row inference would scramble arrival order.
+	want := []core.Time{3, core.Time(float64(core.Second) / 2), 1000 * core.Second}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("csv parse: got %v, want %v", got, want)
+	}
+
+	// An all-integer file is raw ticks.
+	tr, err = ReadCSV(strings.NewReader("10\n1000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tr.Times(tr.Len()); !reflect.DeepEqual(got, []core.Time{10, 1000}) {
+		t.Fatalf("tick parse: got %v", got)
+	}
+
+	// A header is the first non-blank, non-comment row wherever it
+	// falls, not literally line 1.
+	tr, err = ReadCSV(strings.NewReader("# recorded 2026-07-28\n\ntimestamp\n1000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("comment-then-header trace has %d arrivals, want 1", tr.Len())
+	}
+
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("arrival\nnot-a-number")); err == nil {
+		t.Fatal("garbage row accepted")
+	}
+
+	// A corrupted first data row is an error, not a header: the header
+	// heuristic must not silently drop an arrival whose value merely
+	// failed to parse (e.g. a truncated export).
+	for _, bad := range []string{"12x34\n1000\n", "-\n1000\n", ".5.5\n1000\n", ",123\n456\n"} {
+		if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+			t.Fatalf("corrupt first row %q accepted as a header", bad)
+		}
+	}
+}

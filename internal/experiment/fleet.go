@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"repro/internal/arrivals"
 	"repro/internal/fleet"
 	"repro/internal/regions"
 	"repro/internal/sim"
@@ -88,6 +89,29 @@ func (s *Setup) RunFleetStats(seed uint64, n, workers int) (*fleet.Result, error
 		return nil, err
 	}
 	return fleet.RunStats(fleet.Config{Streams: streams, Workers: workers})
+}
+
+// RunOpenFleet drives n paper-encoder streams through the open-system
+// engine: arrivals from the given process, admission by the given
+// controller (nil = admit all). It is RunFleetStats for live traffic —
+// the executed streams' traces are still byte-identical to serial runs
+// at the same derived seeds, whatever the worker count, and so are the
+// admission decisions.
+func (s *Setup) RunOpenFleet(seed uint64, n, workers int, proc arrivals.Process, adm fleet.Admitter) (*fleet.OpenResult, error) {
+	streams, err := s.FleetStreams(seed, n)
+	if err != nil {
+		return nil, err
+	}
+	times, err := proc.Times(n)
+	if err != nil {
+		return nil, err
+	}
+	return fleet.OpenRunStats(fleet.OpenConfig{
+		Streams:  streams,
+		Arrivals: times,
+		Admit:    adm,
+		Workers:  workers,
+	})
 }
 
 // WorkloadFleet builds a mixed fleet over the workloads catalog: stream

@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/arrivals"
+	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -91,5 +93,47 @@ func TestWorkloadFleetMixesCatalog(t *testing.T) {
 	}
 	if _, err := WorkloadFleet(1, 2, 0); err == nil {
 		t.Fatal("cycles=0 must be rejected")
+	}
+}
+
+// TestRunOpenFleet: the open-system wrapper admits the whole paper
+// population under an ample cap and its executed traces match the
+// closed fleet's (same seeds, same streams — arrivals only shift the
+// lifecycle, never the content).
+func TestRunOpenFleet(t *testing.T) {
+	s := Paper(1)
+	s.Cycles = 2
+	const n, seed = 3, 9
+	proc := arrivals.Poisson{MeanGap: s.Period, Seed: 4}
+	open, err := s.RunOpenFleet(seed, n, 2, proc, fleet.CapK{K: 2, Queue: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := open.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if open.Admitted != n || open.Shed != 0 {
+		t.Fatalf("ample cap admitted %d, shed %d", open.Admitted, open.Shed)
+	}
+	closed, err := s.RunFleetStats(seed, n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range closed.Streams {
+		if !reflect.DeepEqual(closed.Streams[k].Trace, open.Streams[k].Trace) {
+			t.Fatalf("stream %d: open trace differs from closed fleet", k)
+		}
+		if !reflect.DeepEqual(closed.Streams[k].Stats, open.Streams[k].Stats) {
+			t.Fatalf("stream %d: open stats differ from closed fleet", k)
+		}
+	}
+
+	// Arrival-process errors surface instead of panicking.
+	short, err := arrivals.NewTrace([]core.Time{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunOpenFleet(seed, n, 2, short, nil); err == nil {
+		t.Fatal("overdrawn trace process accepted")
 	}
 }

@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/multitask"
+)
+
+// Verdict is an admission controller's decision about one arriving (or
+// queued) stream.
+type Verdict uint8
+
+const (
+	// Admit lets the stream enter service at the decision instant.
+	Admit Verdict = iota
+	// Delay keeps the stream in the FIFO backlog; it is reconsidered
+	// whenever capacity frees.
+	Delay
+	// Shed drops the stream: it never runs and leaves no trace. Shed is
+	// honoured only for new arrivals; a queued stream is never shed by a
+	// re-consultation (the loop treats Shed as Delay there).
+	Shed
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Admit:
+		return "admit"
+	case Delay:
+		return "delay"
+	case Shed:
+		return "shed"
+	}
+	return fmt.Sprintf("verdict(%d)", uint8(v))
+}
+
+// Load is the admission controller's view of the open system at a
+// decision instant.
+type Load struct {
+	// T is the decision instant in simulated time.
+	T core.Time
+	// InService counts streams admitted and not yet departed.
+	InService int
+	// Backlog counts the streams queued *ahead of* the candidate: the
+	// whole queue for a new arrival, zero for the backlog head being
+	// reconsidered after a departure. A policy that delays whenever
+	// Backlog > 0 is therefore FIFO by construction — arrivals cannot
+	// overtake the queue.
+	Backlog int
+	// CPULoad is the summed multitask.Utilization of in-service streams:
+	// the fraction of the simulated CPU budget already committed.
+	CPULoad float64
+}
+
+// Admitter decides the fate of streams presented to an open fleet.
+// Decide must be a pure function of its arguments and the policy's
+// immutable parameters — the open loop's byte-for-byte determinism
+// across (workers, batch) rests on it.
+type Admitter interface {
+	// Name identifies the policy and its parameters for reports and
+	// benchmark rows.
+	Name() string
+	// Decide returns the verdict for a stream of utilization u at load l.
+	Decide(l Load, u float64) Verdict
+}
+
+// AdmitAll admits every stream immediately — the open system degenerates
+// to the closed fleet with staggered start times. It is the identity
+// element the open/closed equivalence tests pin down.
+type AdmitAll struct{}
+
+// Name implements Admitter.
+func (AdmitAll) Name() string { return "admit-all" }
+
+// Decide implements Admitter.
+func (AdmitAll) Decide(Load, float64) Verdict { return Admit }
+
+// CapK bounds the number of concurrently-served streams at K, with an
+// optional bound on the backlog: arrivals beyond K wait in FIFO order,
+// and once Queue streams are already waiting, further arrivals are shed
+// (Queue 0 is a pure loss system, Queue < 0 an unbounded queue).
+type CapK struct {
+	K     int
+	Queue int
+}
+
+// Name implements Admitter.
+func (p CapK) Name() string {
+	if p.Queue < 0 {
+		return fmt.Sprintf("cap-%d", p.K)
+	}
+	return fmt.Sprintf("cap-%d/queue-%d", p.K, p.Queue)
+}
+
+// Decide implements Admitter.
+func (p CapK) Decide(l Load, _ float64) Verdict {
+	if l.Backlog == 0 && l.InService < p.K {
+		return Admit
+	}
+	if p.Queue < 0 || l.Backlog < p.Queue {
+		return Delay
+	}
+	return Shed
+}
+
+// Budget admits on a simulated-CPU budget: a stream of utilization u
+// (its guaranteed qmin demand, see multitask.Utilization) enters service
+// only while the fleet's committed load passes multitask's EDF admission
+// test against CPU processors. Streams that do not fit are delayed in
+// FIFO order, or shed once Queue of them are already waiting (Queue < 0
+// = unbounded). A stream whose own utilization exceeds the whole budget
+// can never be admitted; it is shed when the system drains with it still
+// at the head of the queue.
+type Budget struct {
+	CPU   float64
+	Queue int
+}
+
+// Name implements Admitter.
+func (p Budget) Name() string {
+	if p.Queue < 0 {
+		return fmt.Sprintf("budget-%g", p.CPU)
+	}
+	return fmt.Sprintf("budget-%g/queue-%d", p.CPU, p.Queue)
+}
+
+// Decide implements Admitter.
+func (p Budget) Decide(l Load, u float64) Verdict {
+	if l.Backlog == 0 && multitask.EDFAdmissible(l.CPULoad, u, p.CPU) {
+		return Admit
+	}
+	if p.Queue < 0 || l.Backlog < p.Queue {
+		return Delay
+	}
+	return Shed
+}
+
+// ParseAdmitter builds an admission policy from its flag spelling:
+//
+//	all                  admit everything (the default)
+//	cap=K[,queue=N]      at most K concurrent streams, optional queue bound
+//	budget=U[,queue=N]   simulated-CPU budget of U processors (EDF test)
+//
+// An omitted queue bound means an unbounded queue.
+func ParseAdmitter(spec string) (Admitter, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "all" {
+		return AdmitAll{}, nil
+	}
+	head, rest, hasComma := strings.Cut(spec, ",")
+	queue := -1
+	if hasComma && strings.TrimSpace(rest) == "" {
+		return nil, fmt.Errorf("fleet: bad admission spec %q: trailing comma (want queue=N after it)", spec)
+	}
+	if rest != "" {
+		qs, ok := strings.CutPrefix(strings.TrimSpace(rest), "queue=")
+		if !ok {
+			return nil, fmt.Errorf("fleet: bad admission spec %q: want queue=N after the comma", spec)
+		}
+		q, err := strconv.Atoi(qs)
+		if err != nil || q < 0 {
+			return nil, fmt.Errorf("fleet: bad admission queue bound %q: want a non-negative integer", qs)
+		}
+		queue = q
+	}
+	key, val, ok := strings.Cut(strings.TrimSpace(head), "=")
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown admission policy %q (want all, cap=K or budget=U)", spec)
+	}
+	switch key {
+	case "cap":
+		k, err := strconv.Atoi(val)
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("fleet: bad admission cap %q: want an integer ≥ 1", val)
+		}
+		return CapK{K: k, Queue: queue}, nil
+	case "budget":
+		u, err := strconv.ParseFloat(val, 64)
+		if err != nil || math.IsNaN(u) || math.IsInf(u, 0) || u <= 0 {
+			return nil, fmt.Errorf("fleet: bad admission budget %q: want a positive finite number of CPUs", val)
+		}
+		return Budget{CPU: u, Queue: queue}, nil
+	}
+	return nil, fmt.Errorf("fleet: unknown admission policy %q (want all, cap=K or budget=U)", spec)
+}

@@ -1,0 +1,64 @@
+package fleet
+
+import (
+	"testing"
+)
+
+func TestAdmitterDecide(t *testing.T) {
+	cases := []struct {
+		name string
+		adm  Admitter
+		l    Load
+		u    float64
+		want Verdict
+	}{
+		{"admit-all full system", AdmitAll{}, Load{InService: 99, Backlog: 99}, 9.9, Admit},
+		{"cap free", CapK{K: 2, Queue: -1}, Load{InService: 1}, 0, Admit},
+		{"cap full queues", CapK{K: 2, Queue: -1}, Load{InService: 2}, 0, Delay},
+		{"cap fifo no overtaking", CapK{K: 2, Queue: -1}, Load{InService: 1, Backlog: 1}, 0, Delay},
+		{"cap bounded queue sheds", CapK{K: 1, Queue: 2}, Load{InService: 1, Backlog: 2}, 0, Shed},
+		{"cap loss system", CapK{K: 1, Queue: 0}, Load{InService: 1}, 0, Shed},
+		{"budget fits", Budget{CPU: 1, Queue: -1}, Load{CPULoad: 0.5}, 0.4, Admit},
+		{"budget exact fill", Budget{CPU: 1, Queue: -1}, Load{CPULoad: 0.5}, 0.5, Admit},
+		{"budget oversubscribed", Budget{CPU: 1, Queue: -1}, Load{CPULoad: 0.8}, 0.4, Delay},
+		{"budget fifo", Budget{CPU: 1, Queue: -1}, Load{CPULoad: 0, Backlog: 1}, 0.1, Delay},
+		{"budget bounded queue sheds", Budget{CPU: 1, Queue: 1}, Load{CPULoad: 0.9, Backlog: 1}, 0.4, Shed},
+	}
+	for _, c := range cases {
+		if got := c.adm.Decide(c.l, c.u); got != c.want {
+			t.Errorf("%s: %s.Decide(%+v, %g) = %v, want %v", c.name, c.adm.Name(), c.l, c.u, got, c.want)
+		}
+	}
+}
+
+func TestParseAdmitter(t *testing.T) {
+	good := map[string]string{
+		"":                 "admit-all",
+		"all":              "admit-all",
+		"cap=4":            "cap-4",
+		"cap=4,queue=0":    "cap-4/queue-0",
+		"cap=2, queue=16":  "cap-2/queue-16",
+		"budget=1.5":       "budget-1.5",
+		"budget=2,queue=8": "budget-2/queue-8",
+	}
+	for spec, want := range good {
+		adm, err := ParseAdmitter(spec)
+		if err != nil {
+			t.Errorf("ParseAdmitter(%q): %v", spec, err)
+			continue
+		}
+		if adm.Name() != want {
+			t.Errorf("ParseAdmitter(%q) = %s, want %s", spec, adm.Name(), want)
+		}
+	}
+	bad := []string{
+		"capk", "cap", "cap=", "cap=0", "cap=-1", "cap=x",
+		"budget=0", "budget=-2", "budget=NaN",
+		"cap=1,quux=2", "cap=1,queue=-3", "cap=1,queue=x", "random",
+	}
+	for _, spec := range bad {
+		if _, err := ParseAdmitter(spec); err == nil {
+			t.Errorf("ParseAdmitter(%q) accepted", spec)
+		}
+	}
+}

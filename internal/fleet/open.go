@@ -1,0 +1,319 @@
+package fleet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/multitask"
+	"repro/internal/sim"
+)
+
+// OpenConfig is an open-system fleet run: a stream population with
+// arrival instants, an admission controller, and the scheduler shape.
+// Where the closed Config starts every stream at once and runs the
+// population to completion, the open form drives a virtual-time event
+// loop — streams arrive, are admitted / queued / shed, run, and depart —
+// while every admitted stream still executes on the same shard-affine
+// scheduler as a closed fleet.
+type OpenConfig struct {
+	// Streams is the arriving population, in arrival-process order.
+	Streams []Stream
+	// Arrivals[k] is stream k's arrival instant in simulated time
+	// (typically an arrivals.Process output). It must have exactly one
+	// instant per stream, all ≥ 0 and finite; it need not be sorted —
+	// the loop orders events by (instant, index).
+	Arrivals []core.Time
+	// Admit is the admission controller; nil selects AdmitAll.
+	Admit Admitter
+	// Workers and BatchCycles shape the scheduler exactly as in Config.
+	// They change wall-clock time, never results: traces, lifecycles and
+	// admission decisions are byte-identical at any (workers, batch).
+	Workers     int
+	BatchCycles int
+	// Export is Config.Export for the stats path: an extra per-stream
+	// sink keyed by the stream's index in Streams.
+	Export func(k int, name string) sim.Sink
+}
+
+// OpenResult collects an open-system run: the per-stream outcomes (in
+// input order; shed streams carry neither trace nor stats) plus the
+// embedded open-system observations — lifecycles and backlog accounting
+// — that metrics.SummarizeOpen aggregates.
+type OpenResult struct {
+	Streams []StreamResult
+	metrics.OpenObservations
+	// Admitted, Delayed and Shed count the population's fates: Admitted
+	// streams ran, Delayed streams spent time in the backlog (whether
+	// eventually admitted or shed), Shed streams never ran. They are
+	// derived from Lifecycles, the single record of each verdict.
+	Admitted, Delayed, Shed int
+}
+
+// FleetResult returns the executed streams as a closed-fleet result, so
+// the whole cross-stream aggregation and reporting stack (FleetTable,
+// AggregateStats) applies unchanged to an open run.
+func (r *OpenResult) FleetResult() *Result {
+	res := &Result{Streams: make([]StreamResult, 0, len(r.Streams))}
+	for k, s := range r.Streams {
+		if r.Lifecycles[k].Shed {
+			continue
+		}
+		res.Streams = append(res.Streams, s)
+	}
+	return res
+}
+
+// Err returns the first per-stream error among executed streams, or nil.
+func (r *OpenResult) Err() error {
+	for _, s := range r.Streams {
+		if s.Err != nil {
+			return fmt.Errorf("fleet: stream %q: %w", s.Name, s.Err)
+		}
+	}
+	return nil
+}
+
+// OpenRun executes the open system with full traces retained per
+// executed stream. See OpenRunStats for the zero-retention form.
+func OpenRun(cfg OpenConfig) (*OpenResult, error) {
+	if cfg.Export != nil {
+		return nil, errors.New("fleet: Export needs the streaming path; use OpenRunStats")
+	}
+	return openRun(cfg, false)
+}
+
+// OpenRunStats executes the open system with one StatsSink per executed
+// stream — the zero-retention shape: slot memory is bounded by the peak
+// admission-wave size, not the population, and the steady-state hot path
+// stays allocation-free.
+func OpenRunStats(cfg OpenConfig) (*OpenResult, error) {
+	return openRun(cfg, true)
+}
+
+// departure is a scheduled stream completion in the event heap.
+type departure struct {
+	t core.Time
+	k int
+}
+
+// depHeap is a min-heap of departures ordered by (instant, stream
+// index) — the index tie-break keeps simultaneous departures
+// deterministic.
+type depHeap []departure
+
+func (h depHeap) Len() int { return len(h) }
+func (h depHeap) Less(i, j int) bool {
+	return h[i].t < h[j].t || (h[i].t == h[j].t && h[i].k < h[j].k)
+}
+func (h depHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *depHeap) Push(x any)   { *h = append(*h, x.(departure)) }
+func (h *depHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// openRun is the open system's virtual-time event loop. It is serial and
+// deterministic by construction — every admission decision is a pure
+// function of simulated instants — and delegates all stream execution to
+// the shard-affine scheduler in admission waves: the streams admitted at
+// one event instant are bound into (recycled) table slots, drained
+// concurrently, and harvested, which fixes their departure instants
+// before the loop advances to the next event. Concurrency therefore
+// changes wall-clock time only; a fixed arrival seed yields byte-
+// identical traces, lifecycles and admission decisions at any
+// (workers, batch).
+//
+// Event ordering: at one instant, departures are retired first (ties by
+// stream index), the freed capacity is offered to the FIFO backlog, and
+// only then are new arrivals decided (ties by index) — an arrival queues
+// behind streams already waiting. A stream still queued when the system
+// drains can never be admitted (nothing will free more capacity), so it
+// is shed then.
+func openRun(cfg OpenConfig, stats bool) (*OpenResult, error) {
+	n := len(cfg.Streams)
+	if n == 0 {
+		return nil, errors.New("fleet: no streams")
+	}
+	if len(cfg.Arrivals) != n {
+		return nil, fmt.Errorf("fleet: %d streams but %d arrival instants", n, len(cfg.Arrivals))
+	}
+	for k, t := range cfg.Arrivals {
+		if t < 0 || t.IsInf() {
+			return nil, fmt.Errorf("fleet: stream %d has invalid arrival instant %v", k, t)
+		}
+	}
+	adm := cfg.Admit
+	if adm == nil {
+		adm = AdmitAll{}
+	}
+
+	// Per-stream guaranteed CPU demand for budget policies: the qmin
+	// worst case over the resolved period. Streams that will fail at
+	// Bind — sim.Runner.Validate (the same check InitStream applies) or
+	// the retain-mode rejection of a caller-set sink — weigh nothing:
+	// they depart the instant they are admitted without executing, so
+	// they must not consume budget that same-instant arrivals are
+	// decided against.
+	util := make([]float64, n)
+	for k := range cfg.Streams {
+		r := &cfg.Streams[k].Runner
+		if r.Validate() != nil || (!stats && r.Sink != nil) {
+			continue
+		}
+		if u := multitask.Utilization(r.Sys, r.Sys.QMin(), r.ResolvedPeriod()); !math.IsInf(u, 1) {
+			util[k] = u
+		}
+	}
+
+	// Event order: arrivals sorted by (instant, index).
+	order := make([]int, n)
+	for k := range order {
+		order[k] = k
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return cfg.Arrivals[order[i]] < cfg.Arrivals[order[j]]
+	})
+
+	tbl := newOpenTable(cfg.Streams, stats, cfg.Export)
+	res := &OpenResult{Streams: make([]StreamResult, n)}
+	res.Lifecycles = make([]metrics.Lifecycle, n)
+	for k := range res.Streams {
+		res.Streams[k].Name = cfg.Streams[k].Name
+		res.Lifecycles[k] = metrics.Lifecycle{Name: cfg.Streams[k].Name, Arrival: cfg.Arrivals[k]}
+	}
+
+	var (
+		dep     depHeap
+		backlog []int
+		wave    []int
+		slots   []int32
+		inServe int
+		cpuLoad float64
+		lastT   = cfg.Arrivals[order[0]]
+		lastDep core.Time
+	)
+	res.FirstArrival = lastT
+
+	admitStream := func(k int, t core.Time) {
+		res.Lifecycles[k].Admitted = t
+		inServe++
+		cpuLoad += util[k]
+		wave = append(wave, k)
+	}
+
+	// flush executes one admission wave: bind the admitted streams into
+	// recycled slots, drain them on the scheduler, harvest, and schedule
+	// their departures. Growth happens only here, with every slot free.
+	flush := func() {
+		if len(wave) == 0 {
+			return
+		}
+		tbl.Ensure(len(wave))
+		slots = slots[:0]
+		for _, k := range wave {
+			slots = append(slots, int32(tbl.Bind(&cfg.Streams[k], k)))
+		}
+		tbl.RunSlots(slots, cfg.Workers, cfg.BatchCycles)
+		for i, k := range wave {
+			sr := tbl.Harvest(int(slots[i]))
+			res.Streams[k] = sr
+			d := res.Lifecycles[k].Admitted
+			if sr.Err == nil {
+				d += sr.Trace.Final
+			} else {
+				res.Lifecycles[k].Failed = true
+			}
+			res.Lifecycles[k].Departed = d
+			if d > lastDep {
+				lastDep = d
+			}
+			heap.Push(&dep, departure{t: d, k: k})
+		}
+		wave = wave[:0]
+	}
+
+	// advanceTo integrates the backlog depth over simulated time up to
+	// the next event instant.
+	advanceTo := func(t core.Time) {
+		if t > lastT {
+			res.BacklogIntegral += float64(t-lastT) * float64(len(backlog))
+			lastT = t
+		}
+	}
+
+	ai := 0
+	for ai < n || dep.Len() > 0 || len(wave) > 0 {
+		flush()
+		tA, tD := core.TimeInf, core.TimeInf
+		if ai < n {
+			tA = cfg.Arrivals[order[ai]]
+		}
+		if dep.Len() > 0 {
+			tD = dep[0].t
+		}
+		if tD <= tA {
+			t := tD
+			advanceTo(t)
+			for dep.Len() > 0 && dep[0].t == t {
+				d := heap.Pop(&dep).(departure)
+				inServe--
+				cpuLoad -= util[d.k]
+			}
+			// Offer the freed capacity to the backlog in FIFO order; a
+			// Shed verdict for the head is treated as Delay (shedding is
+			// an arrival-time decision).
+			for len(backlog) > 0 {
+				k := backlog[0]
+				if adm.Decide(Load{T: t, InService: inServe, Backlog: 0, CPULoad: cpuLoad}, util[k]) != Admit {
+					break
+				}
+				backlog = backlog[1:]
+				admitStream(k, t)
+			}
+			continue
+		}
+		t := tA
+		advanceTo(t)
+		for ai < n && cfg.Arrivals[order[ai]] == t {
+			k := order[ai]
+			ai++
+			v := adm.Decide(Load{T: t, InService: inServe, Backlog: len(backlog), CPULoad: cpuLoad}, util[k])
+			switch v {
+			case Admit:
+				admitStream(k, t)
+			case Delay:
+				backlog = append(backlog, k)
+				res.Lifecycles[k].Queued = true
+				if len(backlog) > res.MaxBacklog {
+					res.MaxBacklog = len(backlog)
+				}
+			default:
+				res.Lifecycles[k].Shed = true
+			}
+		}
+	}
+
+	// Streams still queued when the system drained can never be admitted
+	// — no departure will ever free more capacity — so they are shed at
+	// the end of the run (head-of-line blocking under FIFO: a stream the
+	// budget can never fit starves everything behind it).
+	for _, k := range backlog {
+		res.Lifecycles[k].Shed = true
+	}
+
+	for _, lc := range res.Lifecycles {
+		if lc.Shed {
+			res.Shed++
+		} else {
+			res.Admitted++
+		}
+		if lc.Queued {
+			res.Delayed++
+		}
+	}
+	res.End = lastT
+	res.Final = lastDep
+	return res, nil
+}

@@ -44,6 +44,7 @@ const (
 // serial sim.Stream whatever worker advances it.
 type sched struct {
 	tbl    *StreamTable
+	slots  []int32 // the table slots under this run; status is indexed in step
 	batch  int
 	status []atomic.Int32
 	steal  atomic.Int64 // shared work-stealing dispenser, touched only by drained workers
@@ -53,22 +54,38 @@ type sched struct {
 // worker pool (≤ 0 selects GOMAXPROCS, capped at the stream count).
 // batch ≤ 0 selects DefaultBatchCycles.
 func (tbl *StreamTable) Run(workers, batch int) {
-	n := tbl.Len()
+	slots := make([]int32, tbl.Len())
+	for k := range slots {
+		slots[k] = int32(k)
+	}
+	tbl.RunSlots(slots, workers, batch)
+}
+
+// RunSlots drains the given table slots to completion — the open-system
+// entry point: each admission wave hands the scheduler just the slots it
+// bound, so newly arrived streams are injected into the same shard-affine
+// machinery that drains a closed fleet, whatever mix of fresh and
+// recycled slots they landed in.
+func (tbl *StreamTable) RunSlots(slots []int32, workers, batch int) {
+	n := len(slots)
+	if n == 0 {
+		return
+	}
 	if batch <= 0 {
 		batch = DefaultBatchCycles
 	}
 	workers = sim.EffectiveWorkers(n, workers)
 	if workers == 1 {
-		// One worker owns the whole table: plain batch sweeps, no
+		// One worker owns the whole slot set: plain batch sweeps, no
 		// atomics at all. This is also the in-order reference the
 		// concurrent path is property-tested against. The live set is
 		// compacted in place as streams finish, so rounds cost O(live),
 		// not O(n) — with skewed lengths the tail rounds sweep only the
 		// stragglers.
 		live := make([]int32, 0, n)
-		for k := 0; k < n; k++ {
+		for _, k := range slots {
 			if tbl.errs[k] == nil {
-				live = append(live, int32(k))
+				live = append(live, k)
 			}
 		}
 		for len(live) > 0 {
@@ -83,10 +100,10 @@ func (tbl *StreamTable) Run(workers, batch int) {
 		return
 	}
 
-	s := &sched{tbl: tbl, batch: batch, status: make([]atomic.Int32, n)}
-	for k := 0; k < n; k++ {
+	s := &sched{tbl: tbl, slots: slots, batch: batch, status: make([]atomic.Int32, n)}
+	for i, k := range slots {
 		if tbl.errs[k] != nil {
-			s.status[k].Store(streamDone)
+			s.status[i].Store(streamDone)
 		}
 	}
 	var wg sync.WaitGroup
@@ -135,7 +152,7 @@ func (s *sched) worker(lo, hi int) {
 				continue
 			}
 			progressed = true
-			if advance(&s.tbl.streams[k], s.batch) {
+			if advance(&s.tbl.streams[s.slots[k]], s.batch) {
 				s.status[k].Store(streamDone)
 			} else {
 				live = true
@@ -157,7 +174,7 @@ func (s *sched) worker(lo, hi int) {
 	// owner, so passes repeat while any is seen; once everything left
 	// is stolen or done, nothing can become claimable again and the
 	// worker exits rather than spinning until the last thief finishes.
-	n := s.tbl.Len()
+	n := len(s.slots)
 	for {
 		stole, transient := false, false
 		start := int(s.steal.Add(1)-1) % n
@@ -178,7 +195,7 @@ func (s *sched) worker(lo, hi int) {
 				continue
 			}
 			stole = true
-			for !advance(&s.tbl.streams[k], s.batch) {
+			for !advance(&s.tbl.streams[s.slots[k]], s.batch) {
 			}
 			s.status[k].Store(streamDone)
 		}

@@ -24,6 +24,18 @@ type StreamTable struct {
 	sinks   []sim.StatsSink // stats mode only; len 0 in retain mode
 	hist    []int           // shared backing slab for the sink histograms
 	errs    []error         // per-stream configuration errors
+
+	// Open-table state (newOpenTable only; zero for closed tables). An
+	// open table's slot count is decoupled from its stream population:
+	// slots are bound at admission, drained by the scheduler, harvested
+	// at departure and recycled for the next admission wave, so the
+	// slab footprint is the peak concurrency, not the total number of
+	// streams that ever pass through the system.
+	stats     bool
+	export    func(k int, name string) sim.Sink
+	maxLevels int   // uniform per-slot histogram window width
+	free      []int // recycled slot stack
+	bound     int   // currently bound slots
 }
 
 // NewStreamTable validates and lays out the given streams. stats
@@ -89,6 +101,107 @@ func NewStreamTable(streams []Stream, stats bool, export func(k int, name string
 		tbl.errs[k] = r.InitStream(&tbl.streams[k], &tbl.states[k], &tbl.traces[k])
 	}
 	return tbl, nil
+}
+
+// newOpenTable lays out an empty slot table for an open-system run over
+// the given stream population. No slabs are allocated up front: Ensure
+// grows them to the peak admission-wave size, Bind and Harvest recycle
+// slots as streams enter and leave service. stats and export have the
+// same meaning as in NewStreamTable; the histogram slab gives every slot
+// a uniform window wide enough for any stream in the population.
+func newOpenTable(streams []Stream, stats bool, export func(k int, name string) sim.Sink) *StreamTable {
+	tbl := &StreamTable{stats: stats, export: export}
+	if stats {
+		for k := range streams {
+			if sys := streams[k].Runner.Sys; sys != nil && sys.NumLevels() > tbl.maxLevels {
+				tbl.maxLevels = sys.NumLevels()
+			}
+		}
+	}
+	return tbl
+}
+
+// Ensure grows the table to at least c slots. Growth reallocates the
+// slabs, which would invalidate the stream views of bound slots — the
+// open loop only grows between admission waves, when every slot has
+// been harvested, and Ensure enforces that invariant.
+func (tbl *StreamTable) Ensure(c int) {
+	if c <= len(tbl.streams) {
+		return
+	}
+	if tbl.bound != 0 {
+		panic("fleet: growing an open table with bound slots")
+	}
+	tbl.names = make([]string, c)
+	tbl.runners = make([]sim.Runner, c)
+	tbl.streams = make([]sim.Stream, c)
+	tbl.states = make([]sim.State, c)
+	tbl.traces = make([]sim.Trace, c)
+	tbl.errs = make([]error, c)
+	if tbl.stats {
+		tbl.sinks = make([]sim.StatsSink, c)
+		tbl.hist = make([]int, c*tbl.maxLevels)
+	}
+	tbl.free = tbl.free[:0]
+	for slot := c - 1; slot >= 0; slot-- {
+		tbl.free = append(tbl.free, slot)
+	}
+}
+
+// Bind claims a free slot for the stream (Ensure must have provided
+// capacity) and initialises its views over the slabs, exactly as
+// NewStreamTable does for a closed fleet: in stats mode the slot's
+// StatsSink gets its histogram window of the shared slab (plus any
+// export tee, keyed by the stream's index k in the open population); in
+// retain mode a caller-set sink is a per-slot error. Configuration
+// errors are recorded in the slot, not returned — the stream still
+// occupies it until harvested, so one bad stream cannot derail the run.
+func (tbl *StreamTable) Bind(s *Stream, k int) int {
+	if len(tbl.free) == 0 {
+		panic("fleet: Bind without a free slot; call Ensure first")
+	}
+	slot := tbl.free[len(tbl.free)-1]
+	tbl.free = tbl.free[:len(tbl.free)-1]
+	tbl.bound++
+	tbl.names[slot] = s.Name
+	tbl.runners[slot] = s.Runner
+	r := &tbl.runners[slot]
+	if tbl.stats {
+		base := slot * tbl.maxLevels
+		tbl.sinks[slot].Init(tbl.hist[base : base : base+tbl.maxLevels])
+		var sink sim.Sink = &tbl.sinks[slot]
+		if tbl.export != nil {
+			if extra := tbl.export(k, s.Name); extra != nil {
+				sink = sim.TeeSink{&tbl.sinks[slot], extra}
+			}
+		}
+		r.Sink = sink
+	} else if r.Sink != nil {
+		tbl.errs[slot] = errors.New("fleet: stream has a Runner.Sink; Run retains traces — use RunStats for sink-based runs")
+		return slot
+	}
+	tbl.errs[slot] = r.InitStream(&tbl.streams[slot], &tbl.states[slot], &tbl.traces[slot])
+	return slot
+}
+
+// Harvest copies the slot's outcome out of the slabs (the same deep-copy
+// discipline as Result) and recycles the slot for the next admission
+// wave.
+func (tbl *StreamTable) Harvest(slot int) StreamResult {
+	sr := StreamResult{Name: tbl.names[slot], Err: tbl.errs[slot]}
+	if tbl.sinks != nil {
+		s := tbl.sinks[slot]
+		s.QualityHist = append([]int(nil), s.QualityHist...)
+		sr.Stats = &s
+	}
+	if sr.Err == nil {
+		tr := tbl.traces[slot]
+		sr.Trace = &tr
+	}
+	tbl.errs[slot] = nil
+	tbl.free = append(tbl.free, slot)
+	tbl.bound--
+	return sr
 }
 
 // Len returns the stream count.

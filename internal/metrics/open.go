@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Lifecycle is the open-system record of one stream: when it arrived,
+// when the admission controller let it in, and when it left. It is the
+// per-stream observable the open fleet engine produces alongside the
+// usual trace, and the unit SummarizeOpen aggregates.
+type Lifecycle struct {
+	Name    string
+	Arrival core.Time
+	// Admitted is the instant the stream entered service; meaningful
+	// only when Shed is false.
+	Admitted core.Time
+	// Departed is the instant the stream's last cycle completed;
+	// meaningful only when Shed is false.
+	Departed core.Time
+	// Queued reports that the stream spent time in the backlog before
+	// being admitted (or shed).
+	Queued bool
+	// Shed reports that the admission controller dropped the stream: it
+	// never entered service and has no trace.
+	Shed bool
+	// Failed reports that the stream was admitted but failed
+	// configuration validation: it departed the instant it was admitted,
+	// occupied no service time and has no trace.
+	Failed bool
+}
+
+// Wait returns the admission delay (arrival → service), 0 for shed
+// streams.
+func (lc Lifecycle) Wait() core.Time {
+	if lc.Shed {
+		return 0
+	}
+	return lc.Admitted - lc.Arrival
+}
+
+// Sojourn returns the time in system (arrival → departure), 0 for shed
+// streams.
+func (lc Lifecycle) Sojourn() core.Time {
+	if lc.Shed {
+		return 0
+	}
+	return lc.Departed - lc.Arrival
+}
+
+// OpenObservations is everything an open-system run exposes beyond the
+// per-stream traces: the stream lifecycles plus the backlog accounting
+// the event loop integrates as it runs. fleet.OpenResult embeds it; all
+// quantities are in simulated time.
+type OpenObservations struct {
+	Lifecycles []Lifecycle
+	// MaxBacklog is the deepest the admission queue ever got.
+	MaxBacklog int
+	// BacklogIntegral is ∫ backlog(t) dt in tick·streams: divided by the
+	// observation span it gives the time-weighted mean queue depth.
+	BacklogIntegral float64
+	// FirstArrival and End bound the observation window over which
+	// BacklogIntegral was accumulated: the first arrival instant and the
+	// last event instant (final departure, or a later arrival that was
+	// queued or shed). Final is the last departure instant; End ≥ Final.
+	FirstArrival, End, Final core.Time
+}
+
+// OpenSummary aggregates an open-system run's observables: admission and
+// shed rates, backlog depth, and the admission-delay and time-in-system
+// (sojourn) percentiles over the streams that ran.
+type OpenSummary struct {
+	Streams  int `json:"streams"`
+	Admitted int `json:"admitted"`
+	Delayed  int `json:"delayed"` // admitted or shed after waiting in the backlog
+	Shed     int `json:"shed"`
+	Failed   int `json:"failed"` // admitted but failed validation; never ran
+
+	AdmitRate float64 `json:"admit_rate"` // Admitted / Streams
+	ShedRate  float64 `json:"shed_rate"`  // Shed / Streams
+
+	MaxBacklog  int     `json:"max_backlog"`
+	MeanBacklog float64 `json:"mean_backlog"` // time-weighted over the span
+
+	// Wait percentiles are the admission delays of the admitted streams
+	// that ran (failed streams contribute no samples).
+	WaitP50 core.Time `json:"wait_p50"`
+	WaitP90 core.Time `json:"wait_p90"`
+	WaitMax core.Time `json:"wait_max"`
+
+	// Sojourn percentiles are the times in system of the admitted
+	// streams that ran (failed streams contribute no samples).
+	SojournP50 core.Time `json:"sojourn_p50"`
+	SojournP90 core.Time `json:"sojourn_p90"`
+	SojournMax core.Time `json:"sojourn_max"`
+
+	// Span is the observation window (first arrival → last event, so the
+	// backlog mean's divisor matches its integral); Final is the last
+	// departure instant.
+	Span  core.Time `json:"span"`
+	Final core.Time `json:"final"`
+}
+
+// SummarizeOpen computes the open-system summary of a run's
+// observations. Percentiles interpolate linearly between order
+// statistics (the same convention as the utilisation percentiles) and
+// are rounded back to the integer tick clock.
+func SummarizeOpen(o OpenObservations) OpenSummary {
+	s := OpenSummary{
+		Streams:    len(o.Lifecycles),
+		MaxBacklog: o.MaxBacklog,
+		Final:      o.Final,
+	}
+	var waits, sojourns []float64
+	for _, lc := range o.Lifecycles {
+		if lc.Queued {
+			s.Delayed++
+		}
+		if lc.Shed {
+			s.Shed++
+			continue
+		}
+		s.Admitted++
+		if lc.Failed {
+			s.Failed++
+			continue // never ran: no wait/sojourn samples
+		}
+		waits = append(waits, float64(lc.Wait()))
+		sojourns = append(sojourns, float64(lc.Sojourn()))
+	}
+	if s.Streams > 0 {
+		s.AdmitRate = float64(s.Admitted) / float64(s.Streams)
+		s.ShedRate = float64(s.Shed) / float64(s.Streams)
+	}
+	if o.End > o.FirstArrival {
+		s.Span = o.End - o.FirstArrival
+		s.MeanBacklog = o.BacklogIntegral / float64(s.Span)
+	}
+	s.WaitP50 = timePercentile(waits, 0.5)
+	s.WaitP90 = timePercentile(waits, 0.9)
+	s.WaitMax = timePercentile(waits, 1)
+	s.SojournP50 = timePercentile(sojourns, 0.5)
+	s.SojournP90 = timePercentile(sojourns, 0.9)
+	s.SojournMax = timePercentile(sojourns, 1)
+	return s
+}
+
+// timePercentile is Percentile rounded back to the tick clock.
+func timePercentile(values []float64, p float64) core.Time {
+	return core.Time(math.Round(Percentile(values, p)))
+}

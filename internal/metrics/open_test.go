@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSummarizeOpen(t *testing.T) {
+	o := OpenObservations{
+		Lifecycles: []Lifecycle{
+			{Name: "a", Arrival: 0, Admitted: 0, Departed: 100},
+			{Name: "b", Arrival: 0, Admitted: 100, Departed: 250, Queued: true},
+			{Name: "c", Arrival: 50, Admitted: 250, Departed: 400, Queued: true},
+			{Name: "d", Arrival: 60, Shed: true},
+		},
+		MaxBacklog:      2,
+		BacklogIntegral: 300, // e.g. 2 queued for 100 ticks + 1 for 100
+		FirstArrival:    0,
+		End:             400,
+		Final:           400,
+	}
+	s := SummarizeOpen(o)
+	if s.Streams != 4 || s.Admitted != 3 || s.Shed != 1 || s.Delayed != 2 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.AdmitRate != 0.75 || s.ShedRate != 0.25 {
+		t.Fatalf("rates: admit %v shed %v", s.AdmitRate, s.ShedRate)
+	}
+	if s.Span != 400 || s.MeanBacklog != 0.75 {
+		t.Fatalf("span %v mean backlog %v", s.Span, s.MeanBacklog)
+	}
+	// Waits are [0, 100, 200]: p50 = 100, max = 200, p90 interpolates
+	// between 100 and 200 at 0.8 → 180.
+	if s.WaitP50 != 100 || s.WaitP90 != 180 || s.WaitMax != 200 {
+		t.Fatalf("wait percentiles: %v %v %v", s.WaitP50, s.WaitP90, s.WaitMax)
+	}
+	// Sojourns are [100, 250, 350].
+	if s.SojournP50 != 250 || s.SojournMax != 350 {
+		t.Fatalf("sojourn percentiles: %v %v", s.SojournP50, s.SojournMax)
+	}
+	if s.Final != 400 {
+		t.Fatalf("final %v", s.Final)
+	}
+
+	// A stream admitted but failing validation counts as admitted and
+	// failed, and contributes no wait/sojourn samples — it never ran.
+	s = SummarizeOpen(OpenObservations{
+		Lifecycles: []Lifecycle{
+			{Name: "a", Arrival: 0, Admitted: 0, Departed: 100},
+			{Name: "bad", Arrival: 0, Admitted: 50, Departed: 50, Queued: true, Failed: true},
+		},
+		FirstArrival: 0,
+		End:          100,
+		Final:        100,
+	})
+	if s.Admitted != 2 || s.Failed != 1 {
+		t.Fatalf("failed-stream counts: %+v", s)
+	}
+	if s.WaitMax != 0 || s.SojournMax != 100 {
+		t.Fatalf("failed stream polluted percentiles: wait max %v sojourn max %v", s.WaitMax, s.SojournMax)
+	}
+
+	// The integral window can outlive the last departure: arrivals that
+	// queue (or are shed) after the final departure extend End, and the
+	// mean divides by that window, not the departure span.
+	s = SummarizeOpen(OpenObservations{
+		Lifecycles: []Lifecycle{
+			{Name: "a", Arrival: 0, Admitted: 0, Departed: 100},
+			{Name: "b", Arrival: 200, Queued: true, Shed: true},
+			{Name: "c", Arrival: 400, Queued: true, Shed: true},
+		},
+		MaxBacklog:      2,
+		BacklogIntegral: 200, // b queued over [200, 400)
+		FirstArrival:    0,
+		End:             400, // last arrival, after the last departure
+		Final:           100,
+	})
+	if s.Span != 400 || s.MeanBacklog != 0.5 || s.Final != 100 {
+		t.Fatalf("late-arrival summary: %+v", s)
+	}
+	if s.MeanBacklog > float64(s.MaxBacklog) {
+		t.Fatalf("mean backlog %v exceeds max %d", s.MeanBacklog, s.MaxBacklog)
+	}
+
+	// Degenerate: everything shed, no departures.
+	s = SummarizeOpen(OpenObservations{
+		Lifecycles:   []Lifecycle{{Name: "x", Arrival: 10, Queued: true, Shed: true}},
+		FirstArrival: 10,
+		End:          10,
+	})
+	if s.Admitted != 0 || s.Shed != 1 || s.Span != 0 || s.MeanBacklog != 0 {
+		t.Fatalf("degenerate summary: %+v", s)
+	}
+}
+
+func TestLifecycleAccessors(t *testing.T) {
+	lc := Lifecycle{Arrival: 10, Admitted: 30, Departed: 100}
+	if lc.Wait() != 20 || lc.Sojourn() != 90 {
+		t.Fatalf("wait %v sojourn %v", lc.Wait(), lc.Sojourn())
+	}
+	shed := Lifecycle{Arrival: 10, Shed: true}
+	if shed.Wait() != 0 || shed.Sojourn() != 0 {
+		t.Fatal("shed lifecycle reports nonzero wait or sojourn")
+	}
+}
+
+func TestFleetDocRoundTrip(t *testing.T) {
+	doc := &FleetDoc{
+		Label:       "encoder",
+		Mode:        "open",
+		Streams:     16,
+		Workers:     4,
+		BatchCycles: 32,
+		Cycles:      8,
+		Seed:        17,
+		Arrivals:    "poisson(gap=1.0345s,seed=17)",
+		Admission:   "cap-4",
+		Summary: FleetSummary{
+			Streams:     15,
+			Records:     1234,
+			Misses:      3,
+			MissRate:    0.25,
+			QualityHist: []int{1, 2, 3},
+			AvgQuality:  1.5,
+		},
+		Open: &OpenSummary{
+			Streams:    16,
+			Admitted:   15,
+			Shed:       1,
+			AdmitRate:  0.9375,
+			WaitP90:    core.Time(120),
+			SojournMax: core.Time(4000),
+			MaxBacklog: 3,
+		},
+	}
+	var buf bytes.Buffer
+	if err := doc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFleetDoc(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(doc, got) {
+		t.Fatalf("round trip diverged:\nwrote %+v\nread  %+v", doc, got)
+	}
+
+	if _, err := ReadFleetDoc(bytes.NewReader([]byte("{broken"))); err == nil {
+		t.Fatal("broken doc accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package multitask
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Utilization returns the fraction of one simulated CPU a cyclic task
+// demands at quality level q: the worst-case busy time of one cycle over
+// its period. At q = QMin it is the task's guaranteed demand — the
+// qmin-feasibility precondition (core.System.Feasible) means the Quality
+// Manager can always retreat to it — which makes it the right per-task
+// weight for admission at fleet scale. period 0 selects the system's
+// last deadline, the same default the runner and Task use; a
+// non-positive resolved period yields +Inf (never admissible).
+func Utilization(sys *core.System, q core.Level, period core.Time) float64 {
+	if sys == nil {
+		return math.Inf(1)
+	}
+	if period == 0 {
+		period = sys.LastDeadline()
+	}
+	if period <= 0 {
+		return math.Inf(1)
+	}
+	return float64(sys.WCRange(0, sys.NumActions()-1, q)) / float64(period)
+}
+
+// EDFAdmissible is the preemptive-EDF utilization-bound admission test
+// lifted to fleet scale: a task with utilization u may join a CPU whose
+// admitted tasks already sum to total iff total + u ≤ budget, where
+// budget is the number of (possibly fractional) simulated CPUs the fleet
+// may commit. This is the same schedulability condition behind
+// InflateTiming's per-task CPU shares — inflating every task's timing by
+// its share is safe exactly when the shares sum to at most the
+// processor — applied before admission instead of after the fact. The
+// bound is exact for implicit-deadline preemptive EDF and conservative
+// for the in-cycle deadlines the paper's systems carry. A tiny epsilon
+// absorbs float accumulation so a fully-subscribed budget still admits
+// the task that exactly fills it.
+func EDFAdmissible(total, u, budget float64) bool {
+	return total+u <= budget+1e-9
+}

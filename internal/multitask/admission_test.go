@@ -1,0 +1,66 @@
+package multitask
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// twoActionSystem builds a 2-action, 2-level system with worst cases
+// 40+60 at q0 and 80+120 at q1, last deadline 200.
+func twoActionSystem(t *testing.T) *core.System {
+	t.Helper()
+	tt := core.NewTimingTable(2, 2)
+	tt.Set(0, 0, 20, 40)
+	tt.Set(0, 1, 40, 80)
+	tt.Set(1, 0, 30, 60)
+	tt.Set(1, 1, 60, 120)
+	sys, err := core.NewSystem([]core.Action{
+		{Name: "a0", Deadline: core.TimeInf},
+		{Name: "a1", Deadline: 200},
+	}, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestUtilization(t *testing.T) {
+	sys := twoActionSystem(t)
+	if u := Utilization(sys, 0, 200); u != 0.5 {
+		t.Fatalf("qmin utilization over period 200 = %v, want 0.5", u)
+	}
+	if u := Utilization(sys, 1, 400); u != 0.5 {
+		t.Fatalf("qmax utilization over period 400 = %v, want 0.5", u)
+	}
+	// period 0 resolves to the last deadline, like the runner.
+	if u := Utilization(sys, 0, 0); u != 0.5 {
+		t.Fatalf("default-period utilization = %v, want 0.5", u)
+	}
+	if u := Utilization(nil, 0, 100); !math.IsInf(u, 1) {
+		t.Fatalf("nil system utilization = %v, want +Inf", u)
+	}
+	if u := Utilization(sys, 0, -5); !math.IsInf(u, 1) {
+		t.Fatalf("negative period utilization = %v, want +Inf", u)
+	}
+}
+
+func TestEDFAdmissible(t *testing.T) {
+	if !EDFAdmissible(0.5, 0.4, 1) {
+		t.Fatal("0.9 of 1 CPU rejected")
+	}
+	if !EDFAdmissible(0.5, 0.5, 1) {
+		t.Fatal("exact fill rejected")
+	}
+	if EDFAdmissible(0.8, 0.3, 1) {
+		t.Fatal("1.1 of 1 CPU admitted")
+	}
+	// Fractional multi-CPU budgets work the same way.
+	if !EDFAdmissible(1.2, 0.3, 1.5) {
+		t.Fatal("exact fill of 1.5 CPUs rejected")
+	}
+	if EDFAdmissible(1.2, 0.4, 1.5) {
+		t.Fatal("oversubscription of 1.5 CPUs admitted")
+	}
+}

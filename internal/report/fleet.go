@@ -12,17 +12,15 @@ import (
 // FleetTable formats the cross-stream view of a fleet run: one line per
 // stream (including failed ones), then the fleet-wide aggregation —
 // miss rates, the quality histogram and the utilisation distribution.
-// It accepts both retained (fleet.Run) and zero-retention
-// (fleet.RunStats) results: streams that carry streamed stats are
-// aggregated from them, retained streams are replayed — the two routes
-// produce identical summaries.
-func FleetTable(res *fleet.Result) string {
+// fs must be the run's aggregate (Aggregate(res), which accepts both
+// retained and zero-retention results) — callers that also persist it
+// compute it once and the printed and persisted summaries cannot
+// diverge.
+func FleetTable(res *fleet.Result, fs metrics.FleetSummary) string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "== fleet — per-stream results ==")
 	fmt.Fprintf(&b, "%-4s %-18s %8s %9s %12s %11s %6s\n",
 		"#", "stream", "misses", "missrate", "avg quality", "overhead %", "util")
-	traces, stats := streamAggregates(res)
-	fs := metrics.AggregateStats(traces, stats)
 	si := 0
 	for k, s := range res.Streams {
 		if s.Err != nil {

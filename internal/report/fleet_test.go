@@ -15,7 +15,7 @@ func TestFleetTableContents(t *testing.T) {
 	// Inject one failed stream to exercise the error row.
 	res.Streams[2].Err = errTest{}
 	res.Streams[2].Trace = nil
-	out := FleetTable(res)
+	out := FleetTable(res, Aggregate(res))
 	for _, want := range []string{
 		"per-stream results", "encoder-000", "encoder-003",
 		"error: boom", "fleet — aggregate",

@@ -1,0 +1,95 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arrivals"
+	"repro/internal/experiment"
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+)
+
+func openFixture(t *testing.T) *fleet.OpenResult {
+	t.Helper()
+	streams, err := experiment.WorkloadFleet(7, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := streams[0].Runner.Sys.LastDeadline()
+	times, err := arrivals.Poisson{MeanGap: period, Seed: 3}.Times(len(streams))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fleet.OpenRunStats(fleet.OpenConfig{
+		Streams:  streams,
+		Arrivals: times,
+		Admit:    fleet.CapK{K: 2, Queue: 1},
+		Workers:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestOpenTable(t *testing.T) {
+	res := openFixture(t)
+	flat := res.FleetResult()
+	out := OpenTable(res, metrics.SummarizeOpen(res.OpenObservations), flat, Aggregate(flat))
+	for _, want := range []string{
+		"open fleet — stream lifecycle",
+		"open fleet — aggregate",
+		"admission wait",
+		"time in system",
+		"backlog",
+		"fleet — aggregate", // the closed aggregation over executed streams
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("OpenTable output missing %q:\n%s", want, out)
+		}
+	}
+	// Every stream appears by name.
+	for _, lc := range res.Lifecycles {
+		if !strings.Contains(out, lc.Name) {
+			t.Fatalf("OpenTable output missing stream %q", lc.Name)
+		}
+	}
+}
+
+func TestAggregateMatchesFleetTable(t *testing.T) {
+	res := openFixture(t)
+	fs := Aggregate(res.FleetResult())
+	if fs.Streams == 0 || fs.Records == 0 {
+		t.Fatalf("empty aggregate: %+v", fs)
+	}
+	if fs.Streams != res.Admitted {
+		t.Fatalf("aggregate has %d streams, run admitted %d", fs.Streams, res.Admitted)
+	}
+}
+
+func TestFleetDocTextAndChart(t *testing.T) {
+	res := openFixture(t)
+	open := metrics.SummarizeOpen(res.OpenObservations)
+	doc := &metrics.FleetDoc{
+		Label:   "workloads",
+		Mode:    "open",
+		Streams: len(res.Streams),
+		Cycles:  2,
+		Summary: Aggregate(res.FleetResult()),
+		Open:    &open,
+	}
+	out := FleetDocText(doc)
+	for _, want := range []string{"persisted run", "quality histogram", "population", "admission wait"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FleetDocText missing %q:\n%s", want, out)
+		}
+	}
+	chart := FleetQualityChart(doc)
+	if len(chart.Series) != 1 || len(chart.Series[0].X) != len(doc.Summary.QualityHist) {
+		t.Fatalf("chart shape wrong: %+v", chart)
+	}
+	if !strings.Contains(chart.CSV(), "fleet") {
+		t.Fatal("chart CSV missing the series")
+	}
+}

@@ -29,7 +29,7 @@ func TestQuickFastContentBitIdentical(t *testing.T) {
 		}
 		fast := NewFastContent(plain, sys.NumActions())
 		for _, p := range probes {
-			c := int(p >> 8)       // revisit cycles in arbitrary order
+			c := int(p >> 8) // revisit cycles in arbitrary order
 			i := int(p) % sys.NumActions()
 			q := core.Level(int(p) % sys.NumLevels())
 			if fast.Actual(c, i, q) != plain.Actual(c, i, q) {

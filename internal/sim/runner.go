@@ -154,6 +154,34 @@ func (r *Runner) Stream() (*Stream, error) {
 	return st, nil
 }
 
+// ResolvedPeriod returns the cycle period the stream will run with:
+// Period, defaulted to the system's last deadline when it is 0 — the
+// single defaulting rule shared by Validate, InitStream, the fleet's
+// admission weighting and the qmfleet reference period.
+func (r *Runner) ResolvedPeriod() core.Time {
+	if r.Period != 0 || r.Sys == nil {
+		return r.Period
+	}
+	return r.Sys.LastDeadline()
+}
+
+// Validate reports the configuration error InitStream would return,
+// without touching any stream state — the single source of truth for
+// bind-time rejection, so callers that must predict it (the open
+// fleet's budget accounting) cannot desynchronize from InitStream.
+func (r *Runner) Validate() error {
+	if r.Sys == nil || r.Mgr == nil || r.Exec == nil {
+		return errors.New("sim: runner needs Sys, Mgr and Exec")
+	}
+	if r.Cycles <= 0 {
+		return fmt.Errorf("sim: non-positive cycle count %d", r.Cycles)
+	}
+	if p := r.ResolvedPeriod(); p <= 0 {
+		return fmt.Errorf("sim: non-positive period %v", p)
+	}
+	return nil
+}
+
 // InitStream initialises st in place as a stream of r positioned before
 // its first cycle. state and tr, when non-nil, become the stream's
 // mutable scalar state and trace — the fleet engine passes pointers
@@ -163,19 +191,10 @@ func (r *Runner) Stream() (*Stream, error) {
 // which is what Stream does. Provided cells are reset; st must stay at
 // a stable address afterwards.
 func (r *Runner) InitStream(st *Stream, state *State, tr *Trace) error {
-	if r.Sys == nil || r.Mgr == nil || r.Exec == nil {
-		return errors.New("sim: runner needs Sys, Mgr and Exec")
+	if err := r.Validate(); err != nil {
+		return err
 	}
-	if r.Cycles <= 0 {
-		return fmt.Errorf("sim: non-positive cycle count %d", r.Cycles)
-	}
-	period := r.Period
-	if period == 0 {
-		period = r.Sys.LastDeadline()
-	}
-	if period <= 0 {
-		return fmt.Errorf("sim: non-positive period %v", period)
-	}
+	period := r.ResolvedPeriod()
 	if tr == nil {
 		tr = new(Trace)
 	}
