@@ -239,12 +239,19 @@ func mergeFleetBenchRows(b *testing.B, file string, rows []fleetBenchRow) {
 
 // E12 — open-system throughput: the paper-encoder fleet arriving as a
 // Poisson process under cap-K admission, through the zero-retention
-// event loop. One op is the whole open run (arrival ordering, admission
-// decisions, admission waves on the scheduler, lifecycle bookkeeping
-// included), normalised to ns/action and allocs/action over the actions
-// the admitted streams execute — directly comparable with the closed
-// rows, so the artifact tracks the open loop's overhead as its own row
-// family in BENCH_fleet.json.
+// continuous engine. One op is the whole open run (arrival ordering,
+// admission decisions, continuous injection on the worker pool,
+// lifecycle bookkeeping included), normalised to ns/action and
+// allocs/action over the actions the admitted streams execute —
+// directly comparable with the closed rows, so the artifact tracks the
+// open engine's overhead as its own row family in BENCH_fleet.json.
+//
+// The sweep runs the wave-free engine at workers 1, 2 and 4 — the
+// scaling acceptance rows (flat on a single-core host, rising speedup
+// with num_cpu > 1) — plus the serial wave spec as the before-state
+// baseline the engine is measured against. Each configuration reuses an
+// OpenScratch, so the rows report the engine's steady state, not
+// first-run slab growth.
 func BenchmarkFleetOpen(b *testing.B) {
 	s := experiment.Paper(1)
 	s.Cycles = 2
@@ -258,50 +265,75 @@ func BenchmarkFleetOpen(b *testing.B) {
 	}
 	adm := fleet.CapK{K: 4, Queue: -1} // unbounded queue: every stream runs
 	actionsPerOp := streams * s.Cycles * s.Sys.NumActions()
+	var order []string
+	byName := map[string]fleetBenchRow{}
 
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	for i := 0; i < b.N; i++ {
-		strs, err := s.FleetStreams(1, streams)
-		if err != nil {
-			b.Fatal(err)
-		}
-		res, err := fleet.OpenRunStats(fleet.OpenConfig{
-			Streams:     strs,
-			Arrivals:    times,
-			Admit:       adm,
-			Workers:     2,
-			BatchCycles: batch,
+	measure := func(name string, workers int, run func(cfg fleet.OpenConfig) (*fleet.OpenResult, error)) {
+		b.Run(name, func(b *testing.B) {
+			scratch := fleet.NewOpenScratch()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				strs, err := s.FleetStreams(1, streams)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := run(fleet.OpenConfig{
+					Streams:     strs,
+					Arrivals:    times,
+					Admit:       adm,
+					Workers:     workers,
+					BatchCycles: batch,
+					Scratch:     scratch,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := res.Err(); err != nil {
+					b.Fatal(err)
+				}
+				if res.Admitted != streams {
+					b.Fatalf("admitted %d of %d streams", res.Admitted, streams)
+				}
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
+			total := float64(b.N) * float64(actionsPerOp)
+			row := fleetBenchRow{
+				Name:            name,
+				Streams:         streams,
+				Workers:         workers,
+				BatchCycles:     batch,
+				Cycles:          s.Cycles,
+				NumCPU:          runtime.NumCPU(),
+				Gomaxprocs:      runtime.GOMAXPROCS(0),
+				ActionsPerOp:    actionsPerOp,
+				NsPerAction:     float64(elapsed.Nanoseconds()) / total,
+				AllocsPerAction: float64(after.Mallocs-before.Mallocs) / total,
+				Arrivals:        proc.Name(),
+				Admit:           adm.Name(),
+			}
+			b.ReportMetric(row.NsPerAction, "ns/action")
+			b.ReportMetric(row.AllocsPerAction, "allocs/action")
+			if _, seen := byName[name]; !seen {
+				order = append(order, name)
+			}
+			byName[name] = row
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := res.Err(); err != nil {
-			b.Fatal(err)
-		}
-		if res.Admitted != streams {
-			b.Fatalf("admitted %d of %d streams", res.Admitted, streams)
-		}
 	}
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&after)
-	total := float64(b.N) * float64(actionsPerOp)
-	row := fleetBenchRow{
-		Name:            "open-poisson-cap4",
-		Streams:         streams,
-		Workers:         2,
-		BatchCycles:     batch,
-		Cycles:          s.Cycles,
-		NumCPU:          runtime.NumCPU(),
-		Gomaxprocs:      runtime.GOMAXPROCS(0),
-		ActionsPerOp:    actionsPerOp,
-		NsPerAction:     float64(elapsed.Nanoseconds()) / total,
-		AllocsPerAction: float64(after.Mallocs-before.Mallocs) / total,
-		Arrivals:        proc.Name(),
-		Admit:           adm.Name(),
+
+	measure("open-serial-spec", 2, fleet.OpenRunStatsSerial)
+	for _, w := range []int{1, 2, 4} {
+		measure(fmt.Sprintf("open-poisson-cap4-workers=%d", w), w, fleet.OpenRunStats)
 	}
-	b.ReportMetric(row.NsPerAction, "ns/action")
-	b.ReportMetric(row.AllocsPerAction, "allocs/action")
-	mergeFleetBenchRows(b, fleetBenchFile(batch), []fleetBenchRow{row})
+
+	if len(order) == 0 {
+		return // sub-benchmark filter excluded everything
+	}
+	rows := make([]fleetBenchRow, 0, len(order))
+	for _, name := range order {
+		rows = append(rows, byName[name])
+	}
+	mergeFleetBenchRows(b, fleetBenchFile(batch), rows)
 }

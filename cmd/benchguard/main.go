@@ -1,0 +1,164 @@
+// Command benchguard compares a fresh BENCH_fleet.json against the
+// committed BENCH_baseline.json and fails (exit 1) when any matching
+// row regressed in ns/action beyond the tolerance — the CI tripwire
+// that keeps hot-path regressions from landing silently.
+//
+// Rows match on (name, streams, workers, cycles, batch_cycles,
+// num_cpu, gomaxprocs): a benchmark row is only comparable against a
+// baseline produced by the same configuration on the same host shape. Rows
+// without a match — a new benchmark, or CI running on different
+// hardware than the committed baseline — are reported and skipped, so
+// the guard degrades to a no-op rather than flapping on foreign hosts.
+//
+// Cross-host runs still get a tripwire through -self: a pair of row
+// names compared *within the fresh artifact* — produced on one host in
+// one run, so the ratio is meaningful wherever CI executes. The shipped
+// CI uses it to assert the continuous open engine never falls behind
+// the serial wave spec it replaced.
+//
+// Usage:
+//
+//	benchguard [-baseline BENCH_baseline.json] [-fresh BENCH_fleet.json]
+//	           [-max-regress 0.25] [-self row:reference] [-max-self-ratio 1.25]
+//
+// -max-regress is the tolerated fractional slowdown (0.25 = fail beyond
+// +25% ns/action). Improvements and matches within tolerance print as a
+// table either way, so the CI log doubles as a perf trajectory record.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+)
+
+// row mirrors the fleet bench harness's artifact schema; unknown fields
+// are ignored so the guard survives additive schema growth.
+type row struct {
+	Name        string  `json:"name"`
+	Streams     int     `json:"streams"`
+	Workers     int     `json:"workers"`
+	BatchCycles int     `json:"batch_cycles"`
+	Cycles      int     `json:"cycles"`
+	NumCPU      int     `json:"num_cpu"`
+	Gomaxprocs  int     `json:"gomaxprocs"`
+	NsPerAction float64 `json:"ns_per_action"`
+}
+
+// key is the row-matching identity: the workload configuration plus the
+// host shape that produced the number.
+type key struct {
+	name                       string
+	streams, workers, batch    int
+	cycles, numCPU, gomaxprocs int
+}
+
+func (r row) key() key {
+	return key{r.Name, r.Streams, r.Workers, r.BatchCycles, r.Cycles, r.NumCPU, r.Gomaxprocs}
+}
+
+func load(path string) ([]row, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []row
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchguard: ")
+	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline artifact")
+	fresh := flag.String("fresh", "BENCH_fleet.json", "freshly produced bench artifact")
+	maxRegress := flag.Float64("max-regress", 0.25, "tolerated fractional ns/action slowdown before failing")
+	self := flag.String("self", "", "row:reference pair compared within the fresh artifact (host-independent tripwire)")
+	maxSelfRatio := flag.Float64("max-self-ratio", 1.25, "tolerated ns/action ratio of the -self row over its reference")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments %q; benchguard is configured by flags only", flag.Args())
+	}
+	if *maxRegress < 0 || math.IsNaN(*maxRegress) || math.IsInf(*maxRegress, 0) {
+		log.Fatalf("-max-regress must be a non-negative fraction, got %v", *maxRegress)
+	}
+	if *maxSelfRatio <= 0 || math.IsNaN(*maxSelfRatio) || math.IsInf(*maxSelfRatio, 0) {
+		log.Fatalf("-max-self-ratio must be a positive ratio, got %v", *maxSelfRatio)
+	}
+
+	base, err := load(*baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur, err := load(*fresh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byKey := map[key]row{}
+	for _, r := range base {
+		byKey[r.key()] = r
+	}
+
+	matched, regressed := 0, 0
+	fmt.Printf("%-34s %12s %12s %9s\n", "row", "baseline", "fresh", "delta")
+	for _, r := range cur {
+		b, ok := byKey[r.key()]
+		if !ok {
+			fmt.Printf("%-34s %12s %12.2f %9s\n", r.Name, "—", r.NsPerAction, "skip")
+			continue
+		}
+		if b.NsPerAction <= 0 {
+			fmt.Printf("%-34s %12.2f %12.2f %9s\n", r.Name, b.NsPerAction, r.NsPerAction, "skip")
+			continue
+		}
+		matched++
+		delta := r.NsPerAction/b.NsPerAction - 1
+		verdict := fmt.Sprintf("%+.1f%%", 100*delta)
+		if delta > *maxRegress {
+			regressed++
+			verdict += " FAIL"
+		}
+		fmt.Printf("%-34s %12.2f %12.2f %9s\n", r.Name, b.NsPerAction, r.NsPerAction, verdict)
+	}
+	switch {
+	case regressed > 0:
+		log.Fatalf("%d of %d matching rows regressed beyond %+.0f%% ns/action", regressed, matched, 100**maxRegress)
+	case matched == 0:
+		fmt.Printf("no rows match the baseline host shape; nothing to compare\n")
+	default:
+		fmt.Printf("%d matching rows within %+.0f%% of the baseline\n", matched, 100**maxRegress)
+	}
+
+	if *self != "" {
+		rowName, refName, ok := strings.Cut(*self, ":")
+		if !ok || rowName == "" || refName == "" {
+			log.Fatalf("-self wants row:reference, got %q", *self)
+		}
+		r, ref := findRow(cur, rowName), findRow(cur, refName)
+		if r == nil || ref == nil || ref.NsPerAction <= 0 {
+			log.Fatalf("-self %s: the fresh artifact lacks the pair (have %q and %q?)", *self, rowName, refName)
+		}
+		ratio := r.NsPerAction / ref.NsPerAction
+		fmt.Printf("self-check: %s / %s = %.2f (bound %.2f)\n", rowName, refName, ratio, *maxSelfRatio)
+		if ratio > *maxSelfRatio {
+			log.Fatalf("%s is %.2fx %s, beyond the %.2fx bound", rowName, ratio, refName, *maxSelfRatio)
+		}
+	}
+}
+
+// findRow returns the first fresh row with the given name (the fresh
+// artifact is one host and one run, so names are unique per batch).
+func findRow(rows []row, name string) *row {
+	for i := range rows {
+		if rows[i].Name == name {
+			return &rows[i]
+		}
+	}
+	return nil
+}

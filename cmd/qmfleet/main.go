@@ -12,6 +12,7 @@
 //	        [-retain] [-csv records.csv] [-json fleet.json]
 //	        [-arrivals fixed|poisson|bursty|trace:file.csv]
 //	        [-rate 1] [-burst 4] [-admit all|cap=K[,queue=N]|budget=U[,queue=N]]
+//	        [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //	        [-mix encoder|workloads | -bundle controller.json [-manager relaxed]]
 //
 // By default the fleet is closed: all streams start at t = 0 and run to
@@ -38,6 +39,8 @@ import (
 	"log"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -69,6 +72,8 @@ func main() {
 	burst := flag.Float64("burst", 4, "burstiness of the bursty process: peak-to-mean arrival-rate ratio ≥ 1")
 	admitSpec := flag.String("admit", "all", "admission policy: all, cap=K[,queue=N] or budget=U[,queue=N] (with -arrivals)")
 	jsonPath := flag.String("json", "", "persist the run (config, fleet summary, open-system summary) as JSON for cmd/figures")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file (go tool pprof)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -210,6 +215,19 @@ func main() {
 		doc.Admission = admitter.Name()
 	}
 
+	// Profiles bracket the run itself — stream setup and table compilation
+	// are excluded, so a hot-path regression shows undiluted.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+	}
+
 	start := time.Now()
 	var table string
 	var flat *fleet.Result
@@ -243,6 +261,22 @@ func main() {
 		table = report.FleetTable(res, fsum)
 	}
 	elapsed := time.Since(start)
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
 	doc.Summary = fsum
 	runErr := flat.Err()
 

@@ -91,12 +91,13 @@ func (s *Setup) RunFleetStats(seed uint64, n, workers int) (*fleet.Result, error
 	return fleet.RunStats(fleet.Config{Streams: streams, Workers: workers})
 }
 
-// RunOpenFleet drives n paper-encoder streams through the open-system
-// engine: arrivals from the given process, admission by the given
-// controller (nil = admit all). It is RunFleetStats for live traffic —
-// the executed streams' traces are still byte-identical to serial runs
-// at the same derived seeds, whatever the worker count, and so are the
-// admission decisions.
+// RunOpenFleet drives n paper-encoder streams through the continuous
+// open-system engine: arrivals from the given process (materialized
+// into a flat instant slab with one Times call), admission by the
+// given controller (nil = admit all). It is RunFleetStats for live
+// traffic — the executed streams' traces are still byte-identical to
+// serial runs at the same derived seeds, whatever the worker count,
+// and so are the admission decisions.
 func (s *Setup) RunOpenFleet(seed uint64, n, workers int, proc arrivals.Process, adm fleet.Admitter) (*fleet.OpenResult, error) {
 	streams, err := s.FleetStreams(seed, n)
 	if err != nil {

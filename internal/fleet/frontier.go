@@ -1,0 +1,577 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/multitask"
+	"repro/internal/sim"
+)
+
+// This file is the wave-free open engine: a deterministic virtual-time
+// frontier that admits arrivals continuously while persistent workers
+// drain the slot arena, with no global barrier anywhere.
+//
+// The engine rests on one load-bearing fact: a stream's trace — its
+// service time Trace.Final included — is a pure function of its Runner.
+// Arrival and admission instants never enter sim.Stream.Step, so
+// execution does not have to be sequenced with admission at all; the
+// frontier only needs each admitted stream's Final before it can retire
+// the stream's departure. The serial spec (OpenRunSerial) obtains the
+// Final by running every admission wave to completion — a full barrier
+// per event. The frontier instead tracks, for every in-flight stream, a
+// provable lower bound on its departure:
+//
+//	bound(k) = admitted(k) + (Cycles−1)·period        (streaming mode)
+//
+// which holds because a non-work-conserving stream idles each cycle to
+// its arrival base, so its clock ends at or beyond the last cycle's
+// base. (Work-conserving streams get the trivial bound 0 and degrade to
+// lock-step.) The frontier processes the next event — the earlier of
+// the next arrival and the earliest known departure — as long as every
+// unresolved bound lies strictly beyond it; only when a bound fails to
+// clear the event does it block for a completion. Admission decisions
+// are therefore computed from exactly the information the serial loop
+// had, in exactly the same order, while execution proceeds concurrently
+// in the background — byte-identical traces, lifecycles and admission
+// decisions at any (workers, batch), property-tested against the spec.
+
+// OpenScratch amortizes the continuous open engine's working memory
+// across runs: the slot arena's chunk tables, the frontier's heaps and
+// queues, and the per-stream result slabs are all retained and reused,
+// so a steady-state run with a warm scratch performs zero heap
+// allocations end to end (proved by TestOpenSteadyStateAllocationFree).
+//
+// A scratch may be used by one run at a time, and the OpenResult of a
+// run that used a scratch aliases it: the result is valid only until
+// the scratch's next run. Callers that keep results across runs must
+// either deep-copy them or forgo the scratch (a nil OpenConfig.Scratch
+// allocates a private one per run).
+type OpenScratch struct {
+	arena    openArena
+	frontier openFrontier
+	inline   inlineExec
+	res      OpenResult
+
+	lifecycles []metrics.Lifecycle
+	streams    []StreamResult
+	order      []int32
+	util       []float64
+	minFin     []core.Time
+	final      []bool
+	dep        []depEvent
+	pend       []depEvent
+	backlog    []int32
+	completed  []int32
+	spare      []int32
+
+	traces []sim.Trace
+	stats  []sim.StatsSink
+	hist   []int
+}
+
+// NewOpenScratch returns an empty scratch; it warms up over the first
+// run and is reusable for any open configuration (slab shapes adapt).
+func NewOpenScratch() *OpenScratch { return new(OpenScratch) }
+
+// depEvent is a (instant, stream) entry of the frontier's two binary
+// heaps: exact departures, and departure lower bounds of in-flight
+// streams. Ordering is (t, k) — the same index tie-break as the serial
+// spec's container/heap form, hand-rolled so pushes never box into an
+// interface and the warm steady state stays allocation-free.
+type depEvent struct {
+	t core.Time
+	k int32
+}
+
+func depPush(h *[]depEvent, e depEvent) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].t < s[i].t || (s[p].t == s[i].t && s[p].k <= s[i].k) {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func depPop(h *[]depEvent) depEvent {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && (s[l].t < s[m].t || (s[l].t == s[m].t && s[l].k < s[m].k)) {
+			m = l
+		}
+		if r < n && (s[r].t < s[m].t || (s[r].t == s[m].t && s[r].k < s[m].k)) {
+			m = r
+		}
+		if m == i {
+			return top
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+}
+
+// openExec is the execution side of the continuous engine: the frontier
+// calls start when a valid stream's slot is ready to run and drain to
+// collect completions (blocking only when an unresolved departure bound
+// gates the next event). Two implementations: inlineExec (workers = 1,
+// no goroutines, no locks) and openSched (persistent injection-aware
+// workers, sched.go).
+type openExec interface {
+	start(slot int32)
+	drain(f *openFrontier, block bool)
+	shutdown()
+}
+
+// openFrontier is the deterministic virtual-time event loop of the
+// continuous engine. Its decision sequence is a pure function of the
+// arrival instants and the per-stream service times, so it is shared
+// verbatim by the single-threaded and concurrent executors; only
+// wall-clock time depends on who runs the streams.
+type openFrontier struct {
+	streams   []Stream
+	sc        *OpenScratch
+	stats     bool
+	n         int
+	maxLevels int
+	adm       Admitter
+
+	arr    []core.Time
+	order  []int32
+	util   []float64
+	minFin []core.Time
+	final  []bool // service time resolved (lazy deletion mark for pend)
+
+	dep     []depEvent // exact departures, min-heap by (t, k)
+	pend    []depEvent // departure lower bounds of in-flight streams
+	backlog []int32    // FIFO ring
+	blHead  int
+	blLen   int
+
+	inServe int
+	cpuLoad float64
+	lastT   core.Time
+	lastDep core.Time
+
+	arena *openArena
+	res   *OpenResult
+	exec  openExec
+}
+
+// openRunContinuous is the wave-free OpenRun/OpenRunStats engine.
+func openRunContinuous(cfg OpenConfig, stats bool) (*OpenResult, error) {
+	if err := validateOpen(&cfg, stats); err != nil {
+		return nil, err
+	}
+	sc := cfg.Scratch
+	if sc == nil {
+		sc = new(OpenScratch)
+	}
+	f := newFrontier(&cfg, sc, stats)
+	batch := cfg.BatchCycles
+	if batch <= 0 {
+		batch = DefaultBatchCycles
+	}
+	if workers := sim.EffectiveWorkers(f.n, cfg.Workers); workers == 1 {
+		sc.inline.batch = batch
+		f.exec = &sc.inline
+	} else {
+		f.exec = newOpenSched(f.arena, workers, batch, sc)
+	}
+	defer f.exec.shutdown()
+	f.run()
+	return f.res, nil
+}
+
+// validateOpen is the configuration gate shared by the continuous
+// engine and the serial spec; messages are unchanged from the wave
+// engine so callers' error handling carries over.
+func validateOpen(cfg *OpenConfig, stats bool) error {
+	n := len(cfg.Streams)
+	if n == 0 {
+		return errNoStreams
+	}
+	if len(cfg.Arrivals) != n {
+		return arrivalCountError(n, len(cfg.Arrivals))
+	}
+	for k, t := range cfg.Arrivals {
+		if t < 0 || t.IsInf() {
+			return arrivalInstantError(k, t)
+		}
+	}
+	if !stats && cfg.Export != nil {
+		return errExportNeedsStats
+	}
+	return nil
+}
+
+// newFrontier lays out the run: per-stream admission weights and
+// departure bounds, the (instant, index)-ordered arrival schedule, the
+// result slabs and the slot arena — every slab drawn from the scratch,
+// so a warm frontier allocates nothing.
+func newFrontier(cfg *OpenConfig, sc *OpenScratch, stats bool) *openFrontier {
+	n := len(cfg.Streams)
+	f := &sc.frontier
+	*f = openFrontier{streams: cfg.Streams, sc: sc, stats: stats, n: n, arr: cfg.Arrivals}
+	f.adm = cfg.Admit
+	if f.adm == nil {
+		f.adm = AdmitAll{}
+	}
+
+	if stats {
+		for k := range cfg.Streams {
+			if sys := cfg.Streams[k].Runner.Sys; sys != nil && sys.NumLevels() > f.maxLevels {
+				f.maxLevels = sys.NumLevels()
+			}
+		}
+	}
+	sc.arena.reset(n, stats, cfg.Export, f.maxLevels)
+	f.arena = &sc.arena
+
+	sc.util = growSlice(sc.util, n)
+	sc.minFin = growSlice(sc.minFin, n)
+	sc.final = growSlice(sc.final, n)
+	f.util, f.minFin, f.final = sc.util, sc.minFin, sc.final
+	for k := range cfg.Streams {
+		f.util[k], f.minFin[k], f.final[k] = 0, 0, false
+		r := &cfg.Streams[k].Runner
+		// Streams that will fail at Bind weigh nothing (they depart the
+		// instant they are admitted) and carry no bound: their service
+		// time is exactly zero and known at admission. The condition is
+		// precisely Bind's failure condition — sim.Runner.Validate plus
+		// the retain-mode rejection of a caller-set sink.
+		if r.Validate() != nil || (!stats && r.Sink != nil) {
+			continue
+		}
+		if u := multitask.Utilization(r.Sys, r.Sys.QMin(), r.ResolvedPeriod()); !math.IsInf(u, 1) {
+			f.util[k] = u
+		}
+		if !r.WorkConserving {
+			// Each cycle idles to its arrival base, so the final clock is
+			// at least the last cycle's base. A clamped product guards
+			// pathological Cycles × period overflow — the bound only ever
+			// errs conservative (0 = resolve before every later event).
+			if mf := core.Time(r.Cycles-1) * r.ResolvedPeriod(); mf > 0 {
+				f.minFin[k] = mf
+			}
+		}
+	}
+
+	// The arrival schedule: one flat, (instant, index)-ordered slab
+	// computed up front — every arrival process already materializes via
+	// a single Times call, and the frontier consumes the slab without
+	// ever calling back per event. Process outputs are non-decreasing,
+	// so the identity fast path is the common case; an unsorted
+	// hand-built slab goes through the same stable sort as the spec.
+	sc.order = growSlice(sc.order, n)
+	f.order = sc.order
+	sorted := true
+	for k := range f.order {
+		f.order[k] = int32(k)
+		if k > 0 && cfg.Arrivals[k] < cfg.Arrivals[k-1] {
+			sorted = false
+		}
+	}
+	if !sorted {
+		sort.SliceStable(f.order, func(i, j int) bool {
+			return cfg.Arrivals[f.order[i]] < cfg.Arrivals[f.order[j]]
+		})
+	}
+
+	sc.lifecycles = growSlice(sc.lifecycles, n)
+	sc.streams = growSlice(sc.streams, n)
+	sc.traces = growSlice(sc.traces, n)
+	if stats {
+		sc.stats = growSlice(sc.stats, n)
+		sc.hist = growSlice(sc.hist, n*f.maxLevels)
+	}
+	sc.res = OpenResult{Streams: sc.streams}
+	sc.res.Lifecycles = sc.lifecycles
+	f.res = &sc.res
+	for k := range cfg.Streams {
+		sc.streams[k] = StreamResult{Name: cfg.Streams[k].Name}
+		sc.lifecycles[k] = metrics.Lifecycle{Name: cfg.Streams[k].Name, Arrival: cfg.Arrivals[k]}
+	}
+
+	f.dep = sc.dep[:0]
+	f.pend = sc.pend[:0]
+	f.backlog = sc.backlog
+	f.lastT = cfg.Arrivals[f.order[0]]
+	f.res.FirstArrival = f.lastT
+	return f
+}
+
+// run drives the event loop to completion. The ordering contract is the
+// serial spec's, verbatim: at one instant, departures retire first
+// (then the freed capacity is offered to the FIFO backlog), and only
+// then are new arrivals decided; ties among simultaneous events break
+// by stream index. The single addition is the bound gate — an event is
+// processed only when every in-flight stream's departure bound clears
+// it strictly, so the decision state (in-service count, CPU load,
+// backlog) is provably identical to the spec's at every decision.
+func (f *openFrontier) run() {
+	ai := 0
+	for ai < f.n || len(f.dep) > 0 || f.pending() {
+		f.exec.drain(f, false)
+		tA, tD := core.TimeInf, core.TimeInf
+		if ai < f.n {
+			tA = f.arr[f.order[ai]]
+		}
+		if len(f.dep) > 0 {
+			tD = f.dep[0].t
+		}
+		t := tA
+		if tD < t {
+			t = tD
+		}
+		if b, ok := f.pendMin(); ok && b <= t {
+			// An in-flight stream could depart at or before the next
+			// event: its exact service time gates the decision. Block for
+			// completions and re-evaluate.
+			f.exec.drain(f, true)
+			continue
+		}
+		if tD <= tA {
+			f.advanceTo(tD)
+			for len(f.dep) > 0 && f.dep[0].t == tD {
+				e := depPop(&f.dep)
+				f.inServe--
+				f.cpuLoad -= f.util[e.k]
+			}
+			// Offer the freed capacity to the backlog in FIFO order; a
+			// Shed verdict for the head is treated as Delay (shedding is
+			// an arrival-time decision).
+			for f.blLen > 0 {
+				k := f.backlog[f.blHead]
+				if f.adm.Decide(Load{T: tD, InService: f.inServe, Backlog: 0, CPULoad: f.cpuLoad}, f.util[k]) != Admit {
+					break
+				}
+				f.blHead++
+				if f.blHead == len(f.backlog) {
+					f.blHead = 0
+				}
+				f.blLen--
+				f.admit(k, tD)
+			}
+			continue
+		}
+		f.advanceTo(tA)
+		for ai < f.n && f.arr[f.order[ai]] == tA {
+			k := f.order[ai]
+			ai++
+			v := f.adm.Decide(Load{T: tA, InService: f.inServe, Backlog: f.blLen, CPULoad: f.cpuLoad}, f.util[k])
+			switch v {
+			case Admit:
+				f.admit(k, tA)
+			case Delay:
+				f.blPush(k)
+				f.res.Lifecycles[k].Queued = true
+				if f.blLen > f.res.MaxBacklog {
+					f.res.MaxBacklog = f.blLen
+				}
+			default:
+				f.res.Lifecycles[k].Shed = true
+			}
+		}
+	}
+
+	// Streams still queued when the system drained can never be admitted
+	// — no departure will ever free more capacity — so they are shed at
+	// the end of the run, exactly as in the spec.
+	for ; f.blLen > 0; f.blLen-- {
+		f.res.Lifecycles[f.backlog[f.blHead]].Shed = true
+		f.blHead++
+		if f.blHead == len(f.backlog) {
+			f.blHead = 0
+		}
+	}
+	for _, lc := range f.res.Lifecycles {
+		if lc.Shed {
+			f.res.Shed++
+		} else {
+			f.res.Admitted++
+		}
+		if lc.Queued {
+			f.res.Delayed++
+		}
+	}
+	f.res.End = f.lastT
+	f.res.Final = f.lastDep
+	f.persistScratch()
+}
+
+// pending reports whether any admitted stream's departure is still
+// unresolved (ignoring lazily-deleted bound entries).
+func (f *openFrontier) pending() bool {
+	_, ok := f.pendMin()
+	return ok
+}
+
+// pendMin returns the smallest unresolved departure bound, discarding
+// entries whose stream has since resolved (lazy deletion keeps the heap
+// free of random-access removals).
+func (f *openFrontier) pendMin() (core.Time, bool) {
+	for len(f.pend) > 0 && f.final[f.pend[0].k] {
+		depPop(&f.pend)
+	}
+	if len(f.pend) == 0 {
+		return 0, false
+	}
+	return f.pend[0].t, true
+}
+
+// advanceTo integrates the backlog depth over simulated time up to the
+// next event instant — the identical accumulation order as the spec, so
+// the float integral matches bit for bit.
+func (f *openFrontier) advanceTo(t core.Time) {
+	if t > f.lastT {
+		f.res.BacklogIntegral += float64(t-f.lastT) * float64(f.blLen)
+		f.lastT = t
+	}
+}
+
+// admit enters stream k into service at instant t: admission
+// bookkeeping, slot binding, and either immediate harvest (bind-time
+// failures have service time exactly zero) or hand-off to the executor
+// with the stream's departure bound registered.
+func (f *openFrontier) admit(k int32, t core.Time) {
+	f.res.Lifecycles[k].Admitted = t
+	f.inServe++
+	f.cpuLoad += f.util[k]
+	slot := f.arena.bind(&f.streams[k], int(k))
+	if f.arena.err(slot) != nil {
+		// The stream occupies no simulated time: its departure is t
+		// itself, known without execution.
+		f.finish(slot)
+		return
+	}
+	depPush(&f.pend, depEvent{t: t + f.minFin[k], k: k})
+	// The release store publishes the bound slot to whoever executes it;
+	// start is the executor's wake hook (a no-op inline, a worker wake in
+	// the concurrent pool).
+	f.arena.status[slot].Store(slotReady)
+	f.exec.start(slot)
+}
+
+// finish harvests a completed (or bind-failed) slot: the result is
+// copied into the per-stream slabs, the exact departure enters the
+// event heap, and the slot recycles. Called by the frontier only — in
+// the concurrent engine the workers publish completions and the
+// frontier finishes them inside drain, so all result slabs stay
+// single-writer.
+func (f *openFrontier) finish(slot int32) {
+	a := f.arena
+	k := a.slotStream[slot]
+	sr := &f.res.Streams[k]
+	var sinkOut *sim.StatsSink
+	var histOut []int
+	if f.stats {
+		sinkOut = &f.sc.stats[k]
+		base := int(k) * f.maxLevels
+		histOut = f.sc.hist[base : base+f.maxLevels]
+	}
+	a.slotTbl[slot].HarvestSlot(int(a.slotIdx[slot]), sr, &f.sc.traces[k], sinkOut, histOut)
+	a.release(slot)
+	lc := &f.res.Lifecycles[k]
+	d := lc.Admitted
+	if sr.Err == nil {
+		d += sr.Trace.Final
+	} else {
+		lc.Failed = true
+	}
+	lc.Departed = d
+	if d > f.lastDep {
+		f.lastDep = d
+	}
+	depPush(&f.dep, depEvent{t: d, k: k})
+	f.final[k] = true
+}
+
+// blPush appends to the FIFO backlog ring, growing it amortized.
+func (f *openFrontier) blPush(k int32) {
+	if f.blLen == len(f.backlog) {
+		grown := make([]int32, 2*f.blLen+openChunkMin)
+		for i := 0; i < f.blLen; i++ {
+			grown[i] = f.backlog[(f.blHead+i)%len(f.backlog)]
+		}
+		f.backlog, f.blHead = grown, 0
+		f.sc.backlog = grown
+	}
+	f.backlog[(f.blHead+f.blLen)%len(f.backlog)] = k
+	f.blLen++
+}
+
+// persistScratch hands the run's grown heap slabs back to the scratch
+// so their capacity carries into the next run.
+func (f *openFrontier) persistScratch() {
+	f.sc.dep = f.dep[:0]
+	f.sc.pend = f.pend[:0]
+}
+
+// inlineExec is the workers = 1 executor: no goroutines, no locks, no
+// status traffic beyond the arena's own words. Execution happens only
+// inside blocking drains — the frontier runs every admission decision
+// it can prove first, then sweeps the ready slots in batch rounds until
+// a completion resolves the gate. This is also the engine's in-order
+// reference shape: a run at workers = 1 exercises the same frontier as
+// the concurrent pool with fully deterministic execution interleaving.
+type inlineExec struct {
+	batch int
+}
+
+// start is a no-op: there is no pool to wake, and the frontier already
+// marked the slot ready for the drain sweep.
+func (e *inlineExec) start(slot int32) {}
+
+func (e *inlineExec) drain(f *openFrontier, block bool) {
+	if !block {
+		return
+	}
+	a := f.arena
+	for {
+		finished, live := false, false
+		n := int(a.allocated.Load())
+		for slot := 0; slot < n; slot++ {
+			if a.status[slot].Load() != slotReady {
+				continue
+			}
+			live = true
+			tbl, idx := a.slotTbl[slot], a.slotIdx[slot]
+			if advance(&tbl.streams[idx], e.batch) {
+				f.finish(int32(slot))
+				finished = true
+			}
+		}
+		if finished {
+			return
+		}
+		if !live {
+			panic("fleet: open frontier blocked with no runnable stream")
+		}
+	}
+}
+
+func (e *inlineExec) shutdown() {}
+
+// growSlice returns s resized to n, reusing its backing array when the
+// capacity allows — the scratch slabs' growth rule.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

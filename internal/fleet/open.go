@@ -38,6 +38,12 @@ type OpenConfig struct {
 	// Export is Config.Export for the stats path: an extra per-stream
 	// sink keyed by the stream's index in Streams.
 	Export func(k int, name string) sim.Sink
+	// Scratch, when non-nil, amortizes the continuous engine's working
+	// memory across runs: slot-arena chunks, frontier heaps and result
+	// slabs are reused, making a warm steady-state run allocation-free.
+	// The returned OpenResult then aliases the scratch and is valid only
+	// until its next run. The serial spec ignores it.
+	Scratch *OpenScratch
 }
 
 // OpenResult collects an open-system run: the per-stream outcomes (in
@@ -78,21 +84,56 @@ func (r *OpenResult) Err() error {
 	return nil
 }
 
-// OpenRun executes the open system with full traces retained per
-// executed stream. See OpenRunStats for the zero-retention form.
+// OpenRun executes the open system on the continuous wave-free engine
+// with full traces retained per executed stream. See OpenRunStats for
+// the zero-retention form.
 func OpenRun(cfg OpenConfig) (*OpenResult, error) {
-	if cfg.Export != nil {
-		return nil, errors.New("fleet: Export needs the streaming path; use OpenRunStats")
-	}
-	return openRun(cfg, false)
+	return openRunContinuous(cfg, false)
 }
 
-// OpenRunStats executes the open system with one StatsSink per executed
-// stream — the zero-retention shape: slot memory is bounded by the peak
-// admission-wave size, not the population, and the steady-state hot path
-// stays allocation-free.
+// OpenRunStats executes the open system on the continuous wave-free
+// engine with one StatsSink per executed stream — the zero-retention
+// shape: slot memory is bounded by the peak concurrency, not the
+// population, and the steady-state hot path stays allocation-free.
+//
+// The engine: a deterministic virtual-time frontier (frontier.go)
+// decides every admission in the serial spec's exact event order while
+// persistent injection-aware workers (openSched) execute admitted
+// streams in the background — no admission wave, no pool start/join per
+// event, no barrier on wave stragglers. Traces, lifecycles and
+// admission decisions are byte-identical to OpenRunSerial at any
+// (workers, batch), property-tested under -race.
 func OpenRunStats(cfg OpenConfig) (*OpenResult, error) {
-	return openRun(cfg, true)
+	return openRunContinuous(cfg, true)
+}
+
+// OpenRunSerial is the wave-barrier open engine kept as the executable
+// specification the continuous engine is property-tested against: a
+// serial virtual-time event loop that runs every admission wave to
+// completion on the scheduler before the next event. Results are
+// byte-identical to OpenRun; only wall-clock behaviour differs.
+func OpenRunSerial(cfg OpenConfig) (*OpenResult, error) {
+	return openRunSerial(cfg, false)
+}
+
+// OpenRunStatsSerial is OpenRunSerial through the zero-retention stats
+// path — the executable spec for OpenRunStats.
+func OpenRunStatsSerial(cfg OpenConfig) (*OpenResult, error) {
+	return openRunSerial(cfg, true)
+}
+
+// The shared configuration-rejection values of both engines.
+var (
+	errNoStreams        = errors.New("fleet: no streams")
+	errExportNeedsStats = errors.New("fleet: Export needs the streaming path; use OpenRunStats")
+)
+
+func arrivalCountError(streams, instants int) error {
+	return fmt.Errorf("fleet: %d streams but %d arrival instants", streams, instants)
+}
+
+func arrivalInstantError(k int, t core.Time) error {
+	return fmt.Errorf("fleet: stream %d has invalid arrival instant %v", k, t)
 }
 
 // departure is a scheduled stream completion in the event heap.
@@ -114,7 +155,7 @@ func (h depHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *depHeap) Push(x any)   { *h = append(*h, x.(departure)) }
 func (h *depHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 
-// openRun is the open system's virtual-time event loop. It is serial and
+// openRunSerial is the spec's virtual-time event loop. It is serial and
 // deterministic by construction — every admission decision is a pure
 // function of simulated instants — and delegates all stream execution to
 // the shard-affine scheduler in admission waves: the streams admitted at
@@ -131,19 +172,11 @@ func (h *depHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = 
 // behind streams already waiting. A stream still queued when the system
 // drains can never be admitted (nothing will free more capacity), so it
 // is shed then.
-func openRun(cfg OpenConfig, stats bool) (*OpenResult, error) {
+func openRunSerial(cfg OpenConfig, stats bool) (*OpenResult, error) {
+	if err := validateOpen(&cfg, stats); err != nil {
+		return nil, err
+	}
 	n := len(cfg.Streams)
-	if n == 0 {
-		return nil, errors.New("fleet: no streams")
-	}
-	if len(cfg.Arrivals) != n {
-		return nil, fmt.Errorf("fleet: %d streams but %d arrival instants", n, len(cfg.Arrivals))
-	}
-	for k, t := range cfg.Arrivals {
-		if t < 0 || t.IsInf() {
-			return nil, fmt.Errorf("fleet: stream %d has invalid arrival instant %v", k, t)
-		}
-	}
 	adm := cfg.Admit
 	if adm == nil {
 		adm = AdmitAll{}

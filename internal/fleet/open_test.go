@@ -98,7 +98,9 @@ func openProcesses(t *testing.T, n int) map[string][]core.Time {
 // TestOpenDeterminismAcrossWorkersAndBatches is the acceptance property:
 // for every arrival model and every admission policy, a fixed seed
 // produces identical traces, lifecycles and admission decisions at any
-// (workers, BatchCycles). The reference is the serial in-order loop.
+// (workers, BatchCycles). The reference is the serial wave spec
+// (OpenRunStatsSerial); the shapes cover both the inline workers = 1
+// engine and the concurrent injection pool.
 func TestOpenDeterminismAcrossWorkersAndBatches(t *testing.T) {
 	const n = 10
 	streams := mixedStreams(t, n, 3, 5)
@@ -112,14 +114,14 @@ func TestOpenDeterminismAcrossWorkersAndBatches(t *testing.T) {
 	}
 	for model, times := range openProcesses(t, n) {
 		for _, adm := range admitters {
-			ref, err := OpenRunStats(OpenConfig{Streams: streams, Arrivals: times, Admit: adm, Workers: 1})
+			ref, err := OpenRunStatsSerial(OpenConfig{Streams: streams, Arrivals: times, Admit: adm, Workers: 1})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", model, adm.Name(), err)
 			}
 			if err := ref.Err(); err != nil {
 				t.Fatalf("%s/%s: %v", model, adm.Name(), err)
 			}
-			for _, shape := range []struct{ workers, batch int }{{2, 1}, {4, 32}, {8, 5}} {
+			for _, shape := range []struct{ workers, batch int }{{1, 0}, {2, 1}, {4, 32}, {8, 5}} {
 				got, err := OpenRunStats(OpenConfig{
 					Streams:     streams,
 					Arrivals:    times,

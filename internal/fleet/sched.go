@@ -132,6 +132,167 @@ func advance(st *sim.Stream, batch int) bool {
 	return st.Done()
 }
 
+// openSched is the continuous open engine's executor: a pool of
+// persistent, injection-aware workers over the slot arena. Where the
+// closed scheduler's workers drain a fixed population and exit, these
+// outlive every stream: the frontier binds arrivals into recycled slots
+// and publishes them ready *while workers run*, and workers harvest
+// nothing themselves — they advance claimed slots in BatchCycles
+// batches and publish completions for the frontier to retire. There is
+// no global barrier anywhere: a wave of one stream no longer costs a
+// pool start/join, and a straggler never idles the pool.
+//
+// Work discovery is shard-affine in the striped sense: worker w first
+// sweeps its own stripe (slots ≡ w mod workers), and only when the
+// stripe is dry touches the shared steal counter to stagger a full
+// scan over every published slot — the closed scheduler's steal
+// discipline adapted to a slot space that grows mid-run. A worker that
+// finds nothing claimable parks on the bind generation and is woken by
+// the next injection (or shutdown), so an idle pool burns no CPU.
+type openSched struct {
+	a       *openArena
+	sc      *OpenScratch
+	batch   int
+	workers int
+
+	mu        sync.Mutex
+	work      *sync.Cond // workers park here for the next injection
+	comp      *sync.Cond // the frontier blocks here for completions
+	completed []int32    // published completions awaiting the frontier
+	spare     []int32    // drained buffer, swapped back on the next drain
+	gen       uint64     // bind generation; bumped under mu per injection
+	done      bool
+
+	steal atomic.Int64
+	wg    sync.WaitGroup
+}
+
+// newOpenSched spawns the persistent pool. The completion buffers come
+// from the scratch so a warm steady state publishes without allocating.
+func newOpenSched(a *openArena, workers, batch int, sc *OpenScratch) *openSched {
+	s := &openSched{a: a, sc: sc, batch: batch, workers: workers}
+	s.work = sync.NewCond(&s.mu)
+	s.comp = sync.NewCond(&s.mu)
+	s.completed = sc.completed[:0]
+	s.spare = sc.spare[:0]
+	s.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer s.wg.Done()
+			s.runOpen(w)
+		}(w)
+	}
+	return s
+}
+
+// start wakes the pool after the frontier published a ready slot. One
+// injection is one slot, so one parked worker is woken (shutdown uses
+// the broadcast); the lock and signal amortize over a whole stream's
+// execution.
+func (s *openSched) start(slot int32) {
+	s.mu.Lock()
+	s.gen++
+	s.work.Signal()
+	s.mu.Unlock()
+}
+
+// drain hands published completions to the frontier (blocking until at
+// least one arrives when block is set) and finishes them outside the
+// lock. The two buffers swap roles so the steady state never allocates.
+func (s *openSched) drain(f *openFrontier, block bool) {
+	s.mu.Lock()
+	if block {
+		for len(s.completed) == 0 {
+			s.comp.Wait()
+		}
+	}
+	buf := s.completed
+	s.completed = s.spare[:0]
+	s.mu.Unlock()
+	for _, slot := range buf {
+		f.finish(slot)
+	}
+	s.spare = buf[:0]
+}
+
+// shutdown releases the pool. The frontier calls it once every
+// departure has been retired, so no slot can still be ready or claimed.
+func (s *openSched) shutdown() {
+	s.mu.Lock()
+	s.done = true
+	s.work.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	// Hand the grown buffers back so the next run's steady state starts
+	// warm.
+	s.sc.completed, s.sc.spare = s.completed[:0], s.spare[:0]
+}
+
+// runOpen is one persistent worker: claim → advance a batch → publish
+// or release, parking on the bind generation when nothing is claimable.
+// Sampling the generation before the scan closes the classic missed-
+// wakeup race — any injection after the sample bumps it, so the park
+// loop falls through immediately.
+func (s *openSched) runOpen(w int) {
+	for {
+		s.mu.Lock()
+		gen, done := s.gen, s.done
+		s.mu.Unlock()
+		if done {
+			return
+		}
+		slot, ok := s.claim(w)
+		if !ok {
+			s.mu.Lock()
+			for !s.done && s.gen == gen {
+				s.work.Wait()
+			}
+			done = s.done
+			s.mu.Unlock()
+			if done {
+				return
+			}
+			continue
+		}
+		tbl, idx := s.a.slotTbl[slot], s.a.slotIdx[slot]
+		if advance(&tbl.streams[idx], s.batch) {
+			s.a.status[slot].Store(slotDone)
+			s.mu.Lock()
+			s.completed = append(s.completed, slot)
+			s.comp.Signal()
+			s.mu.Unlock()
+		} else {
+			s.a.status[slot].Store(slotReady)
+		}
+	}
+}
+
+// claim finds a ready slot: the worker's own stripe first, then a full
+// steal sweep staggered by the shared counter. The load-before-CAS
+// keeps idle passes read-only on every status cache line.
+func (s *openSched) claim(w int) (int32, bool) {
+	n := int(s.a.allocated.Load())
+	for i := w; i < n; i += s.workers {
+		if s.a.status[i].Load() == slotReady && s.a.status[i].CompareAndSwap(slotReady, slotClaimed) {
+			return int32(i), true
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	start := int(s.steal.Add(1)-1) % n
+	for j := 0; j < n; j++ {
+		i := start + j
+		if i >= n {
+			i -= n
+		}
+		if s.a.status[i].Load() == slotReady && s.a.status[i].CompareAndSwap(slotReady, slotClaimed) {
+			return int32(i), true
+		}
+	}
+	return 0, false
+}
+
 // worker drains the shard [lo, hi) and then steals.
 func (s *sched) worker(lo, hi int) {
 	// Shard phase: sweep the owned shard in batch rounds. Streams are

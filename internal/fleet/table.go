@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"errors"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -163,6 +164,18 @@ func (tbl *StreamTable) Bind(s *Stream, k int) int {
 	slot := tbl.free[len(tbl.free)-1]
 	tbl.free = tbl.free[:len(tbl.free)-1]
 	tbl.bound++
+	tbl.BindSlot(slot, s, k)
+	return slot
+}
+
+// BindSlot initialises the given slot for the stream without touching
+// the table's own free-slot bookkeeping — the binding core shared by
+// Bind and the continuous engine's openArena, which manages slot
+// recycling across several chunk tables itself. The slot must not be
+// bound or mid-execution. It never allocates on the stats path without
+// an export sink, which is what keeps the continuous open engine's
+// steady state allocation-free.
+func (tbl *StreamTable) BindSlot(slot int, s *Stream, k int) {
 	tbl.names[slot] = s.Name
 	tbl.runners[slot] = s.Runner
 	r := &tbl.runners[slot]
@@ -178,10 +191,9 @@ func (tbl *StreamTable) Bind(s *Stream, k int) int {
 		r.Sink = sink
 	} else if r.Sink != nil {
 		tbl.errs[slot] = errors.New("fleet: stream has a Runner.Sink; Run retains traces — use RunStats for sink-based runs")
-		return slot
+		return
 	}
 	tbl.errs[slot] = r.InitStream(&tbl.streams[slot], &tbl.states[slot], &tbl.traces[slot])
-	return slot
 }
 
 // Harvest copies the slot's outcome out of the slabs (the same deep-copy
@@ -202,6 +214,197 @@ func (tbl *StreamTable) Harvest(slot int) StreamResult {
 	tbl.free = append(tbl.free, slot)
 	tbl.bound--
 	return sr
+}
+
+// HarvestSlot is the allocation-free form of Harvest: the slot's outcome
+// is copied into caller-owned result cells — trOut for the scalar trace,
+// and in stats mode sinkOut plus a histogram window histOut of at least
+// the table's level width — instead of freshly allocated ones. The copy
+// discipline is identical to Harvest (the result aliases nothing in the
+// slabs; a zero-length histogram copies to nil exactly as Harvest's
+// append does), so results of the two forms are deep-equal. Free-slot
+// bookkeeping is the caller's: the continuous engine's openArena
+// recycles slots across chunk tables itself.
+func (tbl *StreamTable) HarvestSlot(slot int, sr *StreamResult, trOut *sim.Trace, sinkOut *sim.StatsSink, histOut []int) {
+	sr.Name = tbl.names[slot]
+	sr.Err = tbl.errs[slot]
+	if tbl.sinks != nil {
+		*sinkOut = tbl.sinks[slot]
+		if h := sinkOut.QualityHist; len(h) == 0 {
+			sinkOut.QualityHist = nil
+		} else {
+			w := histOut[:len(h)]
+			copy(w, h)
+			sinkOut.QualityHist = w
+		}
+		sr.Stats = sinkOut
+	}
+	if sr.Err == nil {
+		*trOut = tbl.traces[slot]
+		sr.Trace = trOut
+	}
+	tbl.errs[slot] = nil
+}
+
+// Per-slot scheduler states of the continuous open engine (openArena
+// slots; distinct from the closed scheduler's per-stream states, whose
+// lifecycle has no empty/harvest phases). The frontier moves a slot
+// empty → ready at Bind and done → empty at harvest; workers move it
+// ready → claimed → ready once per batch and store done when the
+// stream completes. Every transition goes through the slot's atomic
+// status word, so slab publication between the frontier and the workers
+// is always a synchronised hand-off.
+const (
+	slotEmpty int32 = iota
+	slotReady
+	slotClaimed
+	slotDone
+)
+
+// openArena is the continuous open engine's slot store: a set of
+// fixed-size StreamTable chunks plus flat slot-indirection arrays. The
+// closed-table growth rule (Ensure only with every slot free) cannot
+// hold in a wave-free engine — streams are always mid-flight — so the
+// arena never reallocates a slab: growth appends a fresh chunk, and the
+// views of bound slots stay valid with no quiesce barrier. The heavy
+// per-slot slabs (runners, states, traces, sinks, histograms) therefore
+// still track peak concurrency, not the population; only the flat
+// indirection arrays (a pointer and a few words per slot) are
+// pre-sized to the population bound so workers can scan them without
+// ever racing a reallocation.
+//
+// Ownership: chunks, free and the slot arrays beyond the published
+// allocated count are the frontier's alone. Workers read slotTbl /
+// slotIdx / slotStream only for slots below allocated (published with
+// an atomic add) whose status they hold claimed, so every slab access
+// is ordered by the status word or the allocated counter.
+type openArena struct {
+	stats     bool
+	export    func(k int, name string) sim.Sink
+	maxLevels int
+
+	chunks     []*StreamTable
+	slotTbl    []*StreamTable // slot → chunk table
+	slotIdx    []int32        // slot → index within its chunk
+	slotStream []int32        // slot → bound stream index (frontier writes before the ready store)
+	status     []atomic.Int32
+	allocated  atomic.Int32 // published slot count; workers scan [0, allocated)
+	free       []int32      // recycled-slot stack (frontier only)
+}
+
+// openChunkMin is the first chunk's slot count; later chunks double the
+// arena, so reaching a peak concurrency of C costs O(log C) chunk
+// allocations over the whole run (and zero once a scratch is warm).
+const openChunkMin = 8
+
+// reset prepares the arena for a run over a population of n streams.
+// Chunks from an earlier run with the same slab shape (stats mode and
+// histogram width) are kept and their slots recycled; a shape change
+// drops them. The export hook carries no slab state but is read by
+// BindSlot from each chunk, so retained chunks must have it replaced
+// too — a stale closure would tee records into the previous run's
+// sinks.
+func (a *openArena) reset(n int, stats bool, export func(int, string) sim.Sink, maxLevels int) {
+	if stats != a.stats || maxLevels != a.maxLevels {
+		a.chunks = nil
+	}
+	a.stats, a.export, a.maxLevels = stats, export, maxLevels
+	for _, c := range a.chunks {
+		c.export = export
+	}
+	total := 0
+	for _, c := range a.chunks {
+		total += c.Len()
+	}
+	want := n
+	if total > want {
+		want = total
+	}
+	if cap(a.slotTbl) < want {
+		a.slotTbl = make([]*StreamTable, want)
+		a.slotIdx = make([]int32, want)
+		a.slotStream = make([]int32, want)
+		a.status = make([]atomic.Int32, want)
+		a.free = make([]int32, 0, want)
+	} else {
+		a.slotTbl = a.slotTbl[:want]
+		a.slotIdx = a.slotIdx[:want]
+		a.slotStream = a.slotStream[:want]
+		a.status = a.status[:want]
+	}
+	a.free = a.free[:0]
+	slot := 0
+	for _, c := range a.chunks {
+		for i := 0; i < c.Len(); i++ {
+			a.register(slot, c, i)
+			slot++
+		}
+	}
+	a.allocated.Store(int32(slot))
+}
+
+// register wires one chunk slot into the flat arrays and the free stack.
+// Slots above the published allocated count are invisible to workers
+// until the counter advances.
+func (a *openArena) register(slot int, c *StreamTable, i int) {
+	a.slotTbl[slot] = c
+	a.slotIdx[slot] = int32(i)
+	a.slotStream[slot] = -1
+	a.status[slot].Store(slotEmpty)
+	a.free = append(a.free, int32(slot))
+}
+
+// grow appends a doubling chunk and publishes its slots. Called by the
+// frontier only when the free stack is empty; the population bound
+// guarantees the indirection arrays have room (at most one slot per
+// stream is ever bound).
+func (a *openArena) grow() {
+	total := int(a.allocated.Load())
+	size := total
+	if size < openChunkMin {
+		size = openChunkMin
+	}
+	if rem := len(a.slotTbl) - total; size > rem {
+		size = rem
+	}
+	if size <= 0 {
+		panic("fleet: open arena over population capacity")
+	}
+	c := &StreamTable{stats: a.stats, export: a.export, maxLevels: a.maxLevels}
+	c.Ensure(size)
+	c.free = nil // the arena recycles slots itself
+	a.chunks = append(a.chunks, c)
+	for i := 0; i < size; i++ {
+		a.register(total+i, c, i)
+	}
+	a.allocated.Add(int32(size))
+}
+
+// bind claims a slot (growing if none is free), binds the stream into
+// it and returns the slot id with its status still empty — the caller
+// publishes it ready once the admission bookkeeping is done, or
+// harvests it immediately for bind-time failures.
+func (a *openArena) bind(s *Stream, k int) int32 {
+	if len(a.free) == 0 {
+		a.grow()
+	}
+	slot := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	a.slotStream[slot] = int32(k)
+	a.slotTbl[slot].BindSlot(int(a.slotIdx[slot]), s, k)
+	return slot
+}
+
+// release recycles a harvested slot.
+func (a *openArena) release(slot int32) {
+	a.status[slot].Store(slotEmpty)
+	a.slotStream[slot] = -1
+	a.free = append(a.free, slot)
+}
+
+// err reports the slot's bind-time configuration error, if any.
+func (a *openArena) err(slot int32) error {
+	return a.slotTbl[slot].errs[a.slotIdx[slot]]
 }
 
 // Len returns the stream count.
