@@ -1,14 +1,13 @@
 // Command benchguard compares a fresh BENCH_fleet.json against the
-// committed BENCH_baseline.json and fails (exit 1) when any matching
-// row regressed in ns/action beyond the tolerance — the CI tripwire
-// that keeps hot-path regressions from landing silently.
+// committed BENCH_baseline.json and fails when any matching row
+// regressed in ns/action beyond the tolerance — the CI tripwire that
+// keeps hot-path regressions from landing silently.
 //
 // Rows match on (name, streams, workers, cycles, batch_cycles,
 // num_cpu, gomaxprocs): a benchmark row is only comparable against a
 // baseline produced by the same configuration on the same host shape. Rows
 // without a match — a new benchmark, or CI running on different
-// hardware than the committed baseline — are reported and skipped, so
-// the guard degrades to a no-op rather than flapping on foreign hosts.
+// hardware than the committed baseline — are reported and skipped.
 //
 // Cross-host runs still get a tripwire through -self: a pair of row
 // names compared *within the fresh artifact* — produced on one host in
@@ -24,16 +23,33 @@
 // -max-regress is the tolerated fractional slowdown (0.25 = fail beyond
 // +25% ns/action). Improvements and matches within tolerance print as a
 // table either way, so the CI log doubles as a perf trajectory record.
+//
+// Exit status:
+//
+//	0  every matching row within tolerance (and -self within bound)
+//	1  a matching row regressed, or the -self ratio exceeded its bound
+//	2  usage or artifact-loading error
+//	3  zero rows match the baseline host shape — nothing was compared,
+//	   so a green run proves nothing; CI distinguishes this from a pass
+//	   instead of treating a foreign-host no-op as a guarantee
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"math"
 	"os"
 	"strings"
+)
+
+// Exit statuses; see the package comment.
+const (
+	exitOK         = 0
+	exitRegression = 1
+	exitUsage      = 2
+	exitNoMatch    = 3
 )
 
 // row mirrors the fleet bench harness's artifact schema; unknown fields
@@ -74,31 +90,43 @@ func load(path string) ([]row, error) {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("benchguard: ")
-	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline artifact")
-	fresh := flag.String("fresh", "BENCH_fleet.json", "freshly produced bench artifact")
-	maxRegress := flag.Float64("max-regress", 0.25, "tolerated fractional ns/action slowdown before failing")
-	self := flag.String("self", "", "row:reference pair compared within the fresh artifact (host-independent tripwire)")
-	maxSelfRatio := flag.Float64("max-self-ratio", 1.25, "tolerated ns/action ratio of the -self row over its reference")
-	flag.Parse()
-	if flag.NArg() > 0 {
-		log.Fatalf("unexpected arguments %q; benchguard is configured by flags only", flag.Args())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole guard behind an injectable (args, stdout, stderr) so
+// the exit-status contract is unit-testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "benchguard: "+format+"\n", a...)
+		return exitUsage
+	}
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseline := fs.String("baseline", "BENCH_baseline.json", "committed baseline artifact")
+	fresh := fs.String("fresh", "BENCH_fleet.json", "freshly produced bench artifact")
+	maxRegress := fs.Float64("max-regress", 0.25, "tolerated fractional ns/action slowdown before failing")
+	self := fs.String("self", "", "row:reference pair compared within the fresh artifact (host-independent tripwire)")
+	maxSelfRatio := fs.Float64("max-self-ratio", 1.25, "tolerated ns/action ratio of the -self row over its reference")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		return fail("unexpected arguments %q; benchguard is configured by flags only", fs.Args())
 	}
 	if *maxRegress < 0 || math.IsNaN(*maxRegress) || math.IsInf(*maxRegress, 0) {
-		log.Fatalf("-max-regress must be a non-negative fraction, got %v", *maxRegress)
+		return fail("-max-regress must be a non-negative fraction, got %v", *maxRegress)
 	}
 	if *maxSelfRatio <= 0 || math.IsNaN(*maxSelfRatio) || math.IsInf(*maxSelfRatio, 0) {
-		log.Fatalf("-max-self-ratio must be a positive ratio, got %v", *maxSelfRatio)
+		return fail("-max-self-ratio must be a positive ratio, got %v", *maxSelfRatio)
 	}
 
 	base, err := load(*baseline)
 	if err != nil {
-		log.Fatal(err)
+		return fail("%v", err)
 	}
 	cur, err := load(*fresh)
 	if err != nil {
-		log.Fatal(err)
+		return fail("%v", err)
 	}
 	byKey := map[key]row{}
 	for _, r := range base {
@@ -106,15 +134,15 @@ func main() {
 	}
 
 	matched, regressed := 0, 0
-	fmt.Printf("%-34s %12s %12s %9s\n", "row", "baseline", "fresh", "delta")
+	fmt.Fprintf(stdout, "%-34s %12s %12s %9s\n", "row", "baseline", "fresh", "delta")
 	for _, r := range cur {
 		b, ok := byKey[r.key()]
 		if !ok {
-			fmt.Printf("%-34s %12s %12.2f %9s\n", r.Name, "—", r.NsPerAction, "skip")
+			fmt.Fprintf(stdout, "%-34s %12s %12.2f %9s\n", r.Name, "—", r.NsPerAction, "skip")
 			continue
 		}
 		if b.NsPerAction <= 0 {
-			fmt.Printf("%-34s %12.2f %12.2f %9s\n", r.Name, b.NsPerAction, r.NsPerAction, "skip")
+			fmt.Fprintf(stdout, "%-34s %12.2f %12.2f %9s\n", r.Name, b.NsPerAction, r.NsPerAction, "skip")
 			continue
 		}
 		matched++
@@ -124,32 +152,43 @@ func main() {
 			regressed++
 			verdict += " FAIL"
 		}
-		fmt.Printf("%-34s %12.2f %12.2f %9s\n", r.Name, b.NsPerAction, r.NsPerAction, verdict)
-	}
-	switch {
-	case regressed > 0:
-		log.Fatalf("%d of %d matching rows regressed beyond %+.0f%% ns/action", regressed, matched, 100**maxRegress)
-	case matched == 0:
-		fmt.Printf("no rows match the baseline host shape; nothing to compare\n")
-	default:
-		fmt.Printf("%d matching rows within %+.0f%% of the baseline\n", matched, 100**maxRegress)
+		fmt.Fprintf(stdout, "%-34s %12.2f %12.2f %9s\n", r.Name, b.NsPerAction, r.NsPerAction, verdict)
 	}
 
+	status := exitOK
+	switch {
+	case regressed > 0:
+		fmt.Fprintf(stderr, "benchguard: %d of %d matching rows regressed beyond %+.0f%% ns/action\n",
+			regressed, matched, 100**maxRegress)
+		status = exitRegression
+	case matched == 0:
+		fmt.Fprintf(stderr, "benchguard: no rows match the baseline host shape (%s was produced on different hardware or a different workload set); nothing was compared\n",
+			*baseline)
+		status = exitNoMatch
+	default:
+		fmt.Fprintf(stdout, "%d matching rows within %+.0f%% of the baseline\n", matched, 100**maxRegress)
+	}
+
+	// The self-check runs even when host-shape matching found nothing —
+	// that is exactly the situation it exists for. Its failures outrank
+	// the no-match status.
 	if *self != "" {
 		rowName, refName, ok := strings.Cut(*self, ":")
 		if !ok || rowName == "" || refName == "" {
-			log.Fatalf("-self wants row:reference, got %q", *self)
+			return fail("-self wants row:reference, got %q", *self)
 		}
 		r, ref := findRow(cur, rowName), findRow(cur, refName)
 		if r == nil || ref == nil || ref.NsPerAction <= 0 {
-			log.Fatalf("-self %s: the fresh artifact lacks the pair (have %q and %q?)", *self, rowName, refName)
+			return fail("-self %s: the fresh artifact lacks the pair (have %q and %q?)", *self, rowName, refName)
 		}
 		ratio := r.NsPerAction / ref.NsPerAction
-		fmt.Printf("self-check: %s / %s = %.2f (bound %.2f)\n", rowName, refName, ratio, *maxSelfRatio)
+		fmt.Fprintf(stdout, "self-check: %s / %s = %.2f (bound %.2f)\n", rowName, refName, ratio, *maxSelfRatio)
 		if ratio > *maxSelfRatio {
-			log.Fatalf("%s is %.2fx %s, beyond the %.2fx bound", rowName, ratio, refName, *maxSelfRatio)
+			fmt.Fprintf(stderr, "benchguard: %s is %.2fx %s, beyond the %.2fx bound\n", rowName, ratio, refName, *maxSelfRatio)
+			return exitRegression
 		}
 	}
+	return status
 }
 
 // findRow returns the first fresh row with the given name (the fresh

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeRows persists a bench artifact for the guard to load.
+func writeRows(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const hostRow = `[{"name":"fleet","streams":64,"workers":4,"batch_cycles":8,"cycles":30,"num_cpu":8,"gomaxprocs":8,"ns_per_action":100}]`
+
+// otherHostRow differs only in host shape, so it never matches hostRow.
+const otherHostRow = `[{"name":"fleet","streams":64,"workers":4,"batch_cycles":8,"cycles":30,"num_cpu":32,"gomaxprocs":32,"ns_per_action":100}]`
+
+func runGuard(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	status := run(args, &stdout, &stderr)
+	return status, stdout.String(), stderr.String()
+}
+
+func TestMatchingRowWithinTolerancePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRows(t, dir, "base.json", hostRow)
+	fresh := writeRows(t, dir, "fresh.json", hostRow)
+	status, out, _ := runGuard(t, "-baseline", base, "-fresh", fresh)
+	if status != exitOK {
+		t.Fatalf("status = %d, want %d", status, exitOK)
+	}
+	if !strings.Contains(out, "1 matching rows within") {
+		t.Fatalf("missing pass summary in output:\n%s", out)
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRows(t, dir, "base.json", hostRow)
+	fresh := writeRows(t, dir, "fresh.json", strings.ReplaceAll(hostRow, `"ns_per_action":100`, `"ns_per_action":200`))
+	status, _, errOut := runGuard(t, "-baseline", base, "-fresh", fresh)
+	if status != exitRegression {
+		t.Fatalf("status = %d, want %d", status, exitRegression)
+	}
+	if !strings.Contains(errOut, "regressed beyond") {
+		t.Fatalf("missing regression message on stderr:\n%s", errOut)
+	}
+}
+
+// TestZeroMatchingRowsIsDistinctStatus is the contract CI leans on: a
+// baseline from foreign hardware must not read as a silent pass.
+func TestZeroMatchingRowsIsDistinctStatus(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRows(t, dir, "base.json", otherHostRow)
+	fresh := writeRows(t, dir, "fresh.json", hostRow)
+	status, _, errOut := runGuard(t, "-baseline", base, "-fresh", fresh)
+	if status != exitNoMatch {
+		t.Fatalf("status = %d, want %d", status, exitNoMatch)
+	}
+	if !strings.Contains(errOut, "no rows match the baseline host shape") {
+		t.Fatalf("missing no-match explanation on stderr:\n%s", errOut)
+	}
+}
+
+// TestSelfCheckRunsDespiteZeroMatches: the within-artifact ratio is the
+// host-independent tripwire, so it must still gate a no-match run.
+func TestSelfCheckRunsDespiteZeroMatches(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRows(t, dir, "base.json", otherHostRow)
+	fresh := writeRows(t, dir, "fresh.json",
+		`[{"name":"open","num_cpu":8,"gomaxprocs":8,"ns_per_action":300},
+		  {"name":"spec","num_cpu":8,"gomaxprocs":8,"ns_per_action":100}]`)
+
+	status, _, _ := runGuard(t, "-baseline", base, "-fresh", fresh,
+		"-self", "open:spec", "-max-self-ratio", "4")
+	if status != exitNoMatch {
+		t.Fatalf("passing self-check: status = %d, want %d", status, exitNoMatch)
+	}
+
+	status, _, errOut := runGuard(t, "-baseline", base, "-fresh", fresh,
+		"-self", "open:spec", "-max-self-ratio", "2")
+	if status != exitRegression {
+		t.Fatalf("failing self-check: status = %d, want %d", status, exitRegression)
+	}
+	if !strings.Contains(errOut, "beyond the") {
+		t.Fatalf("missing self-check failure on stderr:\n%s", errOut)
+	}
+}
+
+func TestLoadErrorIsUsageStatus(t *testing.T) {
+	dir := t.TempDir()
+	fresh := writeRows(t, dir, "fresh.json", hostRow)
+	status, _, _ := runGuard(t, "-baseline", filepath.Join(dir, "missing.json"), "-fresh", fresh)
+	if status != exitUsage {
+		t.Fatalf("status = %d, want %d", status, exitUsage)
+	}
+	broken := writeRows(t, dir, "broken.json", "{not json")
+	status, _, _ = runGuard(t, "-baseline", broken, "-fresh", fresh)
+	if status != exitUsage {
+		t.Fatalf("broken baseline: status = %d, want %d", status, exitUsage)
+	}
+}

@@ -1,0 +1,56 @@
+package analysis
+
+// EnginePackages are the packages bound by the determinism contract:
+// everything that executes between a (config, seed) pair and the bytes
+// of a trace. Packages outside the list can opt in with a
+// //detlint:engine file comment.
+var EnginePackages = map[string]bool{
+	"repro/internal/sim":       true,
+	"repro/internal/fleet":     true,
+	"repro/internal/arrivals":  true,
+	"repro/internal/regions":   true,
+	"repro/internal/multitask": true,
+	"repro/internal/metrics":   true,
+}
+
+// engineScoped reports whether the pass's package is under the engine
+// determinism contract — listed above, or opted in by any of its files.
+func (p *Pass) engineScoped() bool {
+	if EnginePackages[p.PkgPath] {
+		return true
+	}
+	for _, f := range p.Files {
+		if fileHasDirective(f, "engine") {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the detlint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Nondeterminism,
+		RNGDiscipline,
+		HotPathAlloc,
+		AtomicDiscipline,
+		Directives,
+	}
+}
+
+// analyzerNames lists the suite members an allow directive may
+// reference. A static list, not All(): runDirectives consulting the
+// Directives analyzer's own name would be an initialization cycle.
+var analyzerNames = map[string]bool{
+	"nondeterminism":   true,
+	"rngdiscipline":    true,
+	"hotpathalloc":     true,
+	"atomicdiscipline": true,
+	"directives":       true,
+}
+
+// knownAnalyzer reports whether name is a suite member an allow
+// directive may reference.
+func knownAnalyzer(name string) bool {
+	return analyzerNames[name]
+}

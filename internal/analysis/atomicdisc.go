@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicDiscipline enforces the worker-shared word contract: struct
+// fields annotated //detlint:atomic (the steal counters, the slot
+// status words, the published-slot count) may only be touched through
+// sync/atomic. Two field classes are supported:
+//
+//   - typed atomics (atomic.Int64 & friends, or slices/arrays of them):
+//     every element access must be a method call (Load/Store/Add/Swap/
+//     CompareAndSwap); copying the value or assigning over it is
+//     flagged. Whole-slice header operations (make, len, reslice) are
+//     legal — they manage the slab, not the shared words.
+//
+//   - plain integer fields: every reference must be &x.f passed to a
+//     sync/atomic function; any direct read or write is flagged.
+//
+// Annotations bind within the declaring package (all the engine's
+// shared words are unexported), so the check needs no cross-package
+// facts.
+var AtomicDiscipline = &Analyzer{
+	Name: "atomicdiscipline",
+	Doc:  "//detlint:atomic fields may only be accessed through sync/atomic operations",
+	Run:  runAtomicDiscipline,
+}
+
+func runAtomicDiscipline(pass *Pass) error {
+	marked := collectAtomicFields(pass)
+	if len(marked) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := pass.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			fv, ok := s.Obj().(*types.Var)
+			if !ok || !marked[fv] {
+				return true
+			}
+			checkAtomicUse(pass, sel, fv, stack)
+			return true
+		})
+	}
+	return nil
+}
+
+// collectAtomicFields maps the package's //detlint:atomic struct fields
+// to their types.Var objects.
+func collectAtomicFields(pass *Pass) map[*types.Var]bool {
+	marked := map[*types.Var]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !hasDirective(field.Doc, "atomic") && !hasDirective(field.Comment, "atomic") {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						marked[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return marked
+}
+
+// checkAtomicUse classifies one selector reference to a marked field.
+func checkAtomicUse(pass *Pass, sel *ast.SelectorExpr, fv *types.Var, stack []ast.Node) {
+	if isTypedAtomic(fv.Type()) {
+		// Scalar typed atomic: x.f.Method(...) only.
+		if isAtomicMethodCall(pass, sel, stack) {
+			return
+		}
+		pass.Reportf(sel.Sel.Pos(), "worker-shared field %s must be accessed through its atomic methods, not copied or reassigned", fv.Name())
+		return
+	}
+	if elem, ok := atomicElemType(fv.Type()); ok && isTypedAtomic(elem) {
+		// Slice/array of typed atomics: header ops are free; indexed
+		// elements must be method calls.
+		idx, ok := parentOf(stack, sel).(*ast.IndexExpr)
+		if !ok {
+			return
+		}
+		if isAtomicElemMethodCall(pass, idx, stack) {
+			return
+		}
+		pass.Reportf(sel.Sel.Pos(), "worker-shared slot word %s[i] must be accessed through its atomic methods", fv.Name())
+		return
+	}
+	// Plain word: only legal as &x.f handed to sync/atomic.
+	if addrPassedToSyncAtomic(pass, sel, stack) {
+		return
+	}
+	pass.Reportf(sel.Sel.Pos(), "plain access to worker-shared field %s; every read and write must go through sync/atomic", fv.Name())
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's typed values.
+func isTypedAtomic(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// atomicElemType unwraps one level of slice or array.
+func atomicElemType(t types.Type) (types.Type, bool) {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return u.Elem(), true
+	case *types.Array:
+		return u.Elem(), true
+	}
+	return nil, false
+}
+
+// parentOf returns the immediate parent of n on the stack (nil at the
+// root). The stack is outermost-first and excludes n.
+func parentOf(stack []ast.Node, n ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+func grandparentOf(stack []ast.Node) ast.Node {
+	if len(stack) < 2 {
+		return nil
+	}
+	return stack[len(stack)-2]
+}
+
+// isAtomicMethodCall reports whether sel (x.f, f a typed atomic) is the
+// receiver of a method call: parent is x.f.Method, grandparent the call.
+func isAtomicMethodCall(pass *Pass, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	m, ok := parentOf(stack, sel).(*ast.SelectorExpr)
+	if !ok || m.X != sel {
+		return false
+	}
+	call, ok := grandparentOf(stack).(*ast.CallExpr)
+	return ok && call.Fun == m
+}
+
+// isAtomicElemMethodCall does the same one level deeper, for x.f[i].
+func isAtomicElemMethodCall(pass *Pass, idx *ast.IndexExpr, stack []ast.Node) bool {
+	// stack ends ..., call?, methodSel?, idx → relative to sel it is
+	// ..., call, methodSel, idx, and sel sits one deeper than idx.
+	if len(stack) < 3 {
+		return false
+	}
+	m, ok := stack[len(stack)-2].(*ast.SelectorExpr)
+	if !ok || m.X != idx {
+		return false
+	}
+	call, ok := stack[len(stack)-3].(*ast.CallExpr)
+	return ok && call.Fun == m
+}
+
+// addrPassedToSyncAtomic reports whether sel appears as &x.f in an
+// argument to a sync/atomic function.
+func addrPassedToSyncAtomic(pass *Pass, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	addr, ok := parentOf(stack, sel).(*ast.UnaryExpr)
+	if !ok || addr.Op != token.AND {
+		return false
+	}
+	call, ok := grandparentOf(stack).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pass.Info, call.Fun)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}

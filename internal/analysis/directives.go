@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// prefix is the comment marker every detlint directive starts with.
+const prefix = "//detlint:"
+
+// A directive is one parsed //detlint: comment.
+type directive struct {
+	pos  token.Position
+	verb string // "allow", "hotpath", "atomic", "engine"
+	args string // raw text after the verb
+}
+
+// fileDirectives indexes a package's directives for suppression lookup
+// and for the Directives validity analyzer.
+type fileDirectives struct {
+	all []directive
+	// allow[analyzer] lists (file, line) pairs a matching diagnostic may
+	// sit on: the directive's own line and the line below it, so both
+	// trailing comments and own-line comments above the construct work.
+	allow map[string]map[fileLine]bool
+}
+
+type fileLine struct {
+	file string
+	line int
+}
+
+// parseDirectives scans every comment of the files. Malformed
+// directives are kept (with their raw args) so the Directives analyzer
+// can flag them; suppression only honors well-formed allows.
+func parseDirectives(fset *token.FileSet, files []*ast.File) *fileDirectives {
+	d := &fileDirectives{allow: map[string]map[fileLine]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, prefix)
+				if !ok {
+					continue
+				}
+				verb, args, _ := strings.Cut(text, " ")
+				// Strip an embedded golden-test marker so testdata can
+				// assert on malformed directives; no real reason ever
+				// contains one.
+				if i := strings.Index(args, "// want "); i >= 0 {
+					args = args[:i]
+				}
+				dir := directive{pos: fset.Position(c.Pos()), verb: verb, args: strings.TrimSpace(args)}
+				d.all = append(d.all, dir)
+				if verb != "allow" {
+					continue
+				}
+				analyzer, reason, _ := strings.Cut(dir.args, " ")
+				if analyzer == "" || strings.TrimSpace(reason) == "" {
+					continue // malformed; Directives flags it, nothing is suppressed
+				}
+				lines := d.allow[analyzer]
+				if lines == nil {
+					lines = map[fileLine]bool{}
+					d.allow[analyzer] = lines
+				}
+				lines[fileLine{dir.pos.Filename, dir.pos.Line}] = true
+				lines[fileLine{dir.pos.Filename, dir.pos.Line + 1}] = true
+			}
+		}
+	}
+	return d
+}
+
+// allows reports whether a diagnostic of the named analyzer at pos is
+// silenced by a well-formed //detlint:allow directive.
+func (d *fileDirectives) allows(analyzer string, pos token.Position) bool {
+	return d.allow[analyzer][fileLine{pos.Filename, pos.Line}]
+}
+
+// hasDirective reports whether the comment group contains the given
+// bare directive verb (e.g. a //detlint:hotpath line in a func doc).
+func hasDirective(cg *ast.CommentGroup, verb string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if text, ok := strings.CutPrefix(c.Text, prefix); ok {
+			v, _, _ := strings.Cut(text, " ")
+			if v == verb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fileHasDirective reports whether any comment in the file carries the
+// verb — used for the file-scoped //detlint:engine opt-in.
+func fileHasDirective(f *ast.File, verb string) bool {
+	for _, cg := range f.Comments {
+		if hasDirective(cg, verb) {
+			return true
+		}
+	}
+	return false
+}
+
+// Directives validates detlint directive syntax itself, so a typo in an
+// escape hatch surfaces as a finding instead of silently disabling
+// nothing.
+var Directives = &Analyzer{
+	Name: "directives",
+	Doc:  "detlint directives must be well-formed: a known verb, and for allow an analyzer name plus a non-empty reason",
+	Run:  runDirectives,
+}
+
+func runDirectives(pass *Pass) error {
+	dirs := parseDirectives(pass.Fset, pass.Files)
+	for _, d := range dirs.all {
+		report := func(format string, args ...any) {
+			*pass.diags = append(*pass.diags, Diagnostic{
+				Analyzer: pass.Analyzer.Name,
+				Pos:      d.pos,
+				Message:  "detlint directive: " + fmt.Sprintf(format, args...),
+			})
+		}
+		switch d.verb {
+		case "hotpath", "atomic", "engine":
+			// Bare verbs; trailing text is tolerated as commentary.
+		case "allow":
+			analyzer, reason, _ := strings.Cut(d.args, " ")
+			switch {
+			case analyzer == "":
+				report("allow needs an analyzer name and a reason")
+			case !knownAnalyzer(analyzer):
+				report("allow names unknown analyzer %q", analyzer)
+			case strings.TrimSpace(reason) == "":
+				report("allow %s needs a reason", analyzer)
+			}
+		default:
+			report("unknown verb %q", d.verb)
+		}
+	}
+	return nil
+}

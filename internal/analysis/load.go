@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// listedPackage is the slice of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (run from dir, the
+// module root) and type-checks each from source. Imports — stdlib and
+// module-local alike — resolve through the compiler's source importer,
+// so the loader works offline with nothing but the toolchain. This is
+// cmd/detlint's standalone mode; the vet-tool mode gets its file lists
+// and export data from the go command instead.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// Cgo off keeps GoFiles pure-Go so the source importer can check
+	// every dependency without a C toolchain.
+	cmd.Env = append(cmd.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		listed = append(listed, p)
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := CheckFiles(p.ImportPath, fset, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goldenFset and goldenImporter are shared by every LoadDir call so the
+// golden tests type-check each stdlib dependency once per process, not
+// once per analyzer.
+var (
+	goldenFset     *token.FileSet
+	goldenImporter types.Importer
+)
+
+// LoadDir parses and type-checks the single package rooted at dir — the
+// golden-test entry point for analysistest packages under testdata,
+// which go list refuses to enumerate. Imports resolve from source, so
+// testdata packages may use the stdlib and the module's own packages.
+// Not safe for concurrent use (the golden tests run sequentially).
+func LoadDir(dir string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files under %s", dir)
+	}
+	sort.Strings(matches)
+	if goldenFset == nil {
+		goldenFset = token.NewFileSet()
+		goldenImporter = importer.ForCompiler(goldenFset, "source", nil)
+	}
+	return CheckFiles("testdata/"+filepath.Base(dir), goldenFset, matches, goldenImporter)
+}
+
+// CheckFiles parses the given files as one package and type-checks them
+// with the importer.
+func CheckFiles(path string, fset *token.FileSet, filenames []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, f)
+	}
+	return CheckParsed(path, fset, files, imp)
+}
+
+// CheckParsed type-checks already-parsed files as the package at path.
+// Shared by the source loader and cmd/detlint's vet-config mode (which
+// parses from a go-command-provided file list and imports from export
+// data).
+func CheckParsed(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := NewInfo()
+	conf := types.Config{
+		Importer:    imp,
+		FakeImportC: true,
+	}
+	tpkg, err := conf.Check(TrimVariant(path), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nondeterminism enforces the engine's load-bearing invariant: a run is
+// a pure function of (config, seed), so fleet traces stay byte-identical
+// to the serial spec at any (workers, batch). In engine packages it
+// forbids the constructs that smuggle scheduling or hashing order into
+// results: wall-clock reads, the global math/rand stream, iteration
+// over maps, and multi-case selects (the runtime picks a ready case
+// pseudo-randomly).
+var Nondeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "engine packages must not read wall clocks, draw from global math/rand, range over maps, or race select cases",
+	Run:  runNondeterminism,
+}
+
+// forbiddenTimeFuncs are the time functions that observe or depend on
+// the wall clock or timers. Pure-value helpers (time.Duration maths,
+// time.Unix, Parse/Format) stay legal.
+var forbiddenTimeFuncs = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Sleep":     "depends on real time",
+	"Tick":      "depends on real time",
+	"After":     "depends on real time",
+	"AfterFunc": "depends on real time",
+	"NewTimer":  "depends on real time",
+	"NewTicker": "depends on real time",
+}
+
+// randConstructors are the math/rand package-level functions that build
+// a generator rather than draw from the shared global one. Construction
+// is rngdiscipline's concern; drawing from the global stream is a
+// determinism violation because any other goroutine perturbs it.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runNondeterminism(pass *Pass) error {
+	if !pass.engineScoped() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				// Covers both qualified uses (the Sel of time.Now) and
+				// dot-imported ones.
+				checkForbiddenFunc(pass, n)
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						pass.Reportf(n.Pos(), "iteration over map %s has nondeterministic order; iterate sorted keys instead", exprString(n.X))
+					}
+				}
+			case *ast.SelectStmt:
+				comm := 0
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+						comm++
+					}
+				}
+				if comm >= 2 {
+					pass.Reportf(n.Pos(), "select with %d communication cases resolves ready cases pseudo-randomly; use a deterministic priority order", comm)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkForbiddenFunc flags uses of wall-clock time functions and of the
+// global math/rand draw functions.
+func checkForbiddenFunc(pass *Pass, id *ast.Ident) {
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if why, bad := forbiddenTimeFuncs[fn.Name()]; bad {
+			pass.Reportf(id.Pos(), "time.%s %s; engine results must be a pure function of (config, seed)", fn.Name(), why)
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(id.Pos(), "global %s.%s draws from the process-shared stream; use a seed-derived generator (fleet.DeriveSeed)", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}

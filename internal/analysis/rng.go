@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// RNGDiscipline enforces the PartitionedRNG seed contract: every RNG a
+// module package constructs must be keyed through fleet.DeriveSeed /
+// sim.Mix64 / a splitmix64 subsystem stream, never by ad-hoc seed
+// arithmetic (seed+k collides across subsystems and silently couples
+// their draws) or by the wall clock. It also flags a *rand.Rand shared
+// into a goroutine: rand.Rand is not safe for concurrent use, and even
+// under a mutex the interleaving would make draw order
+// schedule-dependent.
+var RNGDiscipline = &Analyzer{
+	Name: "rngdiscipline",
+	Doc:  "RNG seeds must flow from DeriveSeed/Mix64/splitmix64, and a *rand.Rand must not escape into goroutines",
+	Run:  runRNGDiscipline,
+}
+
+// seededConstructors maps math/rand{,/v2} constructor names to which of
+// their arguments are seeds.
+var seededConstructors = map[string]bool{
+	"NewSource":  true, // NewSource(seed)
+	"NewPCG":     true, // NewPCG(seed1, seed2)
+	"NewChaCha8": true, // NewChaCha8(seed)
+}
+
+func runRNGDiscipline(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkSeedArgs(pass, n)
+			case *ast.GoStmt:
+				checkGoroutineRand(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSeedArgs inspects the seed arguments of RNG constructors and of
+// the deprecated (*rand.Rand).Seed re-seeding method.
+func checkSeedArgs(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call.Fun)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	isCtor := seededConstructors[fn.Name()] && fn.Type().(*types.Signature).Recv() == nil
+	isSeed := fn.Name() == "Seed" // global rand.Seed or the Rand method
+	if !isCtor && !isSeed {
+		return
+	}
+	for _, arg := range call.Args {
+		checkSeedExpr(pass, arg)
+	}
+}
+
+// checkSeedExpr walks one seed expression. Anything derived through an
+// approved keying function is fine (the subtree is skipped); arithmetic
+// on seeds outside one, or a wall-clock read, is flagged.
+func checkSeedExpr(pass *Pass, seed ast.Expr) {
+	ast.Inspect(seed, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.Info, n.Fun); fn != nil {
+				if approvedSeedDerivation(fn) {
+					return false // inside DeriveSeed(...) anything goes
+				}
+				if fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+					pass.Reportf(n.Pos(), "seeding an RNG from time.%s is nondeterministic; derive the seed with fleet.DeriveSeed", fn.Name())
+					return false
+				}
+			}
+		case *ast.BinaryExpr:
+			if isArithmetic(n.Op) {
+				pass.Reportf(n.Pos(), "raw seed arithmetic %q couples RNG streams across subsystems; key the stream with fleet.DeriveSeed or a splitmix64 subsystem key", exprString(n))
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// approvedSeedDerivation reports whether fn is one of the sanctioned
+// seed-keying functions: fleet.DeriveSeed, sim.Mix64, or any
+// splitmix-named helper (the arrivals package's sequential stream).
+func approvedSeedDerivation(fn *types.Func) bool {
+	switch fn.Name() {
+	case "DeriveSeed", "Mix64":
+		return true
+	}
+	return strings.Contains(strings.ToLower(fn.Name()), "splitmix")
+}
+
+func isArithmetic(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.AND, token.OR, token.XOR, token.SHL, token.SHR, token.AND_NOT:
+		return true
+	}
+	return false
+}
+
+// checkGoroutineRand flags a *rand.Rand crossing into a goroutine,
+// either captured by the launched closure or passed as an argument.
+func checkGoroutineRand(pass *Pass, g *ast.GoStmt) {
+	for _, arg := range g.Call.Args {
+		if t := pass.Info.TypeOf(arg); t != nil && isRandRandPtr(t) {
+			pass.Reportf(arg.Pos(), "*rand.Rand %s passed into a goroutine; draws become schedule-dependent — give each goroutine its own DeriveSeed-keyed generator", exprString(arg))
+		}
+	}
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || seen[obj] || !isRandRandPtr(obj.Type()) {
+			return true
+		}
+		// Declared outside the literal = captured, not a local.
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			seen[obj] = true
+			pass.Reportf(id.Pos(), "*rand.Rand %s captured by a goroutine; draws become schedule-dependent — give each goroutine its own DeriveSeed-keyed generator", id.Name)
+		}
+		return true
+	})
+}
+
+// exprString renders a (small) expression for diagnostics.
+func exprString(e ast.Expr) string {
+	var b bytes.Buffer
+	if err := printer.Fprint(&b, token.NewFileSet(), e); err != nil {
+		return "expression"
+	}
+	s := b.String()
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return s
+}

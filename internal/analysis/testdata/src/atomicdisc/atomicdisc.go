@@ -1,0 +1,44 @@
+// Package atomicdisc exercises the atomicdiscipline analyzer: fields
+// annotated //detlint:atomic may only be touched through sync/atomic,
+// in all three supported shapes (typed atomic scalar, slice of typed
+// atomics, plain integer word).
+package atomicdisc
+
+import "sync/atomic"
+
+type pool struct {
+	// steal counts tasks claimed from sibling shards.
+	//detlint:atomic
+	steal atomic.Int64
+	// status holds one slot word per worker.
+	//detlint:atomic
+	status []atomic.Int32
+	// published is a pre-typed-atomics shared word.
+	//detlint:atomic
+	published uint64
+	name      string
+}
+
+func ok(p *pool) int64 {
+	p.steal.Add(1)
+	p.status = make([]atomic.Int32, 8) // header op manages the slab: legal
+	p.status[3].Store(2)
+	atomic.AddUint64(&p.published, 1)
+	p.name = "fleet" // unannotated field: unrestricted
+	if atomic.LoadUint64(&p.published) > uint64(len(p.status)) {
+		return 0
+	}
+	return p.steal.Load() + int64(p.status[0].Load())
+}
+
+func bad(p *pool) uint64 {
+	_ = p.steal                  // want "field steal must be accessed through its atomic methods"
+	p.status[0] = atomic.Int32{} // want "slot word status"
+	p.published++                // want "plain access to worker-shared field published"
+	return p.published           // want "plain access to worker-shared field published"
+}
+
+func allowed(p *pool) {
+	//detlint:allow atomicdiscipline drain runs after every worker has joined
+	p.published = 0
+}

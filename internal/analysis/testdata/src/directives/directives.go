@@ -1,0 +1,31 @@
+// Package directives exercises the directives analyzer, which
+// validates detlint directive syntax so a typo cannot silently
+// suppress nothing.
+package directives
+
+import "sort"
+
+//detlint:hotpath
+func annotatedOK(vals []int, i int) int { return vals[i] }
+
+func wellFormedAllowOK(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//detlint:allow nondeterminism keys are sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+//detlint:frobnicate the gears // want "unknown verb"
+func unknownVerb() {}
+
+//detlint:allow // want "allow needs an analyzer name and a reason"
+func bareAllow() {}
+
+//detlint:allow determinizm spelling counts // want "unknown analyzer"
+func misspelledAnalyzer() {}
+
+//detlint:allow nondeterminism // want "allow nondeterminism needs a reason"
+func missingReason() {}

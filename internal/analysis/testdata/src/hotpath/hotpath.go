@@ -1,0 +1,74 @@
+// Package hotpath exercises the hotpathalloc analyzer: the
+// //detlint:hotpath directive opts a function into the
+// zero-allocations contract, and the analyzer flags the syntactic
+// allocation sources inside it.
+package hotpath
+
+import "fmt"
+
+var sink any
+
+//detlint:hotpath
+func cleanStep(vals []int, i int) int {
+	v := vals[i]
+	v += i
+	double := func(x int) int { return 2 * x } // no captures: legal
+	return double(v)
+}
+
+//detlint:hotpath
+func fmtInHotPath(q float64) {
+	fmt.Println("q =", q) // want "fmt.Println in hot path allocates"
+}
+
+//detlint:hotpath
+func appendInHotPath(h []int, v int) []int {
+	return append(h, v) // want "append in hot path"
+}
+
+//detlint:hotpath
+func makeInHotPath(n int) []int {
+	return make([]int, n) // want "make in hot path allocates"
+}
+
+//detlint:hotpath
+func boxArg(v int) {
+	record(v) // want "interface boxing of non-pointer int"
+}
+
+//detlint:hotpath
+func pointerArgOK(v *int) {
+	record(v)
+}
+
+//detlint:hotpath
+func boxAssign(v int) {
+	sink = v // want "interface boxing of non-pointer int"
+}
+
+//detlint:hotpath
+func boxReturn(v float64) any {
+	return v // want "interface boxing of non-pointer float64"
+}
+
+//detlint:hotpath
+func closureCapture(n int) func() int {
+	return func() int { return n } // want "closure captures n in hot path"
+}
+
+//detlint:hotpath
+func amortizedAppend(h []int, v int) []int {
+	//detlint:allow hotpathalloc growth amortized by the slab Init preallocates
+	return append(h, v)
+}
+
+func record(x any) { sink = x }
+
+// coldPathIsFree has no directive, so nothing in it is checked.
+func coldPathIsFree(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprint(i))
+	}
+	return out
+}

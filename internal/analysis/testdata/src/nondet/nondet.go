@@ -1,0 +1,71 @@
+// Package nondet exercises the nondeterminism analyzer: wall-clock
+// reads, global math/rand draws, map iteration, and racing selects in
+// an engine-scoped package.
+//
+//detlint:engine
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want "time.Now reads the wall clock"
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func timers(d time.Duration) {
+	time.Sleep(d) // want "time.Sleep depends on real time"
+}
+
+func pureTimeOK(d time.Duration) time.Duration {
+	return d.Round(time.Millisecond) // value maths on durations is legal
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "global rand.Intn draws from the process-shared stream"
+}
+
+func localRandOK() int {
+	r := rand.New(rand.NewSource(1)) // construction is rngdiscipline's concern
+	return r.Intn(10)
+}
+
+func mapOrder(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want "iteration over map m has nondeterministic order"
+		sum += v
+	}
+	//detlint:allow nondeterminism commutative sum, order cannot reach output
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func sliceRangeOK(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+func racingSelect(a, b chan int) int {
+	select { // want "select with 2 communication cases"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func singleCaseSelectOK(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}

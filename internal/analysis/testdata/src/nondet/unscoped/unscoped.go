@@ -1,0 +1,16 @@
+// Package unscoped has no //detlint:engine directive and is not an
+// engine package, so the determinism contract does not bind it: the
+// golden test expects no findings here.
+package unscoped
+
+import "time"
+
+func WallClockIsFineHere() time.Time { return time.Now() }
+
+func MapRangeIsFineHere(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,56 @@
+// Package rng exercises the rngdiscipline analyzer: ad-hoc seed
+// arithmetic, wall-clock seeding, and *rand.Rand values escaping into
+// goroutines. Unlike nondeterminism, this contract is module-wide, so
+// no //detlint:engine directive is needed.
+package rng
+
+import (
+	"math/rand"
+	"time"
+)
+
+// DeriveSeed mirrors fleet.DeriveSeed's shape; the analyzer approves
+// seed expressions flowing through any function of this name, so the
+// golden package needs no import of the real engine.
+func DeriveSeed(root int64, key uint64) int64 {
+	z := uint64(root) + key*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	return int64(z ^ (z >> 27))
+}
+
+func keyedOK(root int64, key uint64) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(root, key)))
+}
+
+func rawArithmetic(root int64, k int64) *rand.Rand {
+	return rand.New(rand.NewSource(root + k)) // want "raw seed arithmetic"
+}
+
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeding an RNG from time.UnixNano"
+}
+
+func sharedIntoGoroutine(r *rand.Rand, work chan int) {
+	go func() {
+		work <- r.Intn(10) // want "captured by a goroutine"
+	}()
+	go consume(r, work) // want "passed into a goroutine"
+}
+
+func consume(r *rand.Rand, work chan int) {
+	work <- r.Intn(10)
+}
+
+func perGoroutineOK(root int64, n int, work chan int) {
+	for i := 0; i < n; i++ {
+		go func(key uint64) {
+			r := rand.New(rand.NewSource(DeriveSeed(root, key)))
+			work <- r.Intn(10)
+		}(uint64(i))
+	}
+}
+
+func allowedArithmetic(root int64) *rand.Rand {
+	//detlint:allow rngdiscipline legacy stream layout predates DeriveSeed
+	return rand.New(rand.NewSource(root * 2654435761))
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// inspectStack walks the tree like ast.Inspect but hands the visitor
+// the stack of enclosing nodes (outermost first, excluding n itself) —
+// what the atomic-discipline analyzer needs to classify how a field
+// selector is being used.
+func inspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			// Visitor pruned the subtree: don't push, and tell Inspect
+			// to skip children (no matching nil pop will arrive).
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// calleeFunc resolves the called function of e (an ast.CallExpr.Fun) to
+// its types.Func, seeing through parentheses. Returns nil for builtins,
+// conversions, and indirect calls through variables.
+func calleeFunc(info *types.Info, e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// pkgFunc reports whether fn is the package-level function path.name.
+func pkgFunc(fn *types.Func, path, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == path && fn.Name() == name &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isBuiltin reports whether the call expression invokes the named
+// builtin (append, make, new, ...).
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isRandRandPtr reports whether t is *math/rand.Rand or *math/rand/v2.Rand.
+func isRandRandPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	return (path == "math/rand" || path == "math/rand/v2") && n.Obj().Name() == "Rand"
+}
+
+// pointerShaped reports whether values of t are represented as a single
+// pointer word, so storing one in an interface never heap-allocates.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -86,7 +86,9 @@ type depEvent struct {
 	k int32
 }
 
+//detlint:hotpath
 func depPush(h *[]depEvent, e depEvent) {
+	//detlint:allow hotpathalloc growth amortized by the scratch-owned backing array
 	*h = append(*h, e)
 	s := *h
 	i := len(s) - 1
@@ -100,6 +102,7 @@ func depPush(h *[]depEvent, e depEvent) {
 	}
 }
 
+//detlint:hotpath
 func depPop(h *[]depEvent) depEvent {
 	s := *h
 	top := s[0]

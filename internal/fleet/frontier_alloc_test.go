@@ -1,0 +1,40 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestDepHeapZeroAllocsWarm is the dynamic cross-check behind the
+// //detlint:hotpath annotations on depPush/depPop: once the backing
+// array is warm, a push/pop cycle must not touch the heap.
+func TestDepHeapZeroAllocsWarm(t *testing.T) {
+	h := make([]depEvent, 0, 64)
+
+	// Sanity outside the measured region: the heap drains in (t, k)
+	// order.
+	for i := 0; i < 32; i++ {
+		depPush(&h, depEvent{t: core.Time(97 - 3*i), k: int32(i)})
+	}
+	prev := depPop(&h)
+	for len(h) > 0 {
+		e := depPop(&h)
+		if e.t < prev.t || (e.t == prev.t && e.k < prev.k) {
+			t.Fatalf("dep heap out of order: %v after %v", e, prev)
+		}
+		prev = e
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			depPush(&h, depEvent{t: core.Time(97 - 3*i), k: int32(i)})
+		}
+		for len(h) > 0 {
+			depPop(&h)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm depPush/depPop cycle allocates %.1f times per run; want 0", allocs)
+	}
+}

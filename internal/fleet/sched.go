@@ -43,11 +43,17 @@ const (
 // order changes wall-clock time, never results: every stream is a
 // serial sim.Stream whatever worker advances it.
 type sched struct {
-	tbl    *StreamTable
-	slots  []int32 // the table slots under this run; status is indexed in step
-	batch  int
+	tbl   *StreamTable
+	slots []int32 // the table slots under this run; status is indexed in step
+	batch int
+	// status holds one claim word per stream, CASed by whichever worker
+	// advances it.
+	//detlint:atomic
 	status []atomic.Int32
-	steal  atomic.Int64 // shared work-stealing dispenser, touched only by drained workers
+	// steal is the shared work-stealing dispenser, touched only by
+	// drained workers.
+	//detlint:atomic
+	steal atomic.Int64
 }
 
 // Run advances every stream of the table to completion on the given
@@ -163,6 +169,8 @@ type openSched struct {
 	gen       uint64     // bind generation; bumped under mu per injection
 	done      bool
 
+	// steal staggers full steal sweeps across drained workers.
+	//detlint:atomic
 	steal atomic.Int64
 	wg    sync.WaitGroup
 }
@@ -270,6 +278,8 @@ func (s *openSched) runOpen(w int) {
 // claim finds a ready slot: the worker's own stripe first, then a full
 // steal sweep staggered by the shared counter. The load-before-CAS
 // keeps idle passes read-only on every status cache line.
+//
+//detlint:hotpath
 func (s *openSched) claim(w int) (int32, bool) {
 	n := int(s.a.allocated.Load())
 	for i := w; i < n; i += s.workers {

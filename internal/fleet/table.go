@@ -287,9 +287,14 @@ type openArena struct {
 	slotTbl    []*StreamTable // slot → chunk table
 	slotIdx    []int32        // slot → index within its chunk
 	slotStream []int32        // slot → bound stream index (frontier writes before the ready store)
-	status     []atomic.Int32
-	allocated  atomic.Int32 // published slot count; workers scan [0, allocated)
-	free       []int32      // recycled-slot stack (frontier only)
+	// status holds one lifecycle word per slot, shared between the
+	// frontier and the workers.
+	//detlint:atomic
+	status []atomic.Int32
+	// allocated is the published slot count; workers scan [0, allocated).
+	//detlint:atomic
+	allocated atomic.Int32
+	free      []int32 // recycled-slot stack (frontier only)
 }
 
 // openChunkMin is the first chunk's slot count; later chunks double the

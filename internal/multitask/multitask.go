@@ -86,6 +86,7 @@ type Result struct {
 // TotalMisses sums deadline misses across tasks.
 func (r *Result) TotalMisses() int {
 	n := 0
+	//detlint:allow nondeterminism commutative integer sum, order cannot reach the result
 	for _, tr := range r.Traces {
 		n += tr.Misses
 	}
@@ -245,8 +246,8 @@ func Run(tasks []*Task) (*Result, error) {
 		}
 	}
 	res.Final = t
-	for _, tr := range res.Traces {
-		tr.Final = t
+	for _, st := range states {
+		res.Traces[st.task.Name].Final = t
 	}
 	return res, nil
 }

@@ -47,6 +47,8 @@ type planEntry struct {
 // one binary search over the state's contiguous breakpoint row, one
 // entry load. It is read-only and safe for concurrent use by any number
 // of streams.
+//
+//detlint:hotpath
 func (p *DecisionPlan) Decide(i int, t core.Time) core.Decision {
 	lo, hi := p.off[i], p.off[i+1]
 	b := p.bounds[lo:hi]

@@ -238,6 +238,8 @@ func (st *Stream) observe(rec Record) {
 // (false once all cycles have completed). After every step the trace is
 // a valid prefix run — Final tracks the current clock and Cycles the
 // cycles executed so far — so a k-step trace equals a k-cycle Run.
+//
+//detlint:hotpath
 func (st *Stream) Step() bool {
 	if st.state.Cycle >= st.r.Cycles {
 		return false

@@ -88,6 +88,8 @@ func (s *StatsSink) Init(hist []int) {
 }
 
 // Observe implements Sink.
+//
+//detlint:hotpath
 func (s *StatsSink) Observe(rec Record) {
 	q := int(rec.Q)
 	if s.Records > 0 {
@@ -106,6 +108,7 @@ func (s *StatsSink) Observe(rec Record) {
 		s.maxQ = q
 	}
 	for len(s.QualityHist) <= q {
+		//detlint:allow hotpathalloc bounded by the level count and amortized by Init's preallocated window
 		s.QualityHist = append(s.QualityHist, 0)
 	}
 	s.QualityHist[q]++
