@@ -10,7 +10,7 @@ package repro
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"testing"
 
 	"repro/internal/baseline"
@@ -316,7 +316,7 @@ func BenchmarkAblationWorkloads(b *testing.B) {
 	for name := range cat {
 		names = append(names, name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	for _, name := range names {
 		sys := cat[name]
 		b.Run(name, func(b *testing.B) {

@@ -9,7 +9,7 @@ package main
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/multitask"
@@ -81,7 +81,7 @@ func main() {
 		for name := range res.Traces {
 			names = append(names, name)
 		}
-		sort.Strings(names)
+		slices.Sort(names)
 		for _, name := range names {
 			tr := res.Traces[name]
 			var qsum float64

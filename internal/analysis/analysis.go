@@ -17,11 +17,12 @@
 package analysis
 
 import (
+	"cmp"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -129,18 +130,17 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("analysis %s: %s: %w", a.Name, pkg.Path, err)
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i].Pos, diags[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
+	slices.SortFunc(diags, func(x, y Diagnostic) int {
+		if c := cmp.Compare(x.Pos.Filename, y.Pos.Filename); c != 0 {
+			return c
 		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
+		if c := cmp.Compare(x.Pos.Line, y.Pos.Line); c != 0 {
+			return c
 		}
-		if a.Column != b.Column {
-			return a.Column < b.Column
+		if c := cmp.Compare(x.Pos.Column, y.Pos.Column); c != 0 {
+			return c
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		return cmp.Compare(x.Analyzer, y.Analyzer)
 	})
 	return diags, nil
 }

@@ -12,7 +12,7 @@ import (
 	"io"
 	"os/exec"
 	"path/filepath"
-	"sort"
+	"slices"
 )
 
 // listedPackage is the slice of `go list -json` output the loader needs.
@@ -96,7 +96,7 @@ func LoadDir(dir string) (*Package, error) {
 	if err != nil || len(matches) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files under %s", dir)
 	}
-	sort.Strings(matches)
+	slices.Sort(matches)
 	if goldenFset == nil {
 		goldenFset = token.NewFileSet()
 		goldenImporter = importer.ForCompiler(goldenFset, "source", nil)

@@ -20,7 +20,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -163,7 +163,7 @@ type Trace struct {
 func NewTrace(instants []core.Time) (*Trace, error) {
 	out := make([]core.Time, len(instants))
 	copy(out, instants)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	if len(out) > 0 && out[0] < 0 {
 		return nil, fmt.Errorf("arrivals: trace has a negative instant %v", out[0])
 	}

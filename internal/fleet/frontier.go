@@ -1,8 +1,9 @@
 package fleet
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -290,8 +291,8 @@ func newFrontier(cfg *OpenConfig, sc *OpenScratch, stats bool) *openFrontier {
 		}
 	}
 	if !sorted {
-		sort.SliceStable(f.order, func(i, j int) bool {
-			return cfg.Arrivals[f.order[i]] < cfg.Arrivals[f.order[j]]
+		slices.SortStableFunc(f.order, func(a, b int32) int {
+			return cmp.Compare(cfg.Arrivals[a], cfg.Arrivals[b])
 		})
 	}
 

@@ -1,11 +1,12 @@
 package fleet
 
 import (
+	"cmp"
 	"container/heap"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -205,8 +206,8 @@ func openRunSerial(cfg OpenConfig, stats bool) (*OpenResult, error) {
 	for k := range order {
 		order[k] = k
 	}
-	sort.SliceStable(order, func(i, j int) bool {
-		return cfg.Arrivals[order[i]] < cfg.Arrivals[order[j]]
+	slices.SortStableFunc(order, func(a, b int) int {
+		return cmp.Compare(cfg.Arrivals[a], cfg.Arrivals[b])
 	})
 
 	tbl := newOpenTable(cfg.Streams, stats, cfg.Export)

@@ -2,7 +2,7 @@ package metrics
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -95,7 +95,7 @@ func AggregateTraces(traces []*sim.Trace) FleetSummary {
 			rate = float64(tr.Misses) / float64(deadlines)
 		}
 		fs.PerStreamMissRate = append(fs.PerStreamMissRate, rate)
-		fs.WorstStreamMissRate = math.Max(fs.WorstStreamMissRate, rate)
+		fs.WorstStreamMissRate = max(fs.WorstStreamMissRate, rate)
 		fs.PerStreamUtilization = append(fs.PerStreamUtilization, Utilization(tr))
 	}
 	utils = append(utils, fs.PerStreamUtilization...) // Percentile sorts its argument
@@ -121,7 +121,7 @@ func Percentile(values []float64, p float64) float64 {
 	if len(values) == 0 {
 		return 0
 	}
-	sort.Float64s(values)
+	slices.Sort(values)
 	if p <= 0 {
 		return values[0]
 	}

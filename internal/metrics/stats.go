@@ -1,8 +1,6 @@
 package metrics
 
 import (
-	"math"
-
 	"repro/internal/core"
 	"repro/internal/sim"
 )
@@ -92,7 +90,7 @@ func AggregateStats(traces []*sim.Trace, stats []*sim.StatsSink) FleetSummary {
 			rate = float64(tr.Misses) / float64(st.DeadlineRecords)
 		}
 		fs.PerStreamMissRate = append(fs.PerStreamMissRate, rate)
-		fs.WorstStreamMissRate = math.Max(fs.WorstStreamMissRate, rate)
+		fs.WorstStreamMissRate = max(fs.WorstStreamMissRate, rate)
 		fs.PerStreamUtilization = append(fs.PerStreamUtilization, Utilization(tr))
 	}
 	utils = append(utils, fs.PerStreamUtilization...) // Percentile sorts its argument

@@ -6,7 +6,7 @@ package plot
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -66,7 +66,7 @@ func (c *Chart) ASCII(width, height int) string {
 	}
 	fmt.Fprintf(&b, "%10.3g ┤%s\n", ymin, string(grid[height-1]))
 	fmt.Fprintf(&b, "           └%s\n", strings.Repeat("─", width))
-	fmt.Fprintf(&b, "            %-10.4g%s%10.4g\n", xmin, strings.Repeat(" ", maxInt(width-20, 1)), xmax)
+	fmt.Fprintf(&b, "            %-10.4g%s%10.4g\n", xmin, strings.Repeat(" ", max(width-20, 1)), xmax)
 	if c.XLabel != "" || c.YLabel != "" {
 		fmt.Fprintf(&b, "            x: %s, y: %s\n", c.XLabel, c.YLabel)
 	}
@@ -89,7 +89,7 @@ func (c *Chart) CSV() string {
 	for x := range xs {
 		sorted = append(sorted, x)
 	}
-	sort.Float64s(sorted)
+	slices.Sort(sorted)
 	var b strings.Builder
 	b.WriteString("x")
 	for _, s := range c.Series {
@@ -160,10 +160,10 @@ func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
 	xmax, ymax = math.Inf(-1), math.Inf(-1)
 	for _, s := range c.Series {
 		for i := range s.X {
-			xmin = math.Min(xmin, s.X[i])
-			xmax = math.Max(xmax, s.X[i])
-			ymin = math.Min(ymin, s.Y[i])
-			ymax = math.Max(ymax, s.Y[i])
+			xmin = min(xmin, s.X[i])
+			xmax = max(xmax, s.X[i])
+			ymin = min(ymin, s.Y[i])
+			ymax = max(ymax, s.Y[i])
 		}
 	}
 	if math.IsInf(xmin, 1) { // empty chart
@@ -193,13 +193,6 @@ func scale(v, lo, hi float64, span int) int {
 	}
 	p := (v - lo) / (hi - lo)
 	return int(math.Round(p * float64(span)))
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func xmlEscape(s string) string {

@@ -12,7 +12,7 @@ package power
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -35,7 +35,8 @@ func System(work []Workload, freqs []float64) (*core.System, []float64, error) {
 		return nil, nil, fmt.Errorf("power: no frequencies")
 	}
 	fs := append([]float64(nil), freqs...)
-	sort.Sort(sort.Reverse(sort.Float64Slice(fs)))
+	slices.Sort(fs)
+	slices.Reverse(fs)
 	if fs[0] != 1.0 {
 		return nil, nil, fmt.Errorf("power: maximal relative frequency must be 1.0, got %v", fs[0])
 	}

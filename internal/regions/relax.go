@@ -2,7 +2,7 @@ package regions
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/core"
@@ -39,7 +39,7 @@ func BuildRelaxTables(td *TDTable, rho []int) (*RelaxTables, error) {
 		return nil, fmt.Errorf("regions: empty relaxation set")
 	}
 	r2 := append([]int(nil), rho...)
-	sort.Ints(r2)
+	slices.Sort(r2)
 	uniq := r2[:0]
 	for i, r := range r2 {
 		if r <= 0 {

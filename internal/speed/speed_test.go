@@ -178,7 +178,7 @@ func TestSpeedOrderMatchesFloatSpeedsAwayFromBoundary(t *testing.T) {
 					if math.IsInf(vo, 1) {
 						continue
 					}
-					rel := math.Abs(vi-vo) / math.Max(vi, 1e-30)
+					rel := math.Abs(vi-vo) / max(vi, 1e-30)
 					if rel < 1e-9 {
 						continue // too close to trust floats
 					}

@@ -6,8 +6,9 @@
 package vlc
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/bitstream"
 )
@@ -117,14 +118,14 @@ func NewDefaultCodebook() *Codebook {
 	for i, s := range syms {
 		arr[i] = assigned{s.sym, lengths[i]}
 	}
-	sort.Slice(arr, func(i, j int) bool {
-		if arr[i].len != arr[j].len {
-			return arr[i].len < arr[j].len
+	slices.SortFunc(arr, func(a, b assigned) int {
+		if c := cmp.Compare(a.len, b.len); c != 0 {
+			return c
 		}
-		if arr[i].sym.run != arr[j].sym.run {
-			return arr[i].sym.run < arr[j].sym.run
+		if c := cmp.Compare(a.sym.run, b.sym.run); c != 0 {
+			return c
 		}
-		return arr[i].sym.lvl < arr[j].sym.lvl
+		return cmp.Compare(a.sym.lvl, b.sym.lvl)
 	})
 	cb := &Codebook{
 		codes:  make(map[symbol]code, len(arr)),
