@@ -41,10 +41,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/arrivals"
+	"repro/internal/checkpoint"
 	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/experiment"
@@ -72,6 +74,9 @@ func main() {
 	burst := flag.Float64("burst", 4, "burstiness of the bursty process: peak-to-mean arrival-rate ratio ≥ 1")
 	admitSpec := flag.String("admit", "all", "admission policy: all, cap=K[,queue=N] or budget=U[,queue=N] (with -arrivals)")
 	jsonPath := flag.String("json", "", "persist the run (config, fleet summary, open-system summary) as JSON for cmd/figures")
+	ckptDir := flag.String("checkpoint", "", "checkpoint the run into this directory (open stats runs only); with -resume, continue from the newest valid snapshot")
+	every := flag.Int64("every", 64, "engine event groups between checkpoints (with -checkpoint)")
+	resumeRun := flag.Bool("resume", false, "resume from the newest valid snapshot in -checkpoint before running")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file (go tool pprof)")
 	flag.Parse()
@@ -99,6 +104,23 @@ func main() {
 	}
 	if *csvPath != "" && *retain {
 		log.Fatal("-csv streams records through the sink path; drop -retain (use metrics.WriteTraceCSV for retained traces)")
+	}
+	if *ckptDir != "" {
+		if *arrivalsSpec == "" {
+			log.Fatal("-checkpoint snapshots the open engine; add -arrivals")
+		}
+		if *retain {
+			log.Fatal("-checkpoint covers the zero-retention stats path; drop -retain")
+		}
+		if *csvPath != "" {
+			log.Fatal("-checkpoint cannot replay records already streamed to -csv; drop one of the two")
+		}
+		if *every <= 0 {
+			log.Fatalf("-every must be a positive event interval, got %d", *every)
+		}
+	}
+	if *resumeRun && *ckptDir == "" {
+		log.Fatal("-resume needs -checkpoint")
 	}
 	admitter, err := fleet.ParseAdmitter(*admitSpec)
 	if err != nil {
@@ -175,14 +197,15 @@ func main() {
 	if *retain {
 		mode = "full traces retained"
 	}
-	var csvFile *os.File
+	var csvFile *checkpoint.AtomicFile
 	var csvBuf *bufio.Writer
 	var cw *sim.CSVWriter
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
+		f, err := checkpoint.NewAtomicFile(*csvPath)
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer f.Abort() // no-op once committed; a fatal exit leaves the old file intact
 		csvFile, csvBuf = f, bufio.NewWriterSize(f, 1<<20)
 		cw = sim.NewCSVWriter(csvBuf)
 		cfg.Export = func(_ int, name string) sim.Sink { return cw.Stream(name) }
@@ -233,11 +256,17 @@ func main() {
 	var flat *fleet.Result
 	var fsum metrics.FleetSummary
 	if proc != nil {
-		run := fleet.OpenRunStats
-		if *retain {
-			run = fleet.OpenRun
+		var res *fleet.OpenResult
+		var err error
+		if *ckptDir != "" {
+			res, err = runCheckpointed(cfg, *ckptDir, *every, *resumeRun, doc)
+		} else {
+			run := fleet.OpenRunStats
+			if *retain {
+				run = fleet.OpenRun
+			}
+			res, err = run(cfg)
 		}
-		res, err := run(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -287,22 +316,17 @@ func main() {
 		if err := csvBuf.Flush(); err != nil {
 			log.Fatal(err)
 		}
-		if err := csvFile.Close(); err != nil {
+		if err := csvFile.Commit(); err != nil {
 			log.Fatal(err)
 		}
 	}
 	// A failed run persists no artifact: a FleetDoc whose aggregate
 	// silently excluded errored streams would present a partial run as a
-	// complete one. The error itself is reported after the table.
+	// complete one. The error itself is reported after the table. The
+	// write is atomic — an existing artifact is never replaced by a torn
+	// one.
 	if *jsonPath != "" && runErr == nil {
-		f, err := os.Create(*jsonPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := doc.WriteJSON(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := checkpoint.WriteAtomic(*jsonPath, doc.WriteJSON); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -319,6 +343,44 @@ func main() {
 	if runErr != nil {
 		log.Fatal(runErr)
 	}
+}
+
+// runCheckpointed is the crash-safe form of the open stats run: it
+// snapshots into a checkpoint.Store every `every` event groups and,
+// when resume is set, first reloads the newest valid snapshot whose
+// fingerprint matches this invocation. The fingerprint covers
+// everything that determines results — mix, population, cycles, seed,
+// arrival process, admission policy — but not -workers/-batch, which
+// only change wall-clock time: a snapshot taken at one scheduler shape
+// resumes correctly at any other.
+func runCheckpointed(cfg fleet.OpenConfig, dir string, every int64, resume bool, doc *metrics.FleetDoc) (*fleet.OpenResult, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	store := &checkpoint.Store{Dir: dir, Logf: log.Printf}
+	fp := checkpoint.Fingerprint("qmfleet", doc.Label,
+		strconv.Itoa(doc.Streams), strconv.Itoa(doc.Cycles),
+		strconv.FormatUint(doc.Seed, 10), doc.Arrivals, doc.Admission)
+	var resumeCap *fleet.OpenCapture
+	if resume {
+		snap, path, err := store.LoadLatest(fp)
+		if err != nil {
+			return nil, err
+		}
+		if snap == nil {
+			log.Printf("resume: no usable snapshot in %s, starting fresh", dir)
+		} else {
+			log.Printf("resuming from %s (%d engine events)", path, snap.Capture.Events)
+			resumeCap = snap.Capture
+		}
+	}
+	return fleet.OpenRunStatsCheckpointed(cfg, resumeCap, every, func(c *fleet.OpenCapture) error {
+		_, err := store.Save(&checkpoint.Snapshot{
+			Meta:    checkpoint.Meta{Fingerprint: fp, ArrivalCursor: c.NextArrival},
+			Capture: c,
+		})
+		return err
+	})
 }
 
 // buildProcess maps the -arrivals/-rate/-burst flags to an arrival

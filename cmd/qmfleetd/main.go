@@ -1,0 +1,513 @@
+// Command qmfleetd is the long-running serving form of qmfleet: an
+// open-fleet engine fed from an NDJSON event file instead of a
+// pre-materialised arrival schedule, with crash-safe checkpoints, hot
+// controller-bundle swaps and HTTP observables. It is the deployment
+// shape the paper's tool flow points at — one compiled controller
+// serving streams as they arrive — hardened for operation: the process
+// can be killed at any instant and resumed with results byte-identical
+// to a run that was never interrupted.
+//
+// Usage:
+//
+//	qmfleetd -bundle app.json -events arrivals.ndjson
+//	         [-state dir] [-every 32] [-resume]
+//	         [-manager relaxed] [-admit all|cap=K[,queue=N]|budget=U[,queue=N]]
+//	         [-workers 0] [-batch 32] [-max-levels 0] [-noise 0.3]
+//	         [-json final.json] [-http addr] [-kill-after N]
+//
+// Each input line is one event, in simulated-time order:
+//
+//	{"op":"arrive","name":"cam-1","at":1500000,"cycles":8,"seed":7}
+//	{"op":"swap","bundle":"app-v2.json"}
+//
+// "arrive" admits a stream at instant "at" (nanoseconds, non-
+// decreasing), built against the currently active bundle. "swap" loads
+// a new bundle: streams arriving after the swap bind its tables, while
+// in-flight streams keep the managers they started with — traces are
+// never disturbed mid-run, and a swap to a byte-identical bundle is a
+// no-op by the controller package's reload property.
+//
+// With -state, the daemon checkpoints the engine every -every event
+// groups, on SIGTERM/SIGINT, and before a -kill-after exit: a
+// versioned, CRC-checked snapshot plus a content-addressed copy of
+// every bundle it has served (bundle-<hash>.json). -resume restarts
+// from the newest valid snapshot — a corrupt or torn newest snapshot
+// is logged and skipped in favour of its predecessor — replays the
+// consumed prefix of the event file against the recorded per-stream
+// bundles, and continues. -kill-after N exits with code 3 after
+// ingesting N lines (checkpoint first), the deterministic crash the CI
+// kill/resume smoke test drives.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"syscall"
+
+	"repro/internal/checkpoint"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// event is one NDJSON input line.
+type event struct {
+	Op     string `json:"op"`
+	Name   string `json:"name,omitempty"`
+	At     int64  `json:"at,omitempty"` // simulated ns
+	Cycles int    `json:"cycles,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
+	Bundle string `json:"bundle,omitempty"` // swap target
+}
+
+// observables is the HTTP-served state snapshot, replaced atomically
+// after every ingested event.
+type observables struct {
+	Ingested       int    `json:"ingested_events"`
+	EngineEvents   int64  `json:"engine_events"`
+	Population     int    `json:"population"`
+	ActiveBundle   string `json:"active_bundle"`
+	Swaps          int    `json:"swaps"`
+	LastCheckpoint int64  `json:"last_checkpoint_events"`
+}
+
+// daemon carries the serving state threaded through ingest, replay,
+// checkpointing and shutdown.
+type daemon struct {
+	live     *fleet.OpenLive
+	manager  string
+	noise    float64
+	stateDir string
+	store    *checkpoint.Store
+	fp       string
+
+	bundles  map[uint64]*controller.Bundle // by hash
+	order    []uint64                      // activation order; last = active
+	active   *controller.Bundle
+	activeH  uint64
+	swaps    int
+	ingested int // input lines consumed (the checkpoint cursor)
+
+	streams   []fleet.Stream
+	arrivalsT []core.Time
+	bundleOf  []int32 // per stream: index into order
+
+	lastCkpt int64
+	obs      atomic.Pointer[observables]
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qmfleetd: ")
+	bundlePath := flag.String("bundle", "", "startup controller bundle (qmcompile output, required)")
+	eventsPath := flag.String("events", "", "NDJSON event file to serve (required)")
+	stateDir := flag.String("state", "", "checkpoint directory (enables snapshots and bundle retention)")
+	every := flag.Int64("every", 32, "engine event groups between periodic checkpoints (with -state)")
+	resume := flag.Bool("resume", false, "resume from the newest valid snapshot in -state")
+	manager := flag.String("manager", "relaxed", "manager instantiated from bundles: numeric, symbolic, relaxed")
+	admitSpec := flag.String("admit", "all", "admission policy: all, cap=K[,queue=N] or budget=U[,queue=N]")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); never changes results")
+	batch := flag.Int("batch", fleet.DefaultBatchCycles, "cycles per scheduling batch; never changes results")
+	maxLevels := flag.Int("max-levels", 0, "widest quality-level count any served bundle may have (0 = the startup bundle's)")
+	noise := flag.Float64("noise", 0.3, "content model jitter amplitude")
+	jsonPath := flag.String("json", "", "write the final report JSON here (atomic rename)")
+	httpAddr := flag.String("http", "", "serve /healthz and /stats on this address")
+	killAfter := flag.Int("kill-after", 0, "fault injection: checkpoint and exit(3) after ingesting N events")
+	flag.Parse()
+
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments %q; qmfleetd is configured by flags only", flag.Args())
+	}
+	if *bundlePath == "" || *eventsPath == "" {
+		log.Fatal("-bundle and -events are required")
+	}
+	if *resume && *stateDir == "" {
+		log.Fatal("-resume needs -state")
+	}
+	if *every <= 0 {
+		log.Fatalf("-every must be a positive event interval, got %d", *every)
+	}
+	admit, err := fleet.ParseAdmitter(*admitSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	d := &daemon{
+		manager:  *manager,
+		noise:    *noise,
+		stateDir: *stateDir,
+		bundles:  map[uint64]*controller.Bundle{},
+	}
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		d.store = &checkpoint.Store{Dir: *stateDir, Logf: log.Printf}
+	}
+
+	boot, bootHash, err := d.loadBundle(*bundlePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.activate(boot, bootHash)
+	levels := *maxLevels
+	if levels == 0 {
+		levels = boot.System().NumLevels()
+	}
+	// The fingerprint covers everything that shapes results except the
+	// scheduler (workers/batch change wall-clock only) and the bundles
+	// (recorded per stream in the snapshot metadata).
+	d.fp = checkpoint.Fingerprint("qmfleetd", *manager, admit.Name(),
+		strconv.Itoa(levels), strconv.FormatFloat(*noise, 'g', -1, 64))
+
+	d.live = fleet.NewOpenLive(fleet.OpenLiveConfig{
+		Admit: admit, Workers: *workers, BatchCycles: *batch, MaxLevels: levels,
+	})
+
+	if *resume {
+		if err := d.tryResume(*eventsPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	d.publish()
+
+	if *httpAddr != "" {
+		go d.serveHTTP(*httpAddr)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+
+	f, err := os.Open(*eventsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if line <= d.ingested {
+			continue // replayed from the snapshot
+		}
+		select {
+		case s := <-sig:
+			d.checkpointNow("signal " + s.String())
+			os.Exit(0)
+		default:
+		}
+		if err := d.ingest(sc.Bytes()); err != nil {
+			log.Fatalf("event %d: %v", line, err)
+		}
+		d.publish()
+		if d.store != nil && d.live.Events() >= d.lastCkpt+*every {
+			d.checkpointNow("interval")
+		}
+		if *killAfter > 0 && d.ingested >= *killAfter {
+			d.checkpointNow("injected kill")
+			log.Printf("kill-after %d: simulating crash (exit 3) at %d engine events", *killAfter, d.live.Events())
+			os.Exit(3)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := d.live.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.report(res, *jsonPath, *eventsPath, admit.Name(), *workers, *batch)
+	if err := res.FleetResult().Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// ingest applies one NDJSON event to the engine.
+func (d *daemon) ingest(raw []byte) error {
+	var ev event
+	if err := json.Unmarshal(raw, &ev); err != nil {
+		return fmt.Errorf("bad event: %w", err)
+	}
+	d.ingested++
+	switch ev.Op {
+	case "arrive":
+		s, err := buildStream(d.active, d.manager, ev, d.noise)
+		if err != nil {
+			return err
+		}
+		t := core.Time(ev.At)
+		if err := d.live.Feed(s, t); err != nil {
+			return err
+		}
+		d.streams = append(d.streams, s)
+		d.arrivalsT = append(d.arrivalsT, t)
+		d.bundleOf = append(d.bundleOf, int32(len(d.order)-1))
+		return nil
+	case "swap":
+		b, h, err := d.loadBundle(ev.Bundle)
+		if err != nil {
+			return fmt.Errorf("swap: %w", err)
+		}
+		d.activate(b, h)
+		d.swaps++
+		return nil
+	default:
+		return fmt.Errorf("unknown op %q", ev.Op)
+	}
+}
+
+// buildStream constructs one stream against a bundle — the serving
+// analogue of fleet.FromBundle with an explicit per-stream seed.
+func buildStream(b *controller.Bundle, manager string, ev event, noise float64) (fleet.Stream, error) {
+	if ev.Cycles <= 0 {
+		return fleet.Stream{}, fmt.Errorf("stream %q: non-positive cycles %d", ev.Name, ev.Cycles)
+	}
+	var mgr core.Manager
+	switch manager {
+	case "", "relaxed":
+		mgr = b.Relaxed()
+	case "symbolic":
+		mgr = b.Symbolic()
+	case "numeric":
+		mgr = b.Numeric()
+	default:
+		return fleet.Stream{}, fmt.Errorf("unknown manager %q", manager)
+	}
+	sys := b.System()
+	return fleet.Stream{
+		Name: ev.Name,
+		Runner: sim.Runner{
+			Sys:      sys,
+			Mgr:      mgr,
+			Exec:     sim.Content{Sys: sys, NoiseAmp: noise, Seed: ev.Seed},
+			Overhead: sim.IPodOverhead,
+			Cycles:   ev.Cycles,
+		},
+	}, nil
+}
+
+// loadBundle loads and hashes a bundle file, retaining a content-
+// addressed copy in the state directory so a resume can rebuild
+// streams against the exact bundle they were admitted under even if
+// the original file has since changed.
+func (d *daemon) loadBundle(path string) (*controller.Bundle, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	b, err := controller.Load(f)
+	f.Close()
+	if err != nil {
+		return nil, 0, err
+	}
+	h, err := b.Hash()
+	if err != nil {
+		return nil, 0, err
+	}
+	if prev, ok := d.bundles[h]; ok {
+		return prev, h, nil // identical bundle: swap is a no-op
+	}
+	d.bundles[h] = b
+	if d.stateDir != "" {
+		dst := d.bundleFile(h)
+		if _, err := os.Stat(dst); os.IsNotExist(err) {
+			if err := checkpoint.WriteAtomic(dst, func(w io.Writer) error {
+				_, werr := b.WriteTo(w)
+				return werr
+			}); err != nil {
+				return nil, 0, fmt.Errorf("retain bundle %016x: %w", h, err)
+			}
+		}
+	}
+	return b, h, nil
+}
+
+func (d *daemon) bundleFile(h uint64) string {
+	return filepath.Join(d.stateDir, fmt.Sprintf("bundle-%016x.json", h))
+}
+
+// activate makes a bundle the target of subsequent arrivals. In-flight
+// streams are untouched: their runners keep the managers and tables
+// they were admitted with.
+func (d *daemon) activate(b *controller.Bundle, h uint64) {
+	if d.activeH == h && d.active != nil {
+		return
+	}
+	d.active = b
+	d.activeH = h
+	d.order = append(d.order, h)
+}
+
+// checkpointNow snapshots the engine and saves it to the store.
+func (d *daemon) checkpointNow(why string) {
+	if d.store == nil {
+		return
+	}
+	cap, err := d.live.Checkpoint()
+	if err != nil {
+		log.Fatalf("checkpoint (%s): %v", why, err)
+	}
+	snap := &checkpoint.Snapshot{
+		Meta: checkpoint.Meta{
+			Fingerprint:   d.fp,
+			ArrivalCursor: d.ingested,
+			BundleHashes:  append([]uint64(nil), d.order...),
+			StreamBundle:  append([]int32(nil), d.bundleOf...),
+		},
+		Capture: cap,
+	}
+	path, err := d.store.Save(snap)
+	if err != nil {
+		log.Fatalf("checkpoint (%s): %v", why, err)
+	}
+	d.lastCkpt = cap.Events
+	d.publish()
+	log.Printf("checkpoint (%s): %s at %d engine events, %d ingested", why, path, cap.Events, d.ingested)
+}
+
+// tryResume loads the newest valid snapshot, replays the consumed
+// prefix of the event file to rebuild the fed population against the
+// recorded bundles, and restores the engine. No snapshot (or none
+// valid) is a fresh start, not an error.
+func (d *daemon) tryResume(eventsPath string) error {
+	snap, path, err := d.store.LoadLatest(d.fp)
+	if err != nil {
+		return err
+	}
+	if snap == nil {
+		log.Printf("resume: no usable snapshot in %s, starting fresh", d.stateDir)
+		return nil
+	}
+	// Rebind the activation list to retained bundle copies.
+	d.order = d.order[:0]
+	for _, h := range snap.Meta.BundleHashes {
+		_, bh, err := d.loadBundle(d.bundleFile(h))
+		if err != nil {
+			return fmt.Errorf("resume: bundle %016x: %w", h, err)
+		}
+		if bh != h {
+			return fmt.Errorf("resume: retained bundle %016x re-hashes to %016x", h, bh)
+		}
+		d.order = append(d.order, h)
+	}
+	d.active = d.bundles[d.order[len(d.order)-1]]
+	d.activeH = d.order[len(d.order)-1]
+
+	f, err := os.Open(eventsPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	d.bundleOf = append([]int32(nil), snap.Meta.StreamBundle...)
+	k := 0
+	for line := 0; line < snap.Meta.ArrivalCursor; line++ {
+		if !sc.Scan() {
+			return fmt.Errorf("resume: event file has %d lines, snapshot consumed %d", line, snap.Meta.ArrivalCursor)
+		}
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("resume: replay event %d: %w", line+1, err)
+		}
+		switch ev.Op {
+		case "arrive":
+			if k >= len(d.bundleOf) || int(d.bundleOf[k]) >= len(d.order) {
+				return fmt.Errorf("resume: snapshot records %d stream-bundle bindings, replay found more arrivals", len(d.bundleOf))
+			}
+			b := d.bundles[d.order[d.bundleOf[k]]]
+			s, err := buildStream(b, d.manager, ev, d.noise)
+			if err != nil {
+				return fmt.Errorf("resume: replay event %d: %w", line+1, err)
+			}
+			d.streams = append(d.streams, s)
+			d.arrivalsT = append(d.arrivalsT, core.Time(ev.At))
+			k++
+		case "swap":
+			// Bundle activations were replayed from the snapshot metadata.
+		default:
+			return fmt.Errorf("resume: replay event %d: unknown op %q", line+1, ev.Op)
+		}
+	}
+	if k != len(d.bundleOf) {
+		return fmt.Errorf("resume: snapshot records %d arrivals, replay found %d", len(d.bundleOf), k)
+	}
+	if err := d.live.Restore(snap.Capture, d.streams, d.arrivalsT); err != nil {
+		return fmt.Errorf("resume from %s: %w", path, err)
+	}
+	d.ingested = snap.Meta.ArrivalCursor
+	d.lastCkpt = snap.Capture.Events
+	d.swaps = len(d.order) - 1
+	log.Printf("resumed from %s: %d engine events, %d ingested events, %d streams",
+		path, snap.Capture.Events, d.ingested, len(d.streams))
+	return nil
+}
+
+// publish replaces the HTTP-served observables snapshot.
+func (d *daemon) publish() {
+	d.obs.Store(&observables{
+		Ingested:       d.ingested,
+		EngineEvents:   d.live.Events(),
+		Population:     d.live.Population(),
+		ActiveBundle:   fmt.Sprintf("%016x", d.activeH),
+		Swaps:          d.swaps,
+		LastCheckpoint: d.lastCkpt,
+	})
+}
+
+func (d *daemon) serveHTTP(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(d.obs.Load())
+	})
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// report prints the final open-system table and persists the run
+// document atomically — the artifact the CI kill/resume smoke test
+// diffs against an uninterrupted reference.
+func (d *daemon) report(res *fleet.OpenResult, jsonPath, eventsPath, admitName string, workers, batch int) {
+	flat := res.FleetResult()
+	fsum := report.Aggregate(flat)
+	open := metrics.SummarizeOpen(res.OpenObservations)
+	doc := &metrics.FleetDoc{
+		Label:       "qmfleetd",
+		Mode:        "open",
+		Streams:     len(d.streams),
+		Workers:     sim.EffectiveWorkers(len(d.streams), workers),
+		BatchCycles: batch,
+		Arrivals:    "ndjson:" + filepath.Base(eventsPath),
+		Admission:   admitName,
+		Summary:     fsum,
+		Open:        &open,
+	}
+	if jsonPath != "" && flat.Err() == nil {
+		if err := checkpoint.WriteAtomic(jsonPath, doc.WriteJSON); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("served              %d events → %d streams (%d swaps), %d engine events\n",
+		d.ingested, len(d.streams), d.swaps, d.live.Events())
+	fmt.Print(report.OpenTable(res, open, flat, fsum))
+}

@@ -1,0 +1,21 @@
+package checkpoint
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Fingerprint hashes the parts that determine a run's identity —
+// bundle hash, workload and arrival parameters, admission policy —
+// into a short stable string for Meta.Fingerprint. Callers must NOT
+// include workers or batch size: those change wall-clock scheduling,
+// never results, and a snapshot taken at one shape resumes correctly
+// at any other.
+func Fingerprint(parts ...string) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		// Length-prefix each part so ("ab","c") and ("a","bc") differ.
+		fmt.Fprintf(h, "%d:%s", len(p), p)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

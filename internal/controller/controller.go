@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 
 	"repro/internal/core"
@@ -152,6 +153,19 @@ func (b *Bundle) Symbolic() core.Manager { return regions.NewSymbolicManager(b.t
 // Relaxed instantiates the control-relaxation manager.
 func (b *Bundle) Relaxed() core.Manager { return regions.NewRelaxedManager(b.relax) }
 
+// Hash returns a stable FNV-1a identity of the bundle's serialized
+// form. Two bundles hash equal exactly when WriteTo emits identical
+// bytes — the identity the serving layer uses to name bundles on disk,
+// to record which bundle each stream ran under in a checkpoint, and to
+// recognise a hot swap to an identical bundle as a no-op.
+func (b *Bundle) Hash() (uint64, error) {
+	h := fnv.New64a()
+	if _, err := b.WriteTo(h); err != nil {
+		return 0, err
+	}
+	return h.Sum64(), nil
+}
+
 // bundleJSON is the wire format: the spec plus both table payloads, so a
 // loaded bundle needs no recomputation.
 type bundleJSON struct {
@@ -178,11 +192,14 @@ func (b *Bundle) WriteTo(w io.Writer) (int64, error) {
 // Load reads a bundle written by WriteTo, revalidates the spec and
 // re-binds the stored tables (verifying dimensions). The tables are NOT
 // recomputed: load cost is parsing only, mirroring the paper's
-// pre-computed deployment.
+// pre-computed deployment. A corrupt or truncated bundle is always an
+// error naming the failing section and, for parse failures, the byte
+// offset — never a panic (property-tested by FuzzLoadBundle): a serving
+// daemon hot-swapping bundles must survive any file it is pointed at.
 func Load(r io.Reader) (*Bundle, error) {
 	var j bundleJSON
 	if err := json.NewDecoder(r).Decode(&j); err != nil {
-		return nil, fmt.Errorf("controller: decode bundle: %w", err)
+		return nil, loadErr("bundle envelope", err)
 	}
 	// Rebuild the system from the spec (cheap), then attach tables.
 	skeleton, err := compileSystemOnly(j.Spec)
@@ -191,13 +208,36 @@ func Load(r io.Reader) (*Bundle, error) {
 	}
 	tab, err := regions.LoadTDTable(bytes.NewReader(j.Tables), skeleton)
 	if err != nil {
-		return nil, fmt.Errorf("controller: %w", err)
+		return nil, loadErr("quality-region table", err)
 	}
 	relax, err := regions.LoadRelaxTables(bytes.NewReader(j.Relax), tab)
 	if err != nil {
-		return nil, fmt.Errorf("controller: %w", err)
+		return nil, loadErr("relaxation tables", err)
 	}
 	return &Bundle{spec: j.Spec, sys: skeleton, tab: tab, relax: relax}, nil
+}
+
+// loadErr wraps a section's load failure with the section name and,
+// when the underlying JSON decoder reports one, the byte offset where
+// parsing derailed — so "bundle won't load" diagnoses to a place, not
+// just a feeling.
+func loadErr(section string, err error) error {
+	var syn *json.SyntaxError
+	if errors.As(err, &syn) {
+		return fmt.Errorf("controller: %s: syntax error at byte offset %d: %w", section, syn.Offset, err)
+	}
+	var typ *json.UnmarshalTypeError
+	if errors.As(err, &typ) {
+		where := typ.Field
+		if where == "" {
+			where = "value"
+		}
+		return fmt.Errorf("controller: %s: %s cannot hold a JSON %s (byte offset %d): %w", section, where, typ.Value, typ.Offset, err)
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("controller: %s: truncated: %w", section, err)
+	}
+	return fmt.Errorf("controller: %s: %w", section, err)
 }
 
 func compileSystemOnly(spec Spec) (*core.System, error) {

@@ -1,0 +1,360 @@
+package fleet
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/arrivals"
+	"repro/internal/core"
+)
+
+// burstyTimes is the capture tests' shared arrival schedule: bursty
+// enough that admission, backlog and departure events interleave.
+func burstyTimes(t *testing.T, n int, seed uint64) []core.Time {
+	t.Helper()
+	times, err := arrivals.Bursty{GapOn: 5 * core.Millisecond, MeanOn: 20 * core.Millisecond,
+		MeanOff: 60 * core.Millisecond, Seed: seed}.Times(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return times
+}
+
+// maxLevelsOf returns the widest quality-level count in the population —
+// the OpenLiveConfig.MaxLevels a live run over it needs.
+func maxLevelsOf(streams []Stream) int {
+	m := 0
+	for k := range streams {
+		if sys := streams[k].Runner.Sys; sys != nil && sys.NumLevels() > m {
+			m = sys.NumLevels()
+		}
+	}
+	return m
+}
+
+// TestOpenCheckpointEveryBoundaryResume is the tentpole's crash-safety
+// property: checkpoint at EVERY event boundary of a run, then treat
+// each capture as the survivor of a kill at that exact boundary —
+// resuming from it (across several (workers, batch) shapes, not just
+// the one that took it) must reproduce the uninterrupted serial spec
+// byte for byte: stream results, lifecycles, backlog accounting,
+// admission counts.
+func TestOpenCheckpointEveryBoundaryResume(t *testing.T) {
+	const n = 24
+	streams := skewedStreams(t, n, 61)
+	times := burstyTimes(t, n, 19)
+	base := OpenConfig{Streams: streams, Arrivals: times, Admit: CapK{K: 3, Queue: -1}}
+
+	ref, err := OpenRunStatsSerial(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var caps []*OpenCapture
+	cfg := base
+	cfg.Workers = 1
+	got, err := OpenRunStatsCheckpointed(cfg, nil, 1, func(c *OpenCapture) error {
+		caps = append(caps, c)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareOpen(t, "checkpointed run", ref, got)
+	if len(caps) == 0 {
+		t.Fatal("no checkpoint boundaries hit")
+	}
+
+	shapes := []struct{ workers, batch int }{{1, 0}, {2, 1}, {4, 32}}
+	for i, c := range caps {
+		shape := shapes[i%len(shapes)]
+		rcfg := base
+		rcfg.Workers, rcfg.BatchCycles = shape.workers, shape.batch
+		res, err := OpenRunStatsCheckpointed(rcfg, c, 0, nil)
+		if err != nil {
+			t.Fatalf("resume at boundary %d (events=%d): %v", i, c.Events, err)
+		}
+		compareOpen(t, "resume at boundary "+string(rune('0'+i%10)), ref, res)
+	}
+}
+
+// TestOpenResumeUnderContention is the -race stress form: captures are
+// taken mid-run at every (workers, batch) shape over a skewed
+// population, and every capture is resumed both at the shape that took
+// it and at the single-worker reference shape — all byte-identical to
+// the uninterrupted serial spec. At workers > 1 the capture's split
+// between finished and in-flight streams depends on worker timing; the
+// property is exactly that the results never do.
+func TestOpenResumeUnderContention(t *testing.T) {
+	const n = 36
+	streams := skewedStreams(t, n, 67)
+	times := burstyTimes(t, n, 23)
+	base := OpenConfig{Streams: streams, Arrivals: times, Admit: Budget{CPU: 2.5, Queue: 4}}
+
+	ref, err := OpenRunStatsSerial(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := []struct{ workers, batch int }{{1, 1}, {1, 0}, {2, 1}, {2, 0}, {4, 1}, {4, 0}}
+	for _, shape := range shapes {
+		cfg := base
+		cfg.Workers, cfg.BatchCycles = shape.workers, shape.batch
+		var caps []*OpenCapture
+		got, err := OpenRunStatsCheckpointed(cfg, nil, 7, func(c *OpenCapture) error {
+			caps = append(caps, c)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d batch=%d: %v", shape.workers, shape.batch, err)
+		}
+		compareOpen(t, "checkpointed", ref, got)
+		for i, c := range caps {
+			for _, rshape := range []struct{ workers, batch int }{shape, {1, 0}} {
+				rcfg := base
+				rcfg.Workers, rcfg.BatchCycles = rshape.workers, rshape.batch
+				res, err := OpenRunStatsCheckpointed(rcfg, c, 0, nil)
+				if err != nil {
+					t.Fatalf("resume capture %d at workers=%d: %v", i, rshape.workers, err)
+				}
+				compareOpen(t, "contended resume", ref, res)
+			}
+		}
+	}
+}
+
+// TestOpenCaptureDeterministicAtWorkersOne pins the snapshot itself: at
+// workers = 1 the engine's execution interleaving is fully determined,
+// so two identical runs must produce identical capture sequences —
+// the property that makes single-worker snapshot files reproducible.
+func TestOpenCaptureDeterministicAtWorkersOne(t *testing.T) {
+	const n = 16
+	streams := skewedStreams(t, n, 73)
+	times := burstyTimes(t, n, 29)
+	run := func() []*OpenCapture {
+		var caps []*OpenCapture
+		_, err := OpenRunStatsCheckpointed(OpenConfig{
+			Streams: streams, Arrivals: times, Admit: CapK{K: 2, Queue: 2}, Workers: 1,
+		}, nil, 3, func(c *OpenCapture) error {
+			caps = append(caps, c)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return caps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("capture counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			t.Fatalf("capture %d differs between identical workers=1 runs", i)
+		}
+	}
+}
+
+// TestOpenRestoreRejectsIncoherentCapture drives the restore validator:
+// a capture whose cross-references do not fit the configuration must
+// fail with an error, never index out of range — the engine-level
+// defence behind the checkpoint package's checksum.
+func TestOpenRestoreRejectsIncoherentCapture(t *testing.T) {
+	const n = 8
+	streams := skewedStreams(t, n, 79)
+	times := burstyTimes(t, n, 31)
+	cfg := OpenConfig{Streams: streams, Arrivals: times, Workers: 1}
+	var cap0 *OpenCapture
+	if _, err := OpenRunStatsCheckpointed(cfg, nil, 2, func(c *OpenCapture) error {
+		if cap0 == nil {
+			cap0 = c
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if cap0 == nil {
+		t.Fatal("no capture taken")
+	}
+	corrupt := []struct {
+		name string
+		mut  func(c *OpenCapture)
+	}{
+		{"done stream out of range", func(c *OpenCapture) {
+			c.Done = append(c.Done, DoneStream{K: int32(n) + 5})
+		}},
+		{"live stream out of range", func(c *OpenCapture) {
+			c.Live = append(c.Live, LiveSlot{K: -1})
+		}},
+		{"departure out of range", func(c *OpenCapture) {
+			c.Departures = append(c.Departures, DepEntry{K: 99})
+		}},
+		{"arrival cursor out of range", func(c *OpenCapture) {
+			c.NextArrival = n + 1
+		}},
+		{"too many lifecycles", func(c *OpenCapture) {
+			c.Lifecycles = append(c.Lifecycles, c.Lifecycles...)
+		}},
+	}
+	for _, tc := range corrupt {
+		bad := *cap0
+		// Shallow copy shares slices; mutations below only append or set
+		// scalars, so the original stays intact for the next case.
+		tc.mut(&bad)
+		if _, err := OpenRunStatsCheckpointed(cfg, &bad, 0, nil); err == nil {
+			t.Fatalf("%s: restore accepted an incoherent capture", tc.name)
+		} else if !strings.Contains(err.Error(), "capture") {
+			t.Fatalf("%s: unexpected error %v", tc.name, err)
+		}
+	}
+}
+
+// TestOpenCheckpointedSteadyStateAllocationFree proves the checkpoint
+// plumbing costs the hot path nothing: the checkpointed driver with no
+// checkpoint interval is the exact hot path of OpenRunStats, and a warm
+// steady-state run through it still performs zero heap allocations.
+func TestOpenCheckpointedSteadyStateAllocationFree(t *testing.T) {
+	streams := mixedStreams(t, 8, 3, 47)
+	times, err := arrivals.Poisson{MeanGap: 15 * core.Millisecond, Seed: 9}.Times(len(streams))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := OpenConfig{
+		Streams:  streams,
+		Arrivals: times,
+		Admit:    CapK{K: 3, Queue: -1},
+		Workers:  1,
+		Scratch:  NewOpenScratch(),
+	}
+	run := func() {
+		res, err := OpenRunStatsCheckpointed(cfg, nil, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Admitted != len(streams) {
+			t.Fatalf("admitted %d of %d", res.Admitted, len(streams))
+		}
+	}
+	run()
+	if allocs := testing.AllocsPerRun(32, run); allocs != 0 {
+		t.Fatalf("checkpointed steady-state run allocates %.2f times per run, want 0", allocs)
+	}
+}
+
+// TestOpenLiveMatchesBatch is the incremental driver's equivalence
+// property: feeding the population one arrival at a time (the serving
+// shape) seals a result byte-identical to the batch engine — and hence
+// to the serial spec — for every arrival model, at several scheduler
+// shapes, including simultaneous-arrival ties that Feed must withhold
+// until the watermark passes them.
+func TestOpenLiveMatchesBatch(t *testing.T) {
+	const n = 30
+	streams := skewedStreams(t, n, 83)
+	levels := maxLevelsOf(streams)
+	adm := CapK{K: 3, Queue: 2}
+	for model, times := range openProcesses(t, n) {
+		ref, err := OpenRunStatsSerial(OpenConfig{Streams: streams, Arrivals: times, Admit: adm})
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		for _, shape := range []struct{ workers, batch int }{{1, 0}, {3, 2}} {
+			live := NewOpenLive(OpenLiveConfig{Admit: adm, Workers: shape.workers, BatchCycles: shape.batch, MaxLevels: levels})
+			for k := range streams {
+				if err := live.Feed(streams[k], times[k]); err != nil {
+					t.Fatalf("%s: feed %d: %v", model, k, err)
+				}
+			}
+			res, err := live.Close()
+			if err != nil {
+				t.Fatalf("%s: %v", model, err)
+			}
+			compareOpen(t, model+"/live", ref, res)
+		}
+	}
+}
+
+// TestOpenLiveCheckpointRestore kills a live run mid-stream: feed half
+// the population, checkpoint, abandon the engine (the crash), rebuild a
+// fresh OpenLive from the capture plus the re-fed prefix, feed the
+// rest, and seal — byte-identical to the run that never stopped, across
+// scheduler shapes on both sides of the crash.
+func TestOpenLiveCheckpointRestore(t *testing.T) {
+	const n = 26
+	streams := skewedStreams(t, n, 89)
+	times := burstyTimes(t, n, 37)
+	levels := maxLevelsOf(streams)
+	adm := Budget{CPU: 2.5, Queue: -1}
+
+	ref, err := OpenRunStatsSerial(OpenConfig{Streams: streams, Arrivals: times, Admit: adm})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cut := n / 2
+	for _, before := range []int{1, 4} {
+		for _, after := range []int{1, 2} {
+			victim := NewOpenLive(OpenLiveConfig{Admit: adm, Workers: before, MaxLevels: levels})
+			for k := 0; k < cut; k++ {
+				if err := victim.Feed(streams[k], times[k]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cap0, err := victim.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			victim.Abort() // the crash: nothing after the capture survives
+
+			heir := NewOpenLive(OpenLiveConfig{Admit: adm, Workers: after, MaxLevels: levels})
+			if err := heir.Restore(cap0, streams[:cut], times[:cut]); err != nil {
+				t.Fatalf("restore (workers %d→%d): %v", before, after, err)
+			}
+			for k := cut; k < n; k++ {
+				if err := heir.Feed(streams[k], times[k]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res, err := heir.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareOpen(t, "live resume", ref, res)
+		}
+	}
+}
+
+// TestOpenLiveValidation pins the incremental driver's input contract:
+// out-of-order arrivals, over-wide streams and misuse after Close are
+// errors, not corruption.
+func TestOpenLiveValidation(t *testing.T) {
+	streams := mixedStreams(t, 3, 1, 91)
+	levels := maxLevelsOf(streams)
+	live := NewOpenLive(OpenLiveConfig{Workers: 1, MaxLevels: levels})
+	if err := live.Feed(streams[0], 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Feed(streams[1], 5); err == nil {
+		t.Fatal("out-of-order Feed accepted")
+	}
+	if err := live.Feed(streams[1], core.TimeInf); err == nil {
+		t.Fatal("infinite arrival accepted")
+	}
+	narrow := NewOpenLive(OpenLiveConfig{Workers: 1, MaxLevels: 1})
+	if err := narrow.Feed(streams[0], 0); err == nil || !strings.Contains(err.Error(), "MaxLevels") {
+		t.Fatalf("over-wide stream accepted: %v", err)
+	}
+	narrow.Abort()
+	if _, err := live.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Feed(streams[1], 20); err == nil {
+		t.Fatal("Feed after Close accepted")
+	}
+	if _, err := live.Close(); err == nil {
+		t.Fatal("double Close accepted")
+	}
+	empty := NewOpenLive(OpenLiveConfig{Workers: 1})
+	if _, err := empty.Close(); err != errNoStreams {
+		t.Fatalf("empty Close: %v", err)
+	}
+}

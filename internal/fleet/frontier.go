@@ -132,12 +132,17 @@ func depPop(h *[]depEvent) depEvent {
 // openExec is the execution side of the continuous engine: the frontier
 // calls start when a valid stream's slot is ready to run and drain to
 // collect completions (blocking only when an unresolved departure bound
-// gates the next event). Two implementations: inlineExec (workers = 1,
-// no goroutines, no locks) and openSched (persistent injection-aware
-// workers, sched.go).
+// gates the next event). quiesce halts execution at a cycle-batch
+// boundary (release resumes it) — the window in which a checkpoint can
+// read, or population growth reallocate, the arena's shared structures.
+// Two implementations: inlineExec (workers = 1, no goroutines, no
+// locks; always quiescent between drains) and openSched (persistent
+// injection-aware workers, sched.go).
 type openExec interface {
 	start(slot int32)
 	drain(f *openFrontier, block bool)
+	quiesce()
+	release()
 	shutdown()
 }
 
@@ -170,6 +175,8 @@ type openFrontier struct {
 	cpuLoad float64
 	lastT   core.Time
 	lastDep core.Time
+	ai      int   // arrival cursor into order
+	events  int64 // processed event groups (checkpoint-boundary counter)
 
 	arena *openArena
 	res   *OpenResult
@@ -178,14 +185,27 @@ type openFrontier struct {
 
 // openRunContinuous is the wave-free OpenRun/OpenRunStats engine.
 func openRunContinuous(cfg OpenConfig, stats bool) (*OpenResult, error) {
-	if err := validateOpen(&cfg, stats); err != nil {
+	f, err := frontierForRun(&cfg, stats)
+	if err != nil {
+		return nil, err
+	}
+	defer f.exec.shutdown()
+	f.run()
+	return f.res, nil
+}
+
+// frontierForRun validates the configuration, lays out the frontier and
+// attaches the executor the scheduler shape selects — the shared setup
+// of the plain and checkpointed run drivers.
+func frontierForRun(cfg *OpenConfig, stats bool) (*openFrontier, error) {
+	if err := validateOpen(cfg, stats); err != nil {
 		return nil, err
 	}
 	sc := cfg.Scratch
 	if sc == nil {
 		sc = new(OpenScratch)
 	}
-	f := newFrontier(&cfg, sc, stats)
+	f := newFrontier(cfg, sc, stats)
 	batch := cfg.BatchCycles
 	if batch <= 0 {
 		batch = DefaultBatchCycles
@@ -196,9 +216,35 @@ func openRunContinuous(cfg OpenConfig, stats bool) (*OpenResult, error) {
 	} else {
 		f.exec = newOpenSched(f.arena, workers, batch, sc)
 	}
-	defer f.exec.shutdown()
-	f.run()
-	return f.res, nil
+	return f, nil
+}
+
+// streamWeight computes one stream's admission weight and departure
+// lower bound — shared by newFrontier's layout pass and the live
+// driver's incremental feed so the two can never disagree.
+//
+// Streams that will fail at Bind weigh nothing (they depart the instant
+// they are admitted) and carry no bound: their service time is exactly
+// zero and known at admission. The condition is precisely Bind's
+// failure condition — sim.Runner.Validate plus the retain-mode
+// rejection of a caller-set sink. For bindable non-work-conserving
+// streams, each cycle idles to its arrival base, so the final clock is
+// at least the last cycle's base. A clamped product guards pathological
+// Cycles × period overflow — the bound only ever errs conservative
+// (0 = resolve before every later event).
+func streamWeight(r *sim.Runner, stats bool) (util float64, minFin core.Time) {
+	if r.Validate() != nil || (!stats && r.Sink != nil) {
+		return 0, 0
+	}
+	if u := multitask.Utilization(r.Sys, r.Sys.QMin(), r.ResolvedPeriod()); !math.IsInf(u, 1) {
+		util = u
+	}
+	if !r.WorkConserving {
+		if mf := core.Time(r.Cycles-1) * r.ResolvedPeriod(); mf > 0 {
+			minFin = mf
+		}
+	}
+	return util, minFin
 }
 
 // validateOpen is the configuration gate shared by the continuous
@@ -251,28 +297,8 @@ func newFrontier(cfg *OpenConfig, sc *OpenScratch, stats bool) *openFrontier {
 	sc.final = growSlice(sc.final, n)
 	f.util, f.minFin, f.final = sc.util, sc.minFin, sc.final
 	for k := range cfg.Streams {
-		f.util[k], f.minFin[k], f.final[k] = 0, 0, false
-		r := &cfg.Streams[k].Runner
-		// Streams that will fail at Bind weigh nothing (they depart the
-		// instant they are admitted) and carry no bound: their service
-		// time is exactly zero and known at admission. The condition is
-		// precisely Bind's failure condition — sim.Runner.Validate plus
-		// the retain-mode rejection of a caller-set sink.
-		if r.Validate() != nil || (!stats && r.Sink != nil) {
-			continue
-		}
-		if u := multitask.Utilization(r.Sys, r.Sys.QMin(), r.ResolvedPeriod()); !math.IsInf(u, 1) {
-			f.util[k] = u
-		}
-		if !r.WorkConserving {
-			// Each cycle idles to its arrival base, so the final clock is
-			// at least the last cycle's base. A clamped product guards
-			// pathological Cycles × period overflow — the bound only ever
-			// errs conservative (0 = resolve before every later event).
-			if mf := core.Time(r.Cycles-1) * r.ResolvedPeriod(); mf > 0 {
-				f.minFin[k] = mf
-			}
-		}
+		f.util[k], f.minFin[k] = streamWeight(&cfg.Streams[k].Runner, stats)
+		f.final[k] = false
 	}
 
 	// The arrival schedule: one flat, (instant, index)-ordered slab
@@ -319,21 +345,38 @@ func newFrontier(cfg *OpenConfig, sc *OpenScratch, stats bool) *openFrontier {
 	return f
 }
 
-// run drives the event loop to completion. The ordering contract is the
-// serial spec's, verbatim: at one instant, departures retire first
-// (then the freed capacity is offered to the FIFO backlog), and only
-// then are new arrivals decided; ties among simultaneous events break
-// by stream index. The single addition is the bound gate — an event is
-// processed only when every in-flight stream's departure bound clears
-// it strictly, so the decision state (in-service count, CPU load,
-// backlog) is provably identical to the spec's at every decision.
+// run drives the event loop to completion and seals the result.
 func (f *openFrontier) run() {
-	ai := 0
-	for ai < f.n || len(f.dep) > 0 || f.pending() {
+	for f.step(core.TimeInf) {
+	}
+	f.finishRun()
+}
+
+// step processes the next event group — all simultaneous departures, or
+// all simultaneous arrivals, at one instant — provided it lies at or
+// before the watermark, and reports whether it processed one. The
+// ordering contract is the serial spec's, verbatim: at one instant,
+// departures retire first (then the freed capacity is offered to the
+// FIFO backlog), and only then are new arrivals decided; ties among
+// simultaneous events break by stream index. The single addition over
+// the spec's loop is the bound gate — an event is processed only when
+// every in-flight stream's departure bound clears it strictly, so the
+// decision state (in-service count, CPU load, backlog) is provably
+// identical to the spec's at every decision.
+//
+// A finite watermark is the incremental form (OpenLive): only events at
+// instants ≤ the watermark may be processed, because a later Feed could
+// still deliver an arrival before anything beyond it. A step that
+// returns false has nothing (left) to do at this watermark; with an
+// infinite watermark that means the run has drained. Each processed
+// group advances the events counter — the engine's checkpoint-boundary
+// clock.
+func (f *openFrontier) step(watermark core.Time) bool {
+	for {
 		f.exec.drain(f, false)
 		tA, tD := core.TimeInf, core.TimeInf
-		if ai < f.n {
-			tA = f.arr[f.order[ai]]
+		if f.ai < f.n {
+			tA = f.arr[f.order[f.ai]]
 		}
 		if len(f.dep) > 0 {
 			tD = f.dep[0].t
@@ -342,12 +385,19 @@ func (f *openFrontier) run() {
 		if tD < t {
 			t = tD
 		}
-		if b, ok := f.pendMin(); ok && b <= t {
+		if b, ok := f.pendMin(); ok && b <= t && b <= watermark {
 			// An in-flight stream could depart at or before the next
-			// event: its exact service time gates the decision. Block for
-			// completions and re-evaluate.
+			// known event (and within the watermark): its exact service
+			// time gates the decision. Block for completions and
+			// re-evaluate.
 			f.exec.drain(f, true)
 			continue
+		}
+		if t > watermark || t >= core.TimeInf {
+			// Nothing (left) to process at this watermark: every known
+			// event and every in-flight departure bound lies beyond it —
+			// or, at an infinite watermark, the run has drained.
+			return false
 		}
 		if tD <= tA {
 			f.advanceTo(tD)
@@ -371,12 +421,13 @@ func (f *openFrontier) run() {
 				f.blLen--
 				f.admit(k, tD)
 			}
-			continue
+			f.events++
+			return true
 		}
 		f.advanceTo(tA)
-		for ai < f.n && f.arr[f.order[ai]] == tA {
-			k := f.order[ai]
-			ai++
+		for f.ai < f.n && f.arr[f.order[f.ai]] == tA {
+			k := f.order[f.ai]
+			f.ai++
 			v := f.adm.Decide(Load{T: tA, InService: f.inServe, Backlog: f.blLen, CPULoad: f.cpuLoad}, f.util[k])
 			switch v {
 			case Admit:
@@ -391,8 +442,14 @@ func (f *openFrontier) run() {
 				f.res.Lifecycles[k].Shed = true
 			}
 		}
+		f.events++
+		return true
 	}
+}
 
+// finishRun seals a drained run: terminal backlog shedding, fate counts
+// and the observation-window bounds.
+func (f *openFrontier) finishRun() {
 	// Streams still queued when the system drained can never be admitted
 	// — no departure will ever free more capacity — so they are shed at
 	// the end of the run, exactly as in the spec.
@@ -568,6 +625,12 @@ func (e *inlineExec) drain(f *openFrontier, block bool) {
 		}
 	}
 }
+
+// quiesce and release are no-ops: with no pool, execution only ever
+// happens inside a blocking drain, so the arena is quiescent whenever
+// the frontier is in control.
+func (e *inlineExec) quiesce() {}
+func (e *inlineExec) release() {}
 
 func (e *inlineExec) shutdown() {}
 

@@ -1,0 +1,238 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// OpenLiveConfig shapes an incremental open run: the admission
+// controller and scheduler shape of OpenConfig, without a population —
+// streams are fed one at a time as their arrivals become known.
+type OpenLiveConfig struct {
+	// Admit is the admission controller; nil selects AdmitAll.
+	Admit Admitter
+	// Workers and BatchCycles shape the scheduler exactly as in
+	// OpenConfig: they change wall-clock time, never results.
+	Workers     int
+	BatchCycles int
+	// MaxLevels bounds the quality-level count of every stream that
+	// will ever be fed — the uniform histogram window width of the slot
+	// arena, which cannot be widened once slots are live. Feeding a
+	// stream with more levels is an error.
+	MaxLevels int
+}
+
+// OpenLive is the incremental form of OpenRunStats: the same
+// deterministic frontier and executor, driven by a caller that learns
+// arrivals one at a time (a serving daemon reading an event stream)
+// instead of holding the whole schedule up front. Feed appends one
+// arrival and advances the event loop through every instant the fed
+// prefix fully determines; Close drains the system and seals the
+// result. For one and the same (streams, arrivals, admitter) sequence,
+// the sealed result is byte-identical to OpenRunStats over the batch
+// configuration — the fed order simply is the spec's (instant, index)
+// order, and the watermark withholds exactly the events a future feed
+// could still precede.
+//
+// An OpenLive belongs to one goroutine; the concurrency inside (the
+// executor pool) is the engine's own.
+type OpenLive struct {
+	sc       *OpenScratch
+	f        *openFrontier
+	streams  []Stream
+	arrivals []core.Time
+	lastFed  core.Time
+	closed   bool
+}
+
+// NewOpenLive starts an empty incremental run with a running (idle)
+// executor pool.
+func NewOpenLive(cfg OpenLiveConfig) *OpenLive {
+	sc := NewOpenScratch()
+	f := &sc.frontier
+	*f = openFrontier{sc: sc, stats: true, maxLevels: cfg.MaxLevels}
+	f.adm = cfg.Admit
+	if f.adm == nil {
+		f.adm = AdmitAll{}
+	}
+	sc.arena.reset(0, true, nil, cfg.MaxLevels)
+	f.arena = &sc.arena
+	sc.res = OpenResult{}
+	f.res = &sc.res
+	f.dep = sc.dep[:0]
+	f.pend = sc.pend[:0]
+	f.backlog = sc.backlog
+	batch := cfg.BatchCycles
+	if batch <= 0 {
+		batch = DefaultBatchCycles
+	}
+	if workers := sim.EffectiveWorkers(math.MaxInt, cfg.Workers); workers == 1 {
+		sc.inline.batch = batch
+		f.exec = &sc.inline
+	} else {
+		f.exec = newOpenSched(f.arena, workers, batch, sc)
+	}
+	return &OpenLive{sc: sc, f: f}
+}
+
+// Feed appends one stream with its arrival instant and advances the
+// event loop through every group at instants strictly before t. The
+// strictness is what preserves the batch spec's simultaneity semantics:
+// a later Feed may still add an arrival at exactly t, and the spec
+// decides all arrivals of one instant in a single group (interleaved
+// with any same-instant departures in a fixed order), so instant t
+// stays unprocessed until a feed moves the watermark past it. Arrival
+// instants must be non-decreasing across feeds — the fed order then is
+// the spec's (instant, index) event order.
+func (ol *OpenLive) Feed(s Stream, t core.Time) error {
+	if ol.closed {
+		return errors.New("fleet: Feed on a closed OpenLive")
+	}
+	if t < 0 || t.IsInf() {
+		return arrivalInstantError(len(ol.streams), t)
+	}
+	if t < ol.lastFed {
+		return fmt.Errorf("fleet: Feed out of order: arrival %v after %v", t, ol.lastFed)
+	}
+	if sys := s.Runner.Sys; sys != nil && sys.NumLevels() > ol.f.maxLevels {
+		return fmt.Errorf("fleet: stream %q has %d levels, over the configured MaxLevels %d", s.Name, sys.NumLevels(), ol.f.maxLevels)
+	}
+	ol.lastFed = t
+	ol.appendStream(s, t)
+	ol.growArena()
+	for ol.f.step(t - 1) {
+	}
+	return nil
+}
+
+// appendStream grows every per-stream slab by one entry and rebinds the
+// frontier's slice headers — the incremental counterpart of
+// newFrontier's layout pass. Slab reallocation here is safe without a
+// quiesce: these arrays are the frontier's alone (workers touch only
+// the arena), and result entries already harvested keep pointing into
+// the old backing, which is never mutated again.
+func (ol *OpenLive) appendStream(s Stream, t core.Time) {
+	f, sc := ol.f, ol.sc
+	k := f.n
+	ol.streams = append(ol.streams, s)
+	ol.arrivals = append(ol.arrivals, t)
+	u, mf := streamWeight(&ol.streams[k].Runner, true)
+	sc.order = append(sc.order, int32(k))
+	sc.util = append(sc.util, u)
+	sc.minFin = append(sc.minFin, mf)
+	sc.final = append(sc.final, false)
+	sc.lifecycles = append(sc.lifecycles, metrics.Lifecycle{Name: s.Name, Arrival: t})
+	sc.streams = append(sc.streams, StreamResult{Name: s.Name})
+	sc.traces = append(sc.traces, sim.Trace{})
+	sc.stats = append(sc.stats, sim.StatsSink{})
+	sc.hist = append(sc.hist, make([]int, f.maxLevels)...)
+	f.n = k + 1
+	f.streams, f.arr = ol.streams, ol.arrivals
+	f.order, f.util, f.minFin, f.final = sc.order, sc.util, sc.minFin, sc.final
+	sc.res.Streams = sc.streams
+	sc.res.Lifecycles = sc.lifecycles
+	if k == 0 {
+		f.lastT = t
+		f.res.FirstArrival = t
+	}
+}
+
+// growArena widens the arena's flat indirection arrays to the fed
+// population under an executor quiesce — the one shared structure
+// Feed's growth touches that workers scan concurrently.
+func (ol *OpenLive) growArena() {
+	f := ol.f
+	if f.n <= len(f.arena.slotTbl) {
+		return
+	}
+	f.exec.quiesce()
+	f.arena.ensurePopulation(f.n)
+	f.exec.release()
+}
+
+// Events returns the number of event groups processed so far — the
+// checkpoint-boundary clock a serving driver keys its snapshot interval
+// on.
+func (ol *OpenLive) Events() int64 { return ol.f.events }
+
+// Population returns the number of streams fed so far.
+func (ol *OpenLive) Population() int { return ol.f.n }
+
+// Checkpoint pauses execution at a cycle-batch quiescence point and
+// returns a deep capture of the run, then lets the pool resume. The
+// capture plus the fed (streams, arrivals) prefix is everything a
+// Restore needs to continue the run with byte-identical results.
+func (ol *OpenLive) Checkpoint() (*OpenCapture, error) {
+	if ol.closed {
+		return nil, errors.New("fleet: Checkpoint on a closed OpenLive")
+	}
+	return ol.f.checkpoint(), nil
+}
+
+// Restore rebuilds a freshly created OpenLive from a capture and the
+// exact (streams, arrivals) population that had been fed when it was
+// taken. Subsequent feeds continue the run; results are byte-identical
+// to the run that never stopped.
+func (ol *OpenLive) Restore(c *OpenCapture, streams []Stream, arrivals []core.Time) error {
+	if ol.closed {
+		return errors.New("fleet: Restore on a closed OpenLive")
+	}
+	if ol.f.n != 0 || ol.f.events != 0 {
+		return errors.New("fleet: Restore on a used OpenLive")
+	}
+	if len(streams) != len(c.Lifecycles) || len(arrivals) != len(streams) {
+		return errCorruptCapture(fmt.Sprintf("capture covers %d streams, caller re-fed %d with %d arrivals", len(c.Lifecycles), len(streams), len(arrivals)))
+	}
+	for i := range streams {
+		t := arrivals[i]
+		if t < 0 || t.IsInf() || t < ol.lastFed {
+			return errCorruptCapture(fmt.Sprintf("re-fed arrival %d out of order", i))
+		}
+		if t != c.Lifecycles[i].Arrival {
+			return errCorruptCapture(fmt.Sprintf("re-fed arrival %d is %v, capture recorded %v", i, t, c.Lifecycles[i].Arrival))
+		}
+		if sys := streams[i].Runner.Sys; sys != nil && sys.NumLevels() > ol.f.maxLevels {
+			return fmt.Errorf("fleet: stream %q has %d levels, over the configured MaxLevels %d", streams[i].Name, sys.NumLevels(), ol.f.maxLevels)
+		}
+		ol.lastFed = t
+		ol.appendStream(streams[i], t)
+	}
+	ol.growArena()
+	return ol.f.restore(c)
+}
+
+// Abort shuts the executor pool down without draining or sealing: the
+// run is discarded (after a Checkpoint, typically, whose capture is all
+// that survives). Safe on an already-closed OpenLive.
+func (ol *OpenLive) Abort() {
+	if ol.closed {
+		return
+	}
+	ol.closed = true
+	ol.f.exec.shutdown()
+}
+
+// Close drains every remaining event, seals and returns the result —
+// OpenResult has the exact shape and content of an OpenRunStats over
+// the full fed population. The executor pool shuts down; the OpenLive
+// is spent. Closing with no streams fed returns the no-streams error,
+// like the batch entry points.
+func (ol *OpenLive) Close() (*OpenResult, error) {
+	if ol.closed {
+		return nil, errors.New("fleet: OpenLive closed twice")
+	}
+	ol.closed = true
+	defer ol.f.exec.shutdown()
+	if ol.f.n == 0 {
+		return nil, errNoStreams
+	}
+	for ol.f.step(core.TimeInf) {
+	}
+	ol.f.finishRun()
+	return ol.f.res, nil
+}

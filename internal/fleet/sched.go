@@ -164,9 +164,13 @@ type openSched struct {
 	mu        sync.Mutex
 	work      *sync.Cond // workers park here for the next injection
 	comp      *sync.Cond // the frontier blocks here for completions
+	quiet     *sync.Cond // quiesce waits here until every worker is parked
+	resume    *sync.Cond // paused workers park here until release
 	completed []int32    // published completions awaiting the frontier
 	spare     []int32    // drained buffer, swapped back on the next drain
 	gen       uint64     // bind generation; bumped under mu per injection
+	parked    int        // workers currently waiting on work or resume
+	paused    bool       // quiesce requested; workers park at the next boundary
 	done      bool
 
 	// steal staggers full steal sweeps across drained workers.
@@ -181,6 +185,8 @@ func newOpenSched(a *openArena, workers, batch int, sc *OpenScratch) *openSched 
 	s := &openSched{a: a, sc: sc, batch: batch, workers: workers}
 	s.work = sync.NewCond(&s.mu)
 	s.comp = sync.NewCond(&s.mu)
+	s.quiet = sync.NewCond(&s.mu)
+	s.resume = sync.NewCond(&s.mu)
 	s.completed = sc.completed[:0]
 	s.spare = sc.spare[:0]
 	s.wg.Add(workers)
@@ -229,6 +235,7 @@ func (s *openSched) shutdown() {
 	s.mu.Lock()
 	s.done = true
 	s.work.Broadcast()
+	s.resume.Broadcast()
 	s.mu.Unlock()
 	s.wg.Wait()
 	// Hand the grown buffers back so the next run's steady state starts
@@ -236,14 +243,49 @@ func (s *openSched) shutdown() {
 	s.sc.completed, s.sc.spare = s.completed[:0], s.spare[:0]
 }
 
+// quiesce pauses the pool at a cycle-batch boundary: workers finish the
+// batch they hold, publish its status, and park; quiesce returns once
+// every worker is parked. From then until release, no slot is claimed
+// and no slab is being written, so the frontier can read (or grow) every
+// arena structure without a race — the checkpoint and population-growth
+// hook. The frontier must still drain published completions itself; a
+// worker may have completed a stream right before parking.
+func (s *openSched) quiesce() {
+	s.mu.Lock()
+	s.paused = true
+	s.work.Broadcast() // idle workers must migrate to the pause lobby
+	for s.parked < s.workers {
+		s.quiet.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// release ends a quiesce and lets the pool run again.
+func (s *openSched) release() {
+	s.mu.Lock()
+	s.paused = false
+	s.resume.Broadcast()
+	s.mu.Unlock()
+}
+
 // runOpen is one persistent worker: claim → advance a batch → publish
 // or release, parking on the bind generation when nothing is claimable.
 // Sampling the generation before the scan closes the classic missed-
 // wakeup race — any injection after the sample bumps it, so the park
-// loop falls through immediately.
+// loop falls through immediately. A pause request is honoured at the
+// top of every iteration — between batches, never inside one — so a
+// quiesced arena only ever exposes slot states at batch boundaries.
 func (s *openSched) runOpen(w int) {
 	for {
 		s.mu.Lock()
+		for s.paused && !s.done {
+			s.parked++
+			if s.parked == s.workers {
+				s.quiet.Signal()
+			}
+			s.resume.Wait()
+			s.parked--
+		}
 		gen, done := s.gen, s.done
 		s.mu.Unlock()
 		if done {
@@ -252,8 +294,13 @@ func (s *openSched) runOpen(w int) {
 		slot, ok := s.claim(w)
 		if !ok {
 			s.mu.Lock()
-			for !s.done && s.gen == gen {
+			for !s.done && s.gen == gen && !s.paused {
+				s.parked++
+				if s.parked == s.workers {
+					s.quiet.Signal()
+				}
 				s.work.Wait()
+				s.parked--
 			}
 			done = s.done
 			s.mu.Unlock()

@@ -348,6 +348,39 @@ func (a *openArena) reset(n int, stats bool, export func(int, string) sim.Sink, 
 	a.allocated.Store(int32(slot))
 }
 
+// ensurePopulation grows the flat indirection arrays to hold at least n
+// slots, doubling to amortize. Workers scan these arrays (and the
+// status words) up to the published allocated count, so reallocation is
+// legal only while the executor is quiescent — the live driver calls
+// this under quiesce when its fed population outgrows the arrays. The
+// atomic status words are migrated value by value (an atomic.Int32 must
+// never be copied as a struct); slots below allocated keep their
+// published state, and the free stack needs no migration because only
+// the frontier touches it.
+func (a *openArena) ensurePopulation(n int) {
+	if n <= len(a.slotTbl) {
+		return
+	}
+	c := 2 * len(a.slotTbl)
+	if c < n {
+		c = n
+	}
+	if c < openChunkMin {
+		c = openChunkMin
+	}
+	slotTbl := make([]*StreamTable, c)
+	slotIdx := make([]int32, c)
+	slotStream := make([]int32, c)
+	status := make([]atomic.Int32, c)
+	copy(slotTbl, a.slotTbl)
+	copy(slotIdx, a.slotIdx)
+	copy(slotStream, a.slotStream)
+	for i := range a.status {
+		status[i].Store(a.status[i].Load())
+	}
+	a.slotTbl, a.slotIdx, a.slotStream, a.status = slotTbl, slotIdx, slotStream, status
+}
+
 // register wires one chunk slot into the flat arrays and the free stack.
 // Slots above the published allocated count are invisible to workers
 // until the counter advances.

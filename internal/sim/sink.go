@@ -137,6 +137,61 @@ func (t TeeSink) Observe(rec Record) {
 	}
 }
 
+// SinkState is the serializable form of a StatsSink: every accumulator,
+// including the private smoothness and extreme trackers, as plain
+// exported fields. It is what a checkpoint stores for a mid-run stream —
+// State followed by RestoreState reproduces the sink exactly, so a
+// resumed stream's aggregates continue bit-for-bit from where the
+// snapshot cut (the sink-level half of the sim.Stream prefix property).
+type SinkState struct {
+	Records, Decisions, Misses, DeadlineRecords int
+	TotalExec, TotalOverhead                    core.Time
+	QualitySum                                  float64
+	QualityHist                                 []int
+	Switches                                    int
+	AbsDeltaSum                                 float64
+	MinQ, MaxQ                                  int
+	LastQ                                       core.Level
+}
+
+// State exports the sink's full accumulator state. The histogram is
+// copied, so the state does not alias the live sink.
+func (s *StatsSink) State() SinkState {
+	return SinkState{
+		Records: s.Records, Decisions: s.Decisions, Misses: s.Misses,
+		DeadlineRecords: s.DeadlineRecords,
+		TotalExec:       s.TotalExec, TotalOverhead: s.TotalOverhead,
+		QualitySum:  s.QualitySum,
+		QualityHist: append([]int(nil), s.QualityHist...),
+		Switches:    s.Switches, AbsDeltaSum: s.AbsDeltaSum,
+		MinQ: s.minQ, MaxQ: s.maxQ, LastQ: s.lastQ,
+	}
+}
+
+// RestoreState overwrites the sink with a previously exported state. The
+// histogram values are copied into the sink's existing QualityHist
+// backing array when its capacity allows (the fleet table's slab
+// window), so restoring into a freshly Init-ed slot sink allocates only
+// when the window is too narrow.
+func (s *StatsSink) RestoreState(st SinkState) {
+	hist := s.QualityHist
+	if cap(hist) >= len(st.QualityHist) {
+		hist = hist[:len(st.QualityHist)]
+		copy(hist, st.QualityHist)
+	} else {
+		hist = append([]int(nil), st.QualityHist...)
+	}
+	*s = StatsSink{
+		Records: st.Records, Decisions: st.Decisions, Misses: st.Misses,
+		DeadlineRecords: st.DeadlineRecords,
+		TotalExec:       st.TotalExec, TotalOverhead: st.TotalOverhead,
+		QualitySum:  st.QualitySum,
+		QualityHist: hist,
+		Switches:    st.Switches, AbsDeltaSum: st.AbsDeltaSum,
+		minQ: st.MinQ, maxQ: st.MaxQ, lastQ: st.LastQ,
+	}
+}
+
 // MinQuality returns the lowest observed level (0 when no records have
 // been observed, matching the retained-trace summary convention).
 func (s *StatsSink) MinQuality() core.Level {

@@ -96,6 +96,55 @@ func TestStatsSinkEmpty(t *testing.T) {
 	}
 }
 
+// TestStatsSinkStateRoundTrip: State followed by RestoreState must
+// reproduce the sink exactly — including the private extremes and
+// smoothness trackers — and splitting a record stream across a
+// round-trip must end in the same accumulators as streaming it
+// uninterrupted (the sink-level half of the checkpoint/resume
+// guarantee).
+func TestStatsSinkStateRoundTrip(t *testing.T) {
+	sys, retained := sinkTestRunner(13, 4)
+	ref, err := retained.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := NewStatsSink(sys.NumLevels())
+	for _, rec := range ref.Records {
+		whole.Observe(rec)
+	}
+
+	cut := len(ref.Records) / 3
+	first := NewStatsSink(sys.NumLevels())
+	for _, rec := range ref.Records[:cut] {
+		first.Observe(rec)
+	}
+	st := first.State()
+	if len(st.QualityHist) > 0 && &st.QualityHist[0] == &first.QualityHist[0] {
+		t.Fatal("State must not alias the live histogram")
+	}
+	second := NewStatsSink(sys.NumLevels())
+	second.RestoreState(st)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("restored sink differs from the original:\n%+v\n%+v", first, second)
+	}
+	for _, rec := range ref.Records[cut:] {
+		second.Observe(rec)
+	}
+	// Compare accumulators, re-backing the histogram: the split run's
+	// window may live in a different array, but values must match.
+	a, b := whole.State(), second.State()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("split-and-resumed sink diverged from the uninterrupted one:\n%+v\n%+v", a, b)
+	}
+
+	empty := NewStatsSink(2)
+	var back StatsSink
+	back.RestoreState(empty.State())
+	if back.MinQuality() != 0 || back.MaxQuality() != 0 || back.Records != 0 {
+		t.Fatal("empty-state round trip broke the empty-sink conventions")
+	}
+}
+
 // TestStreamStepAllocationFree: the acceptance criterion of the sink
 // layer — in steady state, advancing a stream under a StatsSink
 // performs zero heap allocations per cycle.
