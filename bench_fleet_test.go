@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/arrivals"
+	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/fleet"
 	"repro/internal/sim"
@@ -102,7 +103,7 @@ func fleetBenchFile(batch int) string {
 
 // E11 — fleet throughput: the paper-encoder fleet through the
 // zero-retention stats path, serially and on the shard-affine scheduler
-// at 1/2/4/8 workers. Each sub-benchmark reports ns/action and
+// at 1/2/4/8/16 workers. Each sub-benchmark reports ns/action and
 // allocs/action (stream setup included, so the steady-state figure is
 // bounded by BenchmarkFleetStep) and the harness writes the set — host
 // shape and batch size included — to BENCH_fleet.json. The
@@ -114,7 +115,10 @@ func fleetBenchFile(batch int) string {
 func BenchmarkFleetThroughput(b *testing.B) {
 	s := experiment.Paper(1)
 	s.Cycles = 2
-	const streams = 8
+	// 32 streams: enough population that a 16-worker sweep measures
+	// scaling, not the EffectiveWorkers cap (8 streams made every row
+	// beyond workers=8 a duplicate).
+	const streams = 32
 	batch := fleetBenchBatch(b)
 	s.Relaxed().Decide(0, 0) // build the shared decision plan outside the timed regions
 	actionsPerOp := streams * s.Cycles * s.Sys.NumActions()
@@ -178,7 +182,7 @@ func BenchmarkFleetThroughput(b *testing.B) {
 	}
 	measure("serial", 0, 0, serialLoop(func() ([]fleet.Stream, error) { return s.FleetStreams(1, streams) }))
 	measure("serial-uncached", 0, 0, serialLoop(func() ([]fleet.Stream, error) { return s.FleetStreamsUncached(1, streams) }))
-	for _, w := range []int{1, 2, 4, 8} {
+	for _, w := range []int{1, 2, 4, 8, 16} {
 		w := w
 		measure(fmt.Sprintf("fleet-workers=%d", w), w, batch, func() error {
 			strs, err := s.FleetStreams(1, streams)
@@ -246,30 +250,28 @@ func mergeFleetBenchRows(b *testing.B, file string, rows []fleetBenchRow) {
 // directly comparable with the closed rows, so the artifact tracks the
 // open engine's overhead as its own row family in BENCH_fleet.json.
 //
-// The sweep runs the wave-free engine at workers 1, 2 and 4 — the
-// scaling acceptance rows (flat on a single-core host, rising speedup
-// with num_cpu > 1) — plus the serial wave spec as the before-state
-// baseline the engine is measured against. Each configuration reuses an
-// OpenScratch, so the rows report the engine's steady state, not
-// first-run slab growth.
+// Two row families share the harness. The small family (8 streams,
+// sparse Poisson arrivals, cap-4) is the engine-overhead row set the
+// baseline has tracked since PR 5: the serial wave spec as the
+// before-state plus the wave-free engine at workers 1, 2 and 4. The
+// large family (64 streams, dense arrivals, admit-all, workers swept
+// 1/2/4/8/16) is the multi-core scaling matrix: enough concurrent
+// in-flight streams that per-shard completion rings and lookahead
+// admission have parallelism to expose — flat on a single-core host,
+// dropping ns/action with cores on a real runner, which is exactly
+// what benchguard's speedup assertion checks in CI. Each configuration
+// reuses an OpenScratch, so the rows report the engine's steady state,
+// not first-run slab growth.
 func BenchmarkFleetOpen(b *testing.B) {
-	s := experiment.Paper(1)
-	s.Cycles = 2
-	const streams = 8
 	batch := fleetBenchBatch(b)
-	s.Relaxed().Decide(0, 0) // build the shared decision plan outside the timed region
-	proc := arrivals.Poisson{MeanGap: s.Period, Seed: 7}
-	times, err := proc.Times(streams)
-	if err != nil {
-		b.Fatal(err)
-	}
-	adm := fleet.CapK{K: 4, Queue: -1} // unbounded queue: every stream runs
-	actionsPerOp := streams * s.Cycles * s.Sys.NumActions()
 	var order []string
 	byName := map[string]fleetBenchRow{}
 
-	measure := func(name string, workers int, run func(cfg fleet.OpenConfig) (*fleet.OpenResult, error)) {
+	measure := func(name string, s *experiment.Setup, streams, workers int,
+		times []core.Time, procName string, adm fleet.Admitter,
+		run func(cfg fleet.OpenConfig) (*fleet.OpenResult, error)) {
 		b.Run(name, func(b *testing.B) {
+			actionsPerOp := streams * s.Cycles * s.Sys.NumActions()
 			scratch := fleet.NewOpenScratch()
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)
@@ -311,7 +313,7 @@ func BenchmarkFleetOpen(b *testing.B) {
 				ActionsPerOp:    actionsPerOp,
 				NsPerAction:     float64(elapsed.Nanoseconds()) / total,
 				AllocsPerAction: float64(after.Mallocs-before.Mallocs) / total,
-				Arrivals:        proc.Name(),
+				Arrivals:        procName,
 				Admit:           adm.Name(),
 			}
 			b.ReportMetric(row.NsPerAction, "ns/action")
@@ -323,9 +325,41 @@ func BenchmarkFleetOpen(b *testing.B) {
 		})
 	}
 
-	measure("open-serial-spec", 2, fleet.OpenRunStatsSerial)
+	// Small family: sparse arrivals, 8 streams — the engine-overhead rows.
+	small := experiment.Paper(1)
+	small.Cycles = 2
+	small.Relaxed().Decide(0, 0) // build the shared decision plan outside the timed region
+	const smallStreams = 8
+	smallProc := arrivals.Poisson{MeanGap: small.Period, Seed: 7}
+	smallTimes, err := smallProc.Times(smallStreams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	smallAdm := fleet.CapK{K: 4, Queue: -1} // unbounded queue: every stream runs
+	measure("open-serial-spec", small, smallStreams, 2, smallTimes, smallProc.Name(), smallAdm, fleet.OpenRunStatsSerial)
 	for _, w := range []int{1, 2, 4} {
-		measure(fmt.Sprintf("open-poisson-cap4-workers=%d", w), w, fleet.OpenRunStats)
+		measure(fmt.Sprintf("open-poisson-cap4-workers=%d", w), small, smallStreams, w,
+			smallTimes, smallProc.Name(), smallAdm, fleet.OpenRunStats)
+	}
+
+	// Large family: dense arrivals, 64 streams, admit-all — the
+	// multi-core scaling matrix. MeanGap of period/8 keeps tens of
+	// streams in flight at once (the departure bound admitted +
+	// (Cycles−1)·period clears dense arrivals easily), so worker
+	// parallelism is the dominant term, not admission serialization.
+	large := experiment.Paper(1)
+	large.Cycles = 4
+	large.Relaxed().Decide(0, 0)
+	const largeStreams = 64
+	largeProc := arrivals.Poisson{MeanGap: large.Period / 8, Seed: 11}
+	largeTimes, err := largeProc.Times(largeStreams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	largeAdm := fleet.AdmitAll{}
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		measure(fmt.Sprintf("open-large-workers=%d", w), large, largeStreams, w,
+			largeTimes, largeProc.Name(), largeAdm, fleet.OpenRunStats)
 	}
 
 	if len(order) == 0 {

@@ -15,10 +15,22 @@
 // CI uses it to assert the continuous open engine never falls behind
 // the serial wave spec it replaced.
 //
+// Multi-core scaling gets its own within-artifact assertion through
+// -speedup: a row:reference pair (repeatable) where the reference is
+// the slow shape (say workers=1) and the row the parallel one (say
+// workers=4); the guard requires reference ns/action ÷ row ns/action ≥
+// -min-speedup. Like -self it compares inside the fresh artifact, so
+// it holds on any host — but it is only meaningful where the hardware
+// can parallelize at all, so pairs are skipped (not failed) when the
+// fresh rows report fewer than -speedup-min-cpus CPUs. A shortfall is
+// a distinct exit status: "the engine stopped scaling" is a different
+// failure from "a row got slower" and CI may gate them differently.
+//
 // Usage:
 //
 //	benchguard [-baseline BENCH_baseline.json] [-fresh BENCH_fleet.json]
 //	           [-max-regress 0.25] [-self row:reference] [-max-self-ratio 1.25]
+//	           [-speedup row:reference]... [-min-speedup 1.8] [-speedup-min-cpus 4]
 //
 // -max-regress is the tolerated fractional slowdown (0.25 = fail beyond
 // +25% ns/action). Improvements and matches within tolerance print as a
@@ -26,12 +38,15 @@
 //
 // Exit status:
 //
-//	0  every matching row within tolerance (and -self within bound)
+//	0  every matching row within tolerance (and -self within bound, and
+//	   every -speedup pair at or above -min-speedup or skipped)
 //	1  a matching row regressed, or the -self ratio exceeded its bound
 //	2  usage or artifact-loading error
 //	3  zero rows match the baseline host shape — nothing was compared,
 //	   so a green run proves nothing; CI distinguishes this from a pass
 //	   instead of treating a foreign-host no-op as a guarantee
+//	4  a -speedup pair fell short of -min-speedup on a host with enough
+//	   CPUs — the parallel engine stopped scaling
 package main
 
 import (
@@ -50,6 +65,7 @@ const (
 	exitRegression = 1
 	exitUsage      = 2
 	exitNoMatch    = 3
+	exitSpeedup    = 4
 )
 
 // row mirrors the fleet bench harness's artifact schema; unknown fields
@@ -107,6 +123,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxRegress := fs.Float64("max-regress", 0.25, "tolerated fractional ns/action slowdown before failing")
 	self := fs.String("self", "", "row:reference pair compared within the fresh artifact (host-independent tripwire)")
 	maxSelfRatio := fs.Float64("max-self-ratio", 1.25, "tolerated ns/action ratio of the -self row over its reference")
+	var speedups pairList
+	fs.Var(&speedups, "speedup", "row:reference pair whose reference-over-row ns/action ratio must reach -min-speedup (repeatable; compared within the fresh artifact)")
+	minSpeedup := fs.Float64("min-speedup", 1.8, "minimum reference÷row ns/action ratio every -speedup pair must reach")
+	speedupMinCPUs := fs.Int("speedup-min-cpus", 4, "skip -speedup pairs when the fresh rows report fewer CPUs than this")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -118,6 +138,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *maxSelfRatio <= 0 || math.IsNaN(*maxSelfRatio) || math.IsInf(*maxSelfRatio, 0) {
 		return fail("-max-self-ratio must be a positive ratio, got %v", *maxSelfRatio)
+	}
+	if *minSpeedup <= 0 || math.IsNaN(*minSpeedup) || math.IsInf(*minSpeedup, 0) {
+		return fail("-min-speedup must be a positive ratio, got %v", *minSpeedup)
+	}
+	if *speedupMinCPUs < 1 {
+		return fail("-speedup-min-cpus must be ≥ 1, got %d", *speedupMinCPUs)
 	}
 
 	base, err := load(*baseline)
@@ -188,8 +214,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return exitRegression
 		}
 	}
+
+	// Speedup pairs also compare within the fresh artifact, so they run
+	// whatever the host-shape matching found. A shortfall outranks the
+	// no-match status but not a regression: a regressed row already
+	// fails the run, and its message is the more specific one.
+	shortfalls := 0
+	for _, pair := range speedups {
+		rowName, refName, ok := strings.Cut(pair, ":")
+		if !ok || rowName == "" || refName == "" {
+			return fail("-speedup wants row:reference, got %q", pair)
+		}
+		r, ref := findRow(cur, rowName), findRow(cur, refName)
+		if r == nil || ref == nil || r.NsPerAction <= 0 {
+			return fail("-speedup %s: the fresh artifact lacks the pair (have %q and %q?)", pair, rowName, refName)
+		}
+		if r.NumCPU < *speedupMinCPUs || ref.NumCPU < *speedupMinCPUs {
+			fmt.Fprintf(stdout, "speedup: %s / %s skipped (host has %d CPUs, check needs %d)\n",
+				refName, rowName, r.NumCPU, *speedupMinCPUs)
+			continue
+		}
+		speedup := ref.NsPerAction / r.NsPerAction
+		fmt.Fprintf(stdout, "speedup: %s / %s = %.2fx (floor %.2fx)\n", refName, rowName, speedup, *minSpeedup)
+		if speedup < *minSpeedup {
+			shortfalls++
+			fmt.Fprintf(stderr, "benchguard: %s is only %.2fx faster than %s, below the %.2fx floor\n",
+				rowName, speedup, refName, *minSpeedup)
+		}
+	}
+	if shortfalls > 0 && status != exitRegression {
+		return exitSpeedup
+	}
 	return status
 }
+
+// pairList is the repeatable row:reference flag value behind -speedup.
+type pairList []string
+
+func (p *pairList) String() string     { return strings.Join(*p, ",") }
+func (p *pairList) Set(v string) error { *p = append(*p, v); return nil }
 
 // findRow returns the first fresh row with the given name (the fresh
 // artifact is one host and one run, so names are unique per batch).

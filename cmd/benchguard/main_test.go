@@ -96,6 +96,96 @@ func TestSelfCheckRunsDespiteZeroMatches(t *testing.T) {
 	}
 }
 
+// speedupRows is a fresh artifact from an 8-CPU host: workers=4 runs
+// 3x faster than workers=1.
+const speedupRows = `[{"name":"open-large-workers=1","num_cpu":8,"gomaxprocs":8,"ns_per_action":300},
+  {"name":"open-large-workers=4","num_cpu":8,"gomaxprocs":8,"ns_per_action":100}]`
+
+// singleCPURows is the same pair measured on a 1-CPU host (the build
+// container): no parallelism is possible, so the check must skip.
+const singleCPURows = `[{"name":"open-large-workers=1","num_cpu":1,"gomaxprocs":1,"ns_per_action":100},
+  {"name":"open-large-workers=4","num_cpu":1,"gomaxprocs":1,"ns_per_action":103}]`
+
+func TestSpeedupAtOrAboveFloorPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRows(t, dir, "base.json", otherHostRow)
+	fresh := writeRows(t, dir, "fresh.json", speedupRows)
+	status, out, _ := runGuard(t, "-baseline", base, "-fresh", fresh,
+		"-speedup", "open-large-workers=4:open-large-workers=1", "-min-speedup", "1.8")
+	if status != exitNoMatch { // no host-shape match, but the speedup pair held
+		t.Fatalf("status = %d, want %d", status, exitNoMatch)
+	}
+	if !strings.Contains(out, "= 3.00x") {
+		t.Fatalf("missing speedup line in output:\n%s", out)
+	}
+}
+
+// TestSpeedupShortfallIsDistinctStatus is the scaling tripwire: a
+// parallel shape that stopped beating the serial one must fail with
+// its own exit status, distinguishable from a row regression.
+func TestSpeedupShortfallIsDistinctStatus(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRows(t, dir, "base.json", otherHostRow)
+	fresh := writeRows(t, dir, "fresh.json", speedupRows)
+	status, _, errOut := runGuard(t, "-baseline", base, "-fresh", fresh,
+		"-speedup", "open-large-workers=4:open-large-workers=1", "-min-speedup", "3.5")
+	if status != exitSpeedup {
+		t.Fatalf("status = %d, want %d", status, exitSpeedup)
+	}
+	if !strings.Contains(errOut, "below the") {
+		t.Fatalf("missing shortfall message on stderr:\n%s", errOut)
+	}
+}
+
+// TestSpeedupSkipsOnSmallHosts: the 1-CPU build container cannot show
+// parallel speedup, so the pair is reported as skipped, not failed.
+func TestSpeedupSkipsOnSmallHosts(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRows(t, dir, "base.json", otherHostRow)
+	fresh := writeRows(t, dir, "fresh.json", singleCPURows)
+	status, out, _ := runGuard(t, "-baseline", base, "-fresh", fresh,
+		"-speedup", "open-large-workers=4:open-large-workers=1", "-speedup-min-cpus", "4")
+	if status != exitNoMatch {
+		t.Fatalf("status = %d, want %d", status, exitNoMatch)
+	}
+	if !strings.Contains(out, "skipped (host has 1 CPUs") {
+		t.Fatalf("missing skip note in output:\n%s", out)
+	}
+}
+
+// TestSpeedupMissingRowIsUsageStatus: asking for a pair the artifact
+// does not carry is a configuration error, not a quiet pass.
+func TestSpeedupMissingRowIsUsageStatus(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRows(t, dir, "base.json", otherHostRow)
+	fresh := writeRows(t, dir, "fresh.json", speedupRows)
+	status, _, _ := runGuard(t, "-baseline", base, "-fresh", fresh,
+		"-speedup", "open-large-workers=16:open-large-workers=1")
+	if status != exitUsage {
+		t.Fatalf("status = %d, want %d", status, exitUsage)
+	}
+	status, _, _ = runGuard(t, "-baseline", base, "-fresh", fresh, "-speedup", "nocolon")
+	if status != exitUsage {
+		t.Fatalf("malformed pair: status = %d, want %d", status, exitUsage)
+	}
+}
+
+// TestRegressionOutranksSpeedupShortfall: when both fire, the more
+// specific row-regression status wins.
+func TestRegressionOutranksSpeedupShortfall(t *testing.T) {
+	dir := t.TempDir()
+	fresh := writeRows(t, dir, "fresh.json",
+		`[{"name":"open-large-workers=1","streams":64,"workers":1,"batch_cycles":32,"cycles":4,"num_cpu":8,"gomaxprocs":8,"ns_per_action":300},
+		  {"name":"open-large-workers=4","streams":64,"workers":4,"batch_cycles":32,"cycles":4,"num_cpu":8,"gomaxprocs":8,"ns_per_action":290}]`)
+	base := writeRows(t, dir, "base.json",
+		`[{"name":"open-large-workers=1","streams":64,"workers":1,"batch_cycles":32,"cycles":4,"num_cpu":8,"gomaxprocs":8,"ns_per_action":100}]`)
+	status, _, _ := runGuard(t, "-baseline", base, "-fresh", fresh,
+		"-speedup", "open-large-workers=4:open-large-workers=1")
+	if status != exitRegression {
+		t.Fatalf("status = %d, want %d", status, exitRegression)
+	}
+}
+
 func TestLoadErrorIsUsageStatus(t *testing.T) {
 	dir := t.TempDir()
 	fresh := writeRows(t, dir, "fresh.json", hostRow)

@@ -62,6 +62,7 @@ func main() {
 	streams := flag.Int("streams", 16, "number of independent streams")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	batch := flag.Int("batch", fleet.DefaultBatchCycles, "cycles a worker advances one stream before moving to the next in its shard")
+	lookahead := flag.Int("lookahead", fleet.DefaultLookahead, "admitted slots batched per worker wake in open runs (results identical at any value)")
 	cycles := flag.Int("cycles", 8, "cycles (frames) per stream")
 	seed := flag.Uint64("seed", 1, "base content seed; stream k uses a seed derived from it")
 	mix := flag.String("mix", "encoder", "stream mix: encoder (paper fleet) or workloads (catalog mix)")
@@ -95,6 +96,9 @@ func main() {
 	}
 	if *batch <= 0 {
 		log.Fatalf("-batch must be a positive cycle batch, got %d", *batch)
+	}
+	if *lookahead <= 0 {
+		log.Fatalf("-lookahead must be a positive window, got %d", *lookahead)
 	}
 	if *rate <= 0 || math.IsNaN(*rate) || math.IsInf(*rate, 0) {
 		log.Fatalf("-rate must be a positive arrival rate, got %v", *rate)
@@ -152,6 +156,7 @@ func main() {
 	var cfg fleet.OpenConfig
 	cfg.Workers = *workers
 	cfg.BatchCycles = *batch
+	cfg.Lookahead = *lookahead
 	label := *mix
 	switch {
 	case *bundlePath != "":

@@ -121,6 +121,7 @@ func main() {
 	admitSpec := flag.String("admit", "all", "admission policy: all, cap=K[,queue=N] or budget=U[,queue=N]")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); never changes results")
 	batch := flag.Int("batch", fleet.DefaultBatchCycles, "cycles per scheduling batch; never changes results")
+	lookahead := flag.Int("lookahead", fleet.DefaultLookahead, "admitted slots batched per worker wake; never changes results")
 	maxLevels := flag.Int("max-levels", 0, "widest quality-level count any served bundle may have (0 = the startup bundle's)")
 	noise := flag.Float64("noise", 0.3, "content model jitter amplitude")
 	jsonPath := flag.String("json", "", "write the final report JSON here (atomic rename)")
@@ -174,7 +175,7 @@ func main() {
 		strconv.Itoa(levels), strconv.FormatFloat(*noise, 'g', -1, 64))
 
 	d.live = fleet.NewOpenLive(fleet.OpenLiveConfig{
-		Admit: admit, Workers: *workers, BatchCycles: *batch, MaxLevels: levels,
+		Admit: admit, Workers: *workers, BatchCycles: *batch, Lookahead: *lookahead, MaxLevels: levels,
 	})
 
 	if *resume {

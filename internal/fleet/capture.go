@@ -152,7 +152,7 @@ func (f *openFrontier) capture() *OpenCapture {
 	}
 	a := f.arena
 	for slot, n := 0, int(a.allocated.Load()); slot < n; slot++ {
-		if a.status[slot].Load() != slotReady {
+		if a.status[slot].v.Load() != slotReady {
 			continue
 		}
 		tbl, idx := a.slotTbl[slot], a.slotIdx[slot]
@@ -255,9 +255,12 @@ func (f *openFrontier) restore(c *OpenCapture) error {
 		tbl.traces[idx] = e.Trace
 		tbl.sinks[idx].RestoreState(e.Sink)
 		depPush(&f.pend, depEvent{t: f.res.Lifecycles[k].Admitted + f.minFin[k], k: int32(k)})
-		f.arena.status[slot].Store(slotReady)
-		f.exec.start(slot)
+		f.arena.status[slot].v.Store(slotReady)
+		f.starts++
 	}
+	// One batched wake for every restored live slot — the executor sees
+	// the restore exactly as one admission burst.
+	f.flushStarts()
 	return nil
 }
 

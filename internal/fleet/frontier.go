@@ -65,8 +65,9 @@ type OpenScratch struct {
 	dep        []depEvent
 	pend       []depEvent
 	backlog    []int32
-	completed  []int32
-	spare      []int32
+	rings      []completionRing
+	over       []int32
+	overBuf    []int32
 
 	traces []sim.Trace
 	stats  []sim.StatsSink
@@ -139,7 +140,7 @@ func depPop(h *[]depEvent) depEvent {
 // locks; always quiescent between drains) and openSched (persistent
 // injection-aware workers, sched.go).
 type openExec interface {
-	start(slot int32)
+	start(n int)
 	drain(f *openFrontier, block bool)
 	quiesce()
 	release()
@@ -177,6 +178,8 @@ type openFrontier struct {
 	lastDep core.Time
 	ai      int   // arrival cursor into order
 	events  int64 // processed event groups (checkpoint-boundary counter)
+	look    int   // lookahead window: ready slots published per executor wake
+	starts  int   // ready slots admitted since the last flushStarts
 
 	arena *openArena
 	res   *OpenResult
@@ -280,6 +283,10 @@ func newFrontier(cfg *OpenConfig, sc *OpenScratch, stats bool) *openFrontier {
 	f.adm = cfg.Admit
 	if f.adm == nil {
 		f.adm = AdmitAll{}
+	}
+	f.look = cfg.Lookahead
+	if f.look <= 0 {
+		f.look = DefaultLookahead
 	}
 
 	if stats {
@@ -388,15 +395,22 @@ func (f *openFrontier) step(watermark core.Time) bool {
 		if b, ok := f.pendMin(); ok && b <= t && b <= watermark {
 			// An in-flight stream could depart at or before the next
 			// known event (and within the watermark): its exact service
-			// time gates the decision. Block for completions and
+			// time gates the decision. Flush any batched publications
+			// first — the completion the gate waits for may be a stream
+			// the executor was never woken for — then block and
 			// re-evaluate.
+			f.flushStarts()
 			f.exec.drain(f, true)
 			continue
 		}
 		if t > watermark || t >= core.TimeInf {
 			// Nothing (left) to process at this watermark: every known
 			// event and every in-flight departure bound lies beyond it —
-			// or, at an infinite watermark, the run has drained.
+			// or, at an infinite watermark, the run has drained. Hand any
+			// batched publications to the executor before yielding
+			// control: the caller may go idle (OpenLive between feeds)
+			// and the workers must not sit parked over ready slots.
+			f.flushStarts()
 			return false
 		}
 		if tD <= tA {
@@ -521,11 +535,27 @@ func (f *openFrontier) admit(k int32, t core.Time) {
 		return
 	}
 	depPush(&f.pend, depEvent{t: t + f.minFin[k], k: k})
-	// The release store publishes the bound slot to whoever executes it;
-	// start is the executor's wake hook (a no-op inline, a worker wake in
-	// the concurrent pool).
-	f.arena.status[slot].Store(slotReady)
-	f.exec.start(slot)
+	// The store publishes the bound slot: any worker already awake can
+	// claim it immediately (claim sweeps the arena, not a queue). The
+	// executor wake is batched through the lookahead window — admission
+	// decisions stay in exact serial event order, only the lock/signal
+	// that wakes parked workers is amortized over up to look slots.
+	f.arena.status[slot].v.Store(slotReady)
+	f.starts++
+	if f.starts >= f.look {
+		f.flushStarts()
+	}
+}
+
+// flushStarts hands the batched ready-slot publications to the
+// executor. Called when the lookahead window fills, and at every point
+// the frontier stops producing — before a blocking drain (the workers
+// it waits on may be parked) and before step yields to its caller.
+func (f *openFrontier) flushStarts() {
+	if f.starts > 0 {
+		f.exec.start(f.starts)
+		f.starts = 0
+	}
 }
 
 // finish harvests a completed (or bind-failed) slot: the result is
@@ -595,8 +625,8 @@ type inlineExec struct {
 }
 
 // start is a no-op: there is no pool to wake, and the frontier already
-// marked the slot ready for the drain sweep.
-func (e *inlineExec) start(slot int32) {}
+// marked the slots ready for the drain sweep.
+func (e *inlineExec) start(n int) {}
 
 func (e *inlineExec) drain(f *openFrontier, block bool) {
 	if !block {
@@ -607,7 +637,7 @@ func (e *inlineExec) drain(f *openFrontier, block bool) {
 		finished, live := false, false
 		n := int(a.allocated.Load())
 		for slot := 0; slot < n; slot++ {
-			if a.status[slot].Load() != slotReady {
+			if a.status[slot].v.Load() != slotReady {
 				continue
 			}
 			live = true

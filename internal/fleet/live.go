@@ -20,6 +20,10 @@ type OpenLiveConfig struct {
 	// OpenConfig: they change wall-clock time, never results.
 	Workers     int
 	BatchCycles int
+	// Lookahead is OpenConfig.Lookahead: the admission batch size per
+	// executor wake (≤ 0 selects DefaultLookahead). Results are
+	// byte-identical at any value.
+	Lookahead int
 	// MaxLevels bounds the quality-level count of every stream that
 	// will ever be fed — the uniform histogram window width of the slot
 	// arena, which cannot be widened once slots are live. Feeding a
@@ -59,6 +63,10 @@ func NewOpenLive(cfg OpenLiveConfig) *OpenLive {
 	f.adm = cfg.Admit
 	if f.adm == nil {
 		f.adm = AdmitAll{}
+	}
+	f.look = cfg.Lookahead
+	if f.look <= 0 {
+		f.look = DefaultLookahead
 	}
 	sc.arena.reset(0, true, nil, cfg.MaxLevels)
 	f.arena = &sc.arena

@@ -36,6 +36,14 @@ type OpenConfig struct {
 	// admission decisions are byte-identical at any (workers, batch).
 	Workers     int
 	BatchCycles int
+	// Lookahead bounds how many admitted-and-ready slots the frontier
+	// batches into one executor wake (≤ 0 selects DefaultLookahead;
+	// 1 publishes per event, the pre-lookahead behaviour). Admission
+	// decisions are made in exact serial event order regardless — the
+	// window only amortizes the wake of parked workers, so results are
+	// byte-identical at any (workers, batch, lookahead). The serial
+	// spec ignores it.
+	Lookahead int
 	// Export is Config.Export for the stats path: an extra per-stream
 	// sink keyed by the stream's index in Streams.
 	Export func(k int, name string) sim.Sink
@@ -84,6 +92,13 @@ func (r *OpenResult) Err() error {
 	}
 	return nil
 }
+
+// DefaultLookahead is the admission lookahead window selected by
+// OpenConfig.Lookahead ≤ 0: wide enough that an admission burst wakes
+// the pool once instead of per stream, narrow enough that the first
+// admitted stream of a burst is never starved behind the frontier's
+// own event processing.
+const DefaultLookahead = 16
 
 // OpenRun executes the open system on the continuous wave-free engine
 // with full traces retained per executed stream. See OpenRunStats for

@@ -1,0 +1,215 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/arrivals"
+	"repro/internal/core"
+)
+
+// TestCompletionRingWrapAround drives one SPSC ring through several
+// capacity wraps with interleaved push/pop phases: FIFO order must
+// survive the cursor wrapping, push must refuse exactly at capacity,
+// and pop must refuse exactly at empty.
+func TestCompletionRingWrapAround(t *testing.T) {
+	const capacity = 4
+	var r completionRing
+	r.reset(capacity)
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop on an empty ring succeeded")
+	}
+	next := int32(0) // next value to push
+	want := int32(0) // next value pop must yield
+	for round := 0; round < 5; round++ {
+		// Fill to capacity, confirm the full refusal, then half-drain —
+		// the half offset walks the cursors across the wrap boundary.
+		for r.tail.Load()-r.head.Load() < capacity {
+			if !r.push(next) {
+				t.Fatalf("round %d: push refused below capacity", round)
+			}
+			next++
+		}
+		if r.push(-1) {
+			t.Fatalf("round %d: push succeeded on a full ring", round)
+		}
+		for i := 0; i < capacity/2; i++ {
+			got, ok := r.pop()
+			if !ok || got != want {
+				t.Fatalf("round %d: pop = %d,%v, want %d,true", round, got, ok, want)
+			}
+			want++
+		}
+	}
+	for {
+		got, ok := r.pop()
+		if !ok {
+			break
+		}
+		if got != want {
+			t.Fatalf("drain: pop = %d, want %d", got, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("drained to %d, pushed %d values", want, next)
+	}
+	if h, tl := r.head.Load(), r.tail.Load(); h != tl || h <= int64(capacity) {
+		t.Fatalf("cursors head=%d tail=%d never wrapped capacity %d", h, tl, capacity)
+	}
+}
+
+// withTinyRings shrinks the per-worker completion rings for the
+// duration of one test, forcing the wrap-around, backpressure-spin and
+// overflow-park paths that a 64-slot ring would never hit in a test-
+// sized run. Tests using it must not run in parallel.
+func withTinyRings(t *testing.T, capacity int) {
+	t.Helper()
+	old := openRingCap
+	openRingCap = capacity
+	t.Cleanup(func() { openRingCap = old })
+}
+
+// TestOpenTinyRingBackpressureMatchesSpec is the overflow-path property
+// test: with 2-slot rings, simultaneous arrivals and short streams,
+// workers overrun their rings constantly — the bounded spin and the
+// overflow park both fire — yet results must stay byte-identical to
+// the serial spec at every worker count. A fresh scratch is reused
+// across shapes so ring state must also survive reuse.
+func TestOpenTinyRingBackpressureMatchesSpec(t *testing.T) {
+	withTinyRings(t, 2)
+	const n = 36
+	streams := skewedStreams(t, n, 71)
+	times, err := arrivals.Fixed{}.Times(n) // all at t=0: maximal concurrency
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := OpenConfig{Streams: streams, Arrivals: times, Admit: CapK{K: 12, Queue: -1}}
+	ref, err := OpenRunStatsSerial(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := NewOpenScratch()
+	for _, shape := range []struct{ workers, batch int }{{2, 1}, {4, 2}, {8, 1}, {16, 1}} {
+		cfg := base
+		cfg.Workers, cfg.BatchCycles, cfg.Scratch = shape.workers, shape.batch, scratch
+		got, err := OpenRunStats(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", shape.workers, err)
+		}
+		compareOpen(t, "tiny-ring", ref, got)
+	}
+}
+
+// TestOpenCheckpointDrainsFullRings pins the quiesce contract under
+// ring pressure: with 2-slot rings a worker can reach the quiesce park
+// while its ring is full and a completion is still in its overflow
+// cell. Checkpointing at every boundary must drain both — a capture
+// holding a completed-but-unretired slot would resume that stream a
+// second time. Every capture is resumed across shapes and compared to
+// the uninterrupted serial spec.
+func TestOpenCheckpointDrainsFullRings(t *testing.T) {
+	withTinyRings(t, 2)
+	const n = 24
+	streams := skewedStreams(t, n, 73)
+	times := burstyTimes(t, n, 29)
+	base := OpenConfig{Streams: streams, Arrivals: times, Admit: CapK{K: 8, Queue: -1}}
+	ref, err := OpenRunStatsSerial(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Workers, cfg.BatchCycles = 8, 1
+	var caps []*OpenCapture
+	got, err := OpenRunStatsCheckpointed(cfg, nil, 1, func(c *OpenCapture) error {
+		caps = append(caps, c)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareOpen(t, "checkpointed tiny-ring run", ref, got)
+	if len(caps) == 0 {
+		t.Fatal("no checkpoint boundaries hit")
+	}
+	shapes := []struct{ workers, batch int }{{1, 0}, {4, 1}, {8, 2}}
+	for i, c := range caps {
+		shape := shapes[i%len(shapes)]
+		rcfg := base
+		rcfg.Workers, rcfg.BatchCycles = shape.workers, shape.batch
+		res, err := OpenRunStatsCheckpointed(rcfg, c, 0, nil)
+		if err != nil {
+			t.Fatalf("resume at boundary %d (events=%d): %v", i, c.Events, err)
+		}
+		compareOpen(t, "tiny-ring resume", ref, res)
+	}
+}
+
+// TestOpenLookaheadWindowEquivalence is the lookahead determinism
+// property: the window batches only the executor wake, never the
+// admission decisions, so every (workers, lookahead) pair — window 1
+// being the pre-lookahead publish-per-event behaviour — must reproduce
+// the serial spec byte for byte. One scratch is shared across all
+// pairs.
+func TestOpenLookaheadWindowEquivalence(t *testing.T) {
+	const n = 36
+	streams := skewedStreams(t, n, 79)
+	for model, times := range openProcesses(t, n) {
+		base := OpenConfig{Streams: streams, Arrivals: times, Admit: CapK{K: 4, Queue: -1}}
+		ref, err := OpenRunStatsSerial(base)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		scratch := NewOpenScratch()
+		for _, look := range []int{1, 2, 3, DefaultLookahead, 1 << 20} {
+			for _, workers := range []int{1, 2, 8} {
+				cfg := base
+				cfg.Workers, cfg.Lookahead, cfg.Scratch = workers, look, scratch
+				got, err := OpenRunStats(cfg)
+				if err != nil {
+					t.Fatalf("%s lookahead=%d workers=%d: %v", model, look, workers, err)
+				}
+				compareOpen(t, model+"/lookahead", ref, got)
+			}
+		}
+	}
+}
+
+// TestOpenWorkerExtremesStress covers the pool-shape extremes the
+// striped claim and the ring harvest must both survive (run under
+// -race in CI): workers ≫ streams (most workers never own a stripe
+// slot and live off steals and parks) and streams ≫ workers (every
+// ring turns over many times). Both compare to the serial spec.
+func TestOpenWorkerExtremesStress(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		workers int
+		look    int
+	}{
+		{"workers-over-streams", 4, 16, 1},
+		{"streams-over-workers", 96, 2, DefaultLookahead},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			streams := skewedStreams(t, tc.n, 83)
+			times, err := arrivals.Poisson{MeanGap: 2 * core.Millisecond, Seed: 37}.Times(tc.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := OpenConfig{Streams: streams, Arrivals: times, Admit: AdmitAll{}}
+			ref, err := OpenRunStatsSerial(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := base
+			cfg.Workers, cfg.BatchCycles, cfg.Lookahead = tc.workers, 1, tc.look
+			for round := 0; round < 3; round++ {
+				got, err := OpenRunStats(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				compareOpen(t, tc.name, ref, got)
+			}
+		})
+	}
+}

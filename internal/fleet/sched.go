@@ -50,10 +50,12 @@ type sched struct {
 	// advances it.
 	//detlint:atomic
 	status []atomic.Int32
+	_      [cacheLine]byte // keep the dispenser off the slice headers' lines
 	// steal is the shared work-stealing dispenser, touched only by
 	// drained workers.
 	//detlint:atomic
 	steal atomic.Int64
+	_     [cacheLine - 8]byte
 }
 
 // Run advances every stream of the table to completion on the given
@@ -161,34 +163,139 @@ type openSched struct {
 	batch   int
 	workers int
 
-	mu        sync.Mutex
-	work      *sync.Cond // workers park here for the next injection
-	comp      *sync.Cond // the frontier blocks here for completions
-	quiet     *sync.Cond // quiesce waits here until every worker is parked
-	resume    *sync.Cond // paused workers park here until release
-	completed []int32    // published completions awaiting the frontier
-	spare     []int32    // drained buffer, swapped back on the next drain
-	gen       uint64     // bind generation; bumped under mu per injection
-	parked    int        // workers currently waiting on work or resume
-	paused    bool       // quiesce requested; workers park at the next boundary
-	done      bool
+	mu     sync.Mutex
+	work   *sync.Cond // workers park here for the next injection
+	comp   *sync.Cond // the frontier blocks here for completions
+	quiet  *sync.Cond // quiesce waits here until every worker is parked
+	resume *sync.Cond // paused workers park here until release
+	space  *sync.Cond // overflow-parked workers wait for the frontier here
+	over   []int32    // per-worker overflow cell (-1 = none), under mu
+	gen    uint64     // bind generation; bumped under mu per injection batch
+	parked int        // workers waiting on work, resume, or space
+	paused bool       // quiesce requested; workers park at the next boundary
+	done   bool
 
+	rings   []completionRing // per-worker SPSC completion rings
+	overBuf []int32          // frontier-only staging for overflow slots
+
+	_ [cacheLine]byte // isolate the cross-thread hot words below
 	// steal staggers full steal sweeps across drained workers.
 	//detlint:atomic
 	steal atomic.Int64
-	wg    sync.WaitGroup
+	_     [cacheLine - 8]byte
+	// compWait is the Dekker flag for the frontier's blocking drain: the
+	// frontier raises it (under mu) before re-walking the rings, and
+	// every worker checks it after publishing. Both sides are seq-cst
+	// store-then-load pairs over (ring tail, compWait), so either the
+	// frontier's walk sees the completion or the worker sees the flag
+	// and signals comp — a wakeup can never be lost.
+	//detlint:atomic
+	compWait atomic.Int32
+	_        [cacheLine - 4]byte
+	// overflow counts workers parked with a completion in their over
+	// cell; the frontier polls it per harvest without taking the lock.
+	//detlint:atomic
+	overflow atomic.Int32
+	_        [cacheLine - 4]byte
+
+	wg sync.WaitGroup
 }
 
-// newOpenSched spawns the persistent pool. The completion buffers come
-// from the scratch so a warm steady state publishes without allocating.
+// openRingCap is the per-worker completion ring capacity (a power of
+// two). It is a variable only so tests can shrink it to force the
+// wrap-around and overflow-park paths; nothing mutates it concurrently
+// with a run.
+var openRingCap = 64
+
+// ringSpin bounds how long a worker yields on a full ring before
+// parking: long enough to ride out a frontier that is mid-harvest,
+// short enough that quiesce is never held hostage by a spinner.
+const ringSpin = 128
+
+// completionRing is a single-producer/single-consumer ring of finished
+// slots: the owning worker pushes, the frontier pops. head and tail sit
+// on separate cache lines so the producer's stores never invalidate the
+// consumer's hot line (or vice versa). Both cursors are seq-cst
+// atomics, which carries the classic SPSC argument: the producer writes
+// buf[t] only after observing head > t−cap, the consumer reads buf[h]
+// only after observing tail > h, and each side advances only its own
+// cursor — so every buf access is ordered by a cursor publication.
+type completionRing struct {
+	// head is the consumer cursor; only the frontier advances it.
+	//detlint:atomic
+	head atomic.Int64
+	_    [cacheLine - 8]byte
+	// tail is the producer cursor; only the owning worker advances it.
+	//detlint:atomic
+	tail atomic.Int64
+	_    [cacheLine - 8]byte
+	buf  []int32 // power-of-two length; indexed by cursor & (len-1)
+}
+
+// reset prepares the ring for a new run, reallocating the buffer only
+// when the capacity changed since the scratch last held it.
+func (r *completionRing) reset(capacity int) {
+	if len(r.buf) != capacity {
+		r.buf = make([]int32, capacity)
+	}
+	r.head.Store(0)
+	r.tail.Store(0)
+}
+
+// push publishes one finished slot, reporting false when the ring is
+// full — the producer falls back to publishSlow rather than block here.
+//
+//detlint:hotpath
+func (r *completionRing) push(slot int32) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() >= int64(len(r.buf)) {
+		return false
+	}
+	r.buf[int(t)&(len(r.buf)-1)] = slot
+	r.tail.Store(t + 1)
+	return true
+}
+
+// pop takes the oldest published slot, if any.
+//
+//detlint:hotpath
+func (r *completionRing) pop() (int32, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return 0, false
+	}
+	slot := r.buf[int(h)&(len(r.buf)-1)]
+	r.head.Store(h + 1)
+	return slot, true
+}
+
+// newOpenSched spawns the persistent pool. The rings and overflow cells
+// live in the scratch so a warm steady state publishes without
+// allocating; cursors are reset here because an aborted run can leave
+// completions behind.
 func newOpenSched(a *openArena, workers, batch int, sc *OpenScratch) *openSched {
 	s := &openSched{a: a, sc: sc, batch: batch, workers: workers}
 	s.work = sync.NewCond(&s.mu)
 	s.comp = sync.NewCond(&s.mu)
 	s.quiet = sync.NewCond(&s.mu)
 	s.resume = sync.NewCond(&s.mu)
-	s.completed = sc.completed[:0]
-	s.spare = sc.spare[:0]
+	s.space = sync.NewCond(&s.mu)
+	if len(sc.rings) < workers {
+		sc.rings = make([]completionRing, workers)
+	}
+	if cap(sc.over) < workers {
+		sc.over = make([]int32, workers)
+		sc.overBuf = make([]int32, 0, workers)
+	}
+	s.rings = sc.rings[:workers]
+	for w := range s.rings {
+		s.rings[w].reset(openRingCap)
+	}
+	s.over = sc.over[:workers]
+	for w := range s.over {
+		s.over[w] = -1
+	}
+	s.overBuf = sc.overBuf[:0]
 	s.wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
@@ -199,48 +306,159 @@ func newOpenSched(a *openArena, workers, batch int, sc *OpenScratch) *openSched 
 	return s
 }
 
-// start wakes the pool after the frontier published a ready slot. One
-// injection is one slot, so one parked worker is woken (shutdown uses
-// the broadcast); the lock and signal amortize over a whole stream's
-// execution.
-func (s *openSched) start(slot int32) {
+// start wakes the pool after the frontier published n ready slots. The
+// lookahead window batches publications, so one lock/generation bump
+// covers a whole admission burst; waking min(n, workers) parked workers
+// keeps a single-slot publish exactly as cheap as before.
+func (s *openSched) start(n int) {
 	s.mu.Lock()
 	s.gen++
-	s.work.Signal()
+	if n >= s.workers {
+		s.work.Broadcast()
+	} else {
+		for i := 0; i < n; i++ {
+			s.work.Signal()
+		}
+	}
 	s.mu.Unlock()
 }
 
-// drain hands published completions to the frontier (blocking until at
-// least one arrives when block is set) and finishes them outside the
-// lock. The two buffers swap roles so the steady state never allocates.
-func (s *openSched) drain(f *openFrontier, block bool) {
-	s.mu.Lock()
-	if block {
-		for len(s.completed) == 0 {
-			s.comp.Wait()
+// harvest retires every published completion — the per-worker rings
+// round-robin, then any overflow-parked slots — and reports whether it
+// found one. Ring traffic is entirely lock-free; the mutex is touched
+// only when some worker overflowed its ring and parked.
+func (s *openSched) harvest(f *openFrontier) bool {
+	got := false
+	for w := range s.rings {
+		r := &s.rings[w]
+		for {
+			slot, ok := r.pop()
+			if !ok {
+				break
+			}
+			f.finish(slot)
+			got = true
 		}
 	}
-	buf := s.completed
-	s.completed = s.spare[:0]
+	if s.overflow.Load() != 0 && s.takeOverflow(f) {
+		got = true
+	}
+	return got
+}
+
+// takeOverflow consumes the overflow cell of every worker parked on a
+// full ring and wakes them. Slots are collected under the lock but
+// retired outside it, so the parked workers resume while the frontier
+// is still finishing their streams.
+func (s *openSched) takeOverflow(f *openFrontier) bool {
+	s.mu.Lock()
+	buf := s.overBuf[:0]
+	for w := range s.over {
+		if s.over[w] >= 0 {
+			buf = append(buf, s.over[w])
+			s.over[w] = -1
+		}
+	}
+	if len(buf) > 0 {
+		s.overflow.Add(int32(-len(buf)))
+		s.space.Broadcast()
+	}
 	s.mu.Unlock()
+	s.overBuf = buf[:0]
 	for _, slot := range buf {
 		f.finish(slot)
 	}
-	s.spare = buf[:0]
+	return len(buf) > 0
+}
+
+// drain retires published completions, blocking until at least one
+// arrives when block is set. The non-blocking pass never takes the
+// mutex unless a ring overflowed; the blocking pass raises compWait and
+// re-walks the rings before every wait, so a publication cannot slip
+// between the check and the sleep (see compWait). The overflow re-check
+// under the lock covers the one publisher that parks instead of
+// pushing: its counter bump happens under mu, so it is visible here.
+func (s *openSched) drain(f *openFrontier, block bool) {
+	if s.harvest(f) || !block {
+		return
+	}
+	s.mu.Lock()
+	s.compWait.Store(1)
+	for {
+		s.mu.Unlock()
+		got := s.harvest(f)
+		s.mu.Lock()
+		if got {
+			break
+		}
+		if s.overflow.Load() != 0 {
+			continue // a publisher parked between harvest and lock
+		}
+		s.comp.Wait()
+	}
+	s.compWait.Store(0)
+	s.mu.Unlock()
+}
+
+// publish hands one finished slot to the frontier. The fast path is a
+// single SPSC push with no lock; the compWait check afterwards wakes a
+// frontier that went to sleep concurrently (see compWait).
+func (s *openSched) publish(w int, slot int32) {
+	if !s.rings[w].push(slot) {
+		s.publishSlow(w, slot)
+	}
+	if s.compWait.Load() != 0 {
+		s.mu.Lock()
+		s.comp.Signal()
+		s.mu.Unlock()
+	}
+}
+
+// publishSlow handles a full ring: yield-spin briefly (the frontier may
+// be mid-harvest), then park with the slot in the worker's overflow
+// cell until the frontier consumes it. Publication never waits on the
+// frontier while holding anything the frontier needs, and the park
+// counts toward quiesce — so a checkpoint reaches quiescence even with
+// every ring full and drains the backlog afterwards.
+func (s *openSched) publishSlow(w int, slot int32) {
+	r := &s.rings[w]
+	for i := 0; i < ringSpin; i++ {
+		runtime.Gosched()
+		if r.push(slot) {
+			return
+		}
+	}
+	s.mu.Lock()
+	if !r.push(slot) {
+		s.over[w] = slot
+		s.overflow.Add(1)
+		s.parked++
+		if s.parked == s.workers {
+			s.quiet.Signal()
+		}
+		if s.compWait.Load() != 0 {
+			s.comp.Signal()
+		}
+		for s.over[w] >= 0 && !s.done {
+			s.space.Wait()
+		}
+		s.parked--
+	}
+	s.mu.Unlock()
 }
 
 // shutdown releases the pool. The frontier calls it once every
-// departure has been retired, so no slot can still be ready or claimed.
+// departure has been retired, so no slot can still be ready or claimed
+// — except on abort, where a worker may still be parked on a full ring;
+// the space broadcast lets it abandon the slot and exit.
 func (s *openSched) shutdown() {
 	s.mu.Lock()
 	s.done = true
 	s.work.Broadcast()
 	s.resume.Broadcast()
+	s.space.Broadcast()
 	s.mu.Unlock()
 	s.wg.Wait()
-	// Hand the grown buffers back so the next run's steady state starts
-	// warm.
-	s.sc.completed, s.sc.spare = s.completed[:0], s.spare[:0]
 }
 
 // quiesce pauses the pool at a cycle-batch boundary: workers finish the
@@ -248,8 +466,11 @@ func (s *openSched) shutdown() {
 // every worker is parked. From then until release, no slot is claimed
 // and no slab is being written, so the frontier can read (or grow) every
 // arena structure without a race — the checkpoint and population-growth
-// hook. The frontier must still drain published completions itself; a
-// worker may have completed a stream right before parking.
+// hook. The frontier must still drain published completions itself: a
+// worker may have completed a stream right before parking, and a worker
+// parked on a full ring counts as parked with its slot still in the
+// overflow cell — drain consumes both, so no slotDone slot survives a
+// post-quiesce drain.
 func (s *openSched) quiesce() {
 	s.mu.Lock()
 	s.paused = true
@@ -311,13 +532,10 @@ func (s *openSched) runOpen(w int) {
 		}
 		tbl, idx := s.a.slotTbl[slot], s.a.slotIdx[slot]
 		if advance(&tbl.streams[idx], s.batch) {
-			s.a.status[slot].Store(slotDone)
-			s.mu.Lock()
-			s.completed = append(s.completed, slot)
-			s.comp.Signal()
-			s.mu.Unlock()
+			s.a.status[slot].v.Store(slotDone)
+			s.publish(w, slot)
 		} else {
-			s.a.status[slot].Store(slotReady)
+			s.a.status[slot].v.Store(slotReady)
 		}
 	}
 }
@@ -330,7 +548,7 @@ func (s *openSched) runOpen(w int) {
 func (s *openSched) claim(w int) (int32, bool) {
 	n := int(s.a.allocated.Load())
 	for i := w; i < n; i += s.workers {
-		if s.a.status[i].Load() == slotReady && s.a.status[i].CompareAndSwap(slotReady, slotClaimed) {
+		if s.a.status[i].v.Load() == slotReady && s.a.status[i].v.CompareAndSwap(slotReady, slotClaimed) {
 			return int32(i), true
 		}
 	}
@@ -343,7 +561,7 @@ func (s *openSched) claim(w int) (int32, bool) {
 		if i >= n {
 			i -= n
 		}
-		if s.a.status[i].Load() == slotReady && s.a.status[i].CompareAndSwap(slotReady, slotClaimed) {
+		if s.a.status[i].v.Load() == slotReady && s.a.status[i].v.CompareAndSwap(slotReady, slotClaimed) {
 			return int32(i), true
 		}
 	}

@@ -261,6 +261,27 @@ const (
 	slotDone
 )
 
+// cacheLine is the padding unit for the engine's worker-shared hot
+// words. 64 bytes covers every amd64/arm64 part the engine targets;
+// on parts with 128-byte prefetch pairs the residual sharing is
+// between neighbours only, not the whole stripe.
+const cacheLine = 64
+
+// slotWord is one slot's scheduler status on its own cache line. The
+// status array is scanned stripe-wise — worker w claims slots ≡ w mod
+// workers — so with packed words sixteen workers' CAS traffic would
+// land on each 64-byte line and every claim would ping-pong the line
+// across cores. One word per line trades 60 bytes of padding per slot
+// (slot count is peak concurrency, not population) for contention-free
+// stripe sweeps.
+type slotWord struct {
+	// v is the slot's lifecycle word, shared between the frontier and
+	// the workers.
+	//detlint:atomic
+	v atomic.Int32
+	_ [cacheLine - 4]byte
+}
+
 // openArena is the continuous open engine's slot store: a set of
 // fixed-size StreamTable chunks plus flat slot-indirection arrays. The
 // closed-table growth rule (Ensure only with every slot free) cannot
@@ -287,10 +308,9 @@ type openArena struct {
 	slotTbl    []*StreamTable // slot → chunk table
 	slotIdx    []int32        // slot → index within its chunk
 	slotStream []int32        // slot → bound stream index (frontier writes before the ready store)
-	// status holds one lifecycle word per slot, shared between the
-	// frontier and the workers.
-	//detlint:atomic
-	status []atomic.Int32
+	// status holds one cache-line-padded lifecycle word per slot
+	// (slotWord); the atomic discipline binds to slotWord.v.
+	status []slotWord
 	// allocated is the published slot count; workers scan [0, allocated).
 	//detlint:atomic
 	allocated atomic.Int32
@@ -329,7 +349,7 @@ func (a *openArena) reset(n int, stats bool, export func(int, string) sim.Sink, 
 		a.slotTbl = make([]*StreamTable, want)
 		a.slotIdx = make([]int32, want)
 		a.slotStream = make([]int32, want)
-		a.status = make([]atomic.Int32, want)
+		a.status = make([]slotWord, want)
 		a.free = make([]int32, 0, want)
 	} else {
 		a.slotTbl = a.slotTbl[:want]
@@ -371,12 +391,12 @@ func (a *openArena) ensurePopulation(n int) {
 	slotTbl := make([]*StreamTable, c)
 	slotIdx := make([]int32, c)
 	slotStream := make([]int32, c)
-	status := make([]atomic.Int32, c)
+	status := make([]slotWord, c)
 	copy(slotTbl, a.slotTbl)
 	copy(slotIdx, a.slotIdx)
 	copy(slotStream, a.slotStream)
 	for i := range a.status {
-		status[i].Store(a.status[i].Load())
+		status[i].v.Store(a.status[i].v.Load())
 	}
 	a.slotTbl, a.slotIdx, a.slotStream, a.status = slotTbl, slotIdx, slotStream, status
 }
@@ -388,7 +408,7 @@ func (a *openArena) register(slot int, c *StreamTable, i int) {
 	a.slotTbl[slot] = c
 	a.slotIdx[slot] = int32(i)
 	a.slotStream[slot] = -1
-	a.status[slot].Store(slotEmpty)
+	a.status[slot].v.Store(slotEmpty)
 	a.free = append(a.free, int32(slot))
 }
 
@@ -435,7 +455,7 @@ func (a *openArena) bind(s *Stream, k int) int32 {
 
 // release recycles a harvested slot.
 func (a *openArena) release(slot int32) {
-	a.status[slot].Store(slotEmpty)
+	a.status[slot].v.Store(slotEmpty)
 	a.slotStream[slot] = -1
 	a.free = append(a.free, slot)
 }
