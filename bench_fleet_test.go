@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -340,6 +341,21 @@ func BenchmarkFleetOpen(b *testing.B) {
 	for _, w := range []int{1, 2, 4} {
 		measure(fmt.Sprintf("open-poisson-cap4-workers=%d", w), small, smallStreams, w,
 			smallTimes, smallProc.Name(), smallAdm, fleet.OpenRunStats)
+	}
+
+	// Obs twins: the same configurations with the metric hooks enabled —
+	// the rows benchguard's -overhead gate compares against their
+	// disabled twins above, keeping the allocation-free instrument layer
+	// effectively free on the hot path. One instrument bundle serves
+	// every iteration, exactly as a long-running daemon would hold it.
+	obsMet := obs.NewFleetMetrics(obs.NewRegistry("bench"))
+	for _, w := range []int{1, 4} {
+		measure(fmt.Sprintf("open-poisson-cap4-obs-workers=%d", w), small, smallStreams, w,
+			smallTimes, smallProc.Name(), smallAdm,
+			func(cfg fleet.OpenConfig) (*fleet.OpenResult, error) {
+				cfg.Obs = obsMet
+				return fleet.OpenRunStats(cfg)
+			})
 	}
 
 	// Large family: dense arrivals, 64 streams, admit-all — the

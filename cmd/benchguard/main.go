@@ -28,9 +28,19 @@
 //
 // Usage:
 //
+// Observability overhead gets the same treatment through -overhead: a
+// row:reference pair (repeatable) where the row is the metrics-enabled
+// shape of a benchmark and the reference its disabled twin, compared
+// within the fresh artifact. The guard fails when row ns/action exceeds
+// reference × (1 + -max-overhead) — the contract that the allocation-
+// free instrument layer stays effectively free on the hot path.
+//
+// Usage:
+//
 //	benchguard [-baseline BENCH_baseline.json] [-fresh BENCH_fleet.json]
 //	           [-max-regress 0.25] [-self row:reference] [-max-self-ratio 1.25]
 //	           [-speedup row:reference]... [-min-speedup 1.8] [-speedup-min-cpus 4]
+//	           [-overhead row:reference]... [-max-overhead 0.05]
 //
 // -max-regress is the tolerated fractional slowdown (0.25 = fail beyond
 // +25% ns/action). Improvements and matches within tolerance print as a
@@ -47,6 +57,8 @@
 //	   instead of treating a foreign-host no-op as a guarantee
 //	4  a -speedup pair fell short of -min-speedup on a host with enough
 //	   CPUs — the parallel engine stopped scaling
+//	5  an -overhead pair exceeded -max-overhead — enabling metrics is no
+//	   longer effectively free on the hot path
 package main
 
 import (
@@ -66,6 +78,7 @@ const (
 	exitUsage      = 2
 	exitNoMatch    = 3
 	exitSpeedup    = 4
+	exitOverhead   = 5
 )
 
 // row mirrors the fleet bench harness's artifact schema; unknown fields
@@ -127,6 +140,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.Var(&speedups, "speedup", "row:reference pair whose reference-over-row ns/action ratio must reach -min-speedup (repeatable; compared within the fresh artifact)")
 	minSpeedup := fs.Float64("min-speedup", 1.8, "minimum reference÷row ns/action ratio every -speedup pair must reach")
 	speedupMinCPUs := fs.Int("speedup-min-cpus", 4, "skip -speedup pairs when the fresh rows report fewer CPUs than this")
+	var overheads pairList
+	fs.Var(&overheads, "overhead", "row:reference pair whose row-over-reference ns/action excess must stay within -max-overhead (repeatable; compared within the fresh artifact)")
+	maxOverhead := fs.Float64("max-overhead", 0.05, "tolerated fractional ns/action excess of every -overhead row over its reference")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -144,6 +160,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *speedupMinCPUs < 1 {
 		return fail("-speedup-min-cpus must be ≥ 1, got %d", *speedupMinCPUs)
+	}
+	if *maxOverhead < 0 || math.IsNaN(*maxOverhead) || math.IsInf(*maxOverhead, 0) {
+		return fail("-max-overhead must be a non-negative fraction, got %v", *maxOverhead)
 	}
 
 	base, err := load(*baseline)
@@ -242,8 +261,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 				rowName, speedup, refName, *minSpeedup)
 		}
 	}
+	// Overhead pairs: the observability-enabled row must stay within
+	// -max-overhead of its disabled reference. Within-artifact like
+	// -self/-speedup, so it holds on any host. A breach outranks the
+	// no-match status but yields to regressions and speedup shortfalls,
+	// whose messages are the more specific ones.
+	breaches := 0
+	for _, pair := range overheads {
+		rowName, refName, ok := strings.Cut(pair, ":")
+		if !ok || rowName == "" || refName == "" {
+			return fail("-overhead wants row:reference, got %q", pair)
+		}
+		r, ref := findRow(cur, rowName), findRow(cur, refName)
+		if r == nil || ref == nil || ref.NsPerAction <= 0 {
+			return fail("-overhead %s: the fresh artifact lacks the pair (have %q and %q?)", pair, rowName, refName)
+		}
+		excess := r.NsPerAction/ref.NsPerAction - 1
+		fmt.Fprintf(stdout, "overhead: %s / %s = %+.1f%% (bound %+.1f%%)\n",
+			rowName, refName, 100*excess, 100**maxOverhead)
+		if excess > *maxOverhead {
+			breaches++
+			fmt.Fprintf(stderr, "benchguard: %s costs %+.1f%% ns/action over %s, beyond the %+.1f%% overhead bound\n",
+				rowName, 100*excess, refName, 100**maxOverhead)
+		}
+	}
 	if shortfalls > 0 && status != exitRegression {
 		return exitSpeedup
+	}
+	if breaches > 0 && status != exitRegression {
+		return exitOverhead
 	}
 	return status
 }

@@ -186,6 +186,74 @@ func TestRegressionOutranksSpeedupShortfall(t *testing.T) {
 	}
 }
 
+// overheadRows is a fresh artifact carrying a benchmark in both its
+// metrics-enabled and disabled shapes: obs costs +3% ns/action.
+const overheadRows = `[{"name":"open-poisson-cap4-workers=1","num_cpu":8,"gomaxprocs":8,"ns_per_action":100},
+  {"name":"open-poisson-cap4-obs-workers=1","num_cpu":8,"gomaxprocs":8,"ns_per_action":103}]`
+
+func TestOverheadWithinBoundPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRows(t, dir, "base.json", otherHostRow)
+	fresh := writeRows(t, dir, "fresh.json", overheadRows)
+	status, out, _ := runGuard(t, "-baseline", base, "-fresh", fresh,
+		"-overhead", "open-poisson-cap4-obs-workers=1:open-poisson-cap4-workers=1", "-max-overhead", "0.05")
+	if status != exitNoMatch { // no host-shape match, but the overhead pair held
+		t.Fatalf("status = %d, want %d", status, exitNoMatch)
+	}
+	if !strings.Contains(out, "overhead: open-poisson-cap4-obs-workers=1 / open-poisson-cap4-workers=1 = +3.0%") {
+		t.Fatalf("missing overhead line in output:\n%s", out)
+	}
+}
+
+// TestOverheadBreachIsDistinctStatus is the observability cost
+// tripwire: metrics that stop being effectively free must fail with
+// their own exit status, distinguishable from a row regression.
+func TestOverheadBreachIsDistinctStatus(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRows(t, dir, "base.json", otherHostRow)
+	fresh := writeRows(t, dir, "fresh.json", overheadRows)
+	status, _, errOut := runGuard(t, "-baseline", base, "-fresh", fresh,
+		"-overhead", "open-poisson-cap4-obs-workers=1:open-poisson-cap4-workers=1", "-max-overhead", "0.02")
+	if status != exitOverhead {
+		t.Fatalf("status = %d, want %d", status, exitOverhead)
+	}
+	if !strings.Contains(errOut, "beyond the +2.0% overhead bound") {
+		t.Fatalf("missing breach message on stderr:\n%s", errOut)
+	}
+}
+
+// TestOverheadMissingRowIsUsageStatus: a pair the artifact lacks is a
+// configuration error, not a quiet pass.
+func TestOverheadMissingRowIsUsageStatus(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRows(t, dir, "base.json", otherHostRow)
+	fresh := writeRows(t, dir, "fresh.json", overheadRows)
+	status, _, _ := runGuard(t, "-baseline", base, "-fresh", fresh,
+		"-overhead", "no-such-row:open-poisson-cap4-workers=1")
+	if status != exitUsage {
+		t.Fatalf("status = %d, want %d", status, exitUsage)
+	}
+	status, _, _ = runGuard(t, "-baseline", base, "-fresh", fresh, "-overhead", "nocolon")
+	if status != exitUsage {
+		t.Fatalf("malformed pair: status = %d, want %d", status, exitUsage)
+	}
+}
+
+// TestRegressionOutranksOverheadBreach: when both fire, the more
+// specific row-regression status wins.
+func TestRegressionOutranksOverheadBreach(t *testing.T) {
+	dir := t.TempDir()
+	fresh := writeRows(t, dir, "fresh.json",
+		`[{"name":"open","streams":64,"workers":1,"batch_cycles":32,"cycles":4,"num_cpu":8,"gomaxprocs":8,"ns_per_action":300},
+		  {"name":"open-obs","streams":64,"workers":1,"batch_cycles":32,"cycles":4,"num_cpu":8,"gomaxprocs":8,"ns_per_action":400}]`)
+	base := writeRows(t, dir, "base.json",
+		`[{"name":"open","streams":64,"workers":1,"batch_cycles":32,"cycles":4,"num_cpu":8,"gomaxprocs":8,"ns_per_action":100}]`)
+	status, _, _ := runGuard(t, "-baseline", base, "-fresh", fresh, "-overhead", "open-obs:open")
+	if status != exitRegression {
+		t.Fatalf("status = %d, want %d", status, exitRegression)
+	}
+}
+
 func TestLoadErrorIsUsageStatus(t *testing.T) {
 	dir := t.TempDir()
 	fresh := writeRows(t, dir, "fresh.json", hostRow)

@@ -1,0 +1,110 @@
+// Command promassert validates a Prometheus text exposition and
+// asserts sample values — the CI-side consumer of the /metrics
+// endpoints and -metrics artifacts this repo's binaries expose. It
+// parses the input with the same strict validator the golden tests
+// use, so a scrape that drifts from text format v0.0.4 fails here, not
+// in a dashboard three weeks later.
+//
+// Usage:
+//
+//	promassert [-in scrape.prom] [-min name:floor]...
+//
+// -in names the exposition file (default stdin). Each -min (repeatable)
+// requires a sample whose name matches (label sets are ignored; the
+// first sample of the family is compared) with a value ≥ floor.
+//
+// Exit status: 0 when the exposition parses and every -min assertion
+// holds, 1 when parsing fails or an assertion misses, 2 on usage
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+const (
+	exitOK     = 0
+	exitFailed = 1
+	exitUsage  = 2
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole tool behind an injectable (args, stdout, stderr) so
+// the exit-status contract is unit-testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fail := func(status int, format string, a ...any) int {
+		fmt.Fprintf(stderr, "promassert: "+format+"\n", a...)
+		return status
+	}
+	fs := flag.NewFlagSet("promassert", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "exposition file to validate (default stdin)")
+	var mins minList
+	fs.Var(&mins, "min", "name:floor — require a sample of this family with value ≥ floor (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		return fail(exitUsage, "unexpected arguments %q; promassert is configured by flags only", fs.Args())
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return fail(exitUsage, "%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	samples, err := obs.ParseProm(r)
+	if err != nil {
+		return fail(exitFailed, "exposition does not parse: %v", err)
+	}
+	fmt.Fprintf(stdout, "parsed %d samples\n", len(samples))
+
+	misses := 0
+	for _, m := range mins {
+		name, floorStr, ok := strings.Cut(m, ":")
+		if !ok || name == "" {
+			return fail(exitUsage, "-min wants name:floor, got %q", m)
+		}
+		floor, err := strconv.ParseFloat(floorStr, 64)
+		if err != nil {
+			return fail(exitUsage, "-min %s: bad floor: %v", m, err)
+		}
+		s, found := obs.FindSample(samples, name)
+		if !found {
+			misses++
+			fmt.Fprintf(stderr, "promassert: no sample of family %q in the exposition\n", name)
+			continue
+		}
+		verdict := "ok"
+		if s.Value < floor {
+			misses++
+			verdict = "FAIL"
+			fmt.Fprintf(stderr, "promassert: %s = %v, below the %v floor\n", name, s.Value, floor)
+		}
+		fmt.Fprintf(stdout, "%s = %v (floor %v) %s\n", name, s.Value, floor, verdict)
+	}
+	if misses > 0 {
+		return exitFailed
+	}
+	return exitOK
+}
+
+// minList is the repeatable name:floor flag value behind -min.
+type minList []string
+
+func (m *minList) String() string     { return strings.Join(*m, ",") }
+func (m *minList) Set(v string) error { *m = append(*m, v); return nil }

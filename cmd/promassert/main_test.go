@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const goodProm = `# HELP qmfleetd_checkpoints_total Snapshots written.
+# TYPE qmfleetd_checkpoints_total counter
+qmfleetd_checkpoints_total{determinism="shape-dependent"} 6
+# HELP qmfleetd_resume_replay_events Arrival cursor replayed at resume.
+# TYPE qmfleetd_resume_replay_events gauge
+qmfleetd_resume_replay_events 17
+`
+
+// promFile drops an exposition into a temp file and returns its path.
+func promFile(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scrape.prom")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runTool(t *testing.T, args ...string) (status int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	status = run(args, &out, &errOut)
+	return status, out.String(), errOut.String()
+}
+
+func TestFloorsHoldIsOK(t *testing.T) {
+	status, out, _ := runTool(t,
+		"-in", promFile(t, goodProm),
+		"-min", "qmfleetd_checkpoints_total:1",
+		"-min", "qmfleetd_resume_replay_events:1")
+	if status != exitOK {
+		t.Fatalf("status %d, want %d", status, exitOK)
+	}
+	if !strings.Contains(out, "parsed 2 samples") {
+		t.Fatalf("missing parse summary in %q", out)
+	}
+	if !strings.Contains(out, "qmfleetd_checkpoints_total = 6 (floor 1) ok") {
+		t.Fatalf("missing assertion line in %q", out)
+	}
+}
+
+func TestBelowFloorFails(t *testing.T) {
+	status, _, errOut := runTool(t,
+		"-in", promFile(t, goodProm),
+		"-min", "qmfleetd_checkpoints_total:7")
+	if status != exitFailed {
+		t.Fatalf("status %d, want %d", status, exitFailed)
+	}
+	if !strings.Contains(errOut, "below the 7 floor") {
+		t.Fatalf("missing floor diagnostic in %q", errOut)
+	}
+}
+
+func TestMissingFamilyFails(t *testing.T) {
+	status, _, errOut := runTool(t,
+		"-in", promFile(t, goodProm),
+		"-min", "qmfleetd_bundle_swaps_total:1")
+	if status != exitFailed {
+		t.Fatalf("status %d, want %d", status, exitFailed)
+	}
+	if !strings.Contains(errOut, "no sample of family") {
+		t.Fatalf("missing diagnostic in %q", errOut)
+	}
+}
+
+func TestMalformedExpositionFails(t *testing.T) {
+	status, _, errOut := runTool(t,
+		"-in", promFile(t, "qmfleetd_checkpoints_total not-a-number\n"))
+	if status != exitFailed {
+		t.Fatalf("status %d, want %d", status, exitFailed)
+	}
+	if !strings.Contains(errOut, "does not parse") {
+		t.Fatalf("missing diagnostic in %q", errOut)
+	}
+}
+
+func TestBadMinSpecIsUsage(t *testing.T) {
+	for _, bad := range []string{"nocolon", ":3", "name:NaNish"} {
+		status, _, _ := runTool(t, "-in", promFile(t, goodProm), "-min", bad)
+		if status != exitUsage {
+			t.Fatalf("-min %q: status %d, want %d", bad, status, exitUsage)
+		}
+	}
+}

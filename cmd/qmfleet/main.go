@@ -13,6 +13,7 @@
 //	        [-arrivals fixed|poisson|bursty|trace:file.csv]
 //	        [-rate 1] [-burst 4] [-admit all|cap=K[,queue=N]|budget=U[,queue=N]]
 //	        [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//	        [-metrics out.prom] [-trace out.json]
 //	        [-mix encoder|workloads | -bundle controller.json [-manager relaxed]]
 //
 // By default the fleet is closed: all streams start at t = 0 and run to
@@ -22,6 +23,13 @@
 // (queueing and shedding included) and depart when done; the report
 // gains lifecycle, backlog and sojourn sections. A fixed seed produces
 // byte-identical traces and admission decisions at any -workers/-batch.
+//
+// -metrics writes the run's engine counters (admission verdicts,
+// batches, steals, parks, ring occupancy, checkpoint-store activity) as
+// Prometheus text exposition after the run; -trace records engine
+// events into a bounded ring stamped with virtual instants and writes
+// Chrome trace JSON. Neither changes results: the engine is
+// property-tested byte-identical with observability on and off.
 //
 // Streams run zero-retention by default: each feeds a StatsSink and the
 // report is computed from streamed aggregates, so memory is O(streams)
@@ -52,6 +60,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sim"
 )
@@ -80,6 +89,8 @@ func main() {
 	resumeRun := flag.Bool("resume", false, "resume from the newest valid snapshot in -checkpoint before running")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file (go tool pprof)")
+	metricsPath := flag.String("metrics", "", "write the run's engine metrics as Prometheus text exposition to this file")
+	tracePath := flag.String("trace", "", "write a Chrome trace JSON of engine events to this file")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -153,10 +164,25 @@ func main() {
 		}
 	}
 
+	var reg *obs.Registry
+	var cmet *obs.CheckpointMetrics
+	if *metricsPath != "" {
+		reg = obs.NewRegistry("qmfleet")
+		cmet = obs.NewCheckpointMetrics(reg, func() int64 { return time.Now().UnixNano() })
+	}
+	var etr *obs.Trace
+	if *tracePath != "" {
+		etr = obs.NewTrace(1 << 16)
+	}
+
 	var cfg fleet.OpenConfig
 	cfg.Workers = *workers
 	cfg.BatchCycles = *batch
 	cfg.Lookahead = *lookahead
+	if reg != nil {
+		cfg.Obs = obs.NewFleetMetrics(reg)
+	}
+	cfg.Trace = etr
 	label := *mix
 	switch {
 	case *bundlePath != "":
@@ -264,7 +290,7 @@ func main() {
 		var res *fleet.OpenResult
 		var err error
 		if *ckptDir != "" {
-			res, err = runCheckpointed(cfg, *ckptDir, *every, *resumeRun, doc)
+			res, err = runCheckpointed(cfg, *ckptDir, *every, *resumeRun, doc, cmet)
 		} else {
 			run := fleet.OpenRunStats
 			if *retain {
@@ -281,7 +307,8 @@ func main() {
 		table = report.OpenTable(res, open, flat, fsum)
 		doc.Open = &open
 	} else {
-		closed := fleet.Config{Streams: cfg.Streams, Workers: cfg.Workers, BatchCycles: cfg.BatchCycles, Export: cfg.Export}
+		closed := fleet.Config{Streams: cfg.Streams, Workers: cfg.Workers, BatchCycles: cfg.BatchCycles,
+			Export: cfg.Export, Obs: cfg.Obs, Trace: cfg.Trace}
 		run := fleet.RunStats
 		if *retain {
 			run = fleet.Run
@@ -335,6 +362,18 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	// Observability artifacts are written even for a failed run: the
+	// metrics and events up to the failure are the debugging record.
+	if reg != nil {
+		if err := checkpoint.WriteAtomic(*metricsPath, reg.WriteProm); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if etr != nil {
+		if err := checkpoint.WriteAtomic(*tracePath, etr.WriteChrome); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	system := "closed system"
 	if proc != nil {
@@ -358,11 +397,11 @@ func main() {
 // arrival process, admission policy — but not -workers/-batch, which
 // only change wall-clock time: a snapshot taken at one scheduler shape
 // resumes correctly at any other.
-func runCheckpointed(cfg fleet.OpenConfig, dir string, every int64, resume bool, doc *metrics.FleetDoc) (*fleet.OpenResult, error) {
+func runCheckpointed(cfg fleet.OpenConfig, dir string, every int64, resume bool, doc *metrics.FleetDoc, cmet *obs.CheckpointMetrics) (*fleet.OpenResult, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	store := &checkpoint.Store{Dir: dir, Logf: log.Printf}
+	store := &checkpoint.Store{Dir: dir, Logf: log.Printf, Met: cmet}
 	fp := checkpoint.Fingerprint("qmfleet", doc.Label,
 		strconv.Itoa(doc.Streams), strconv.Itoa(doc.Cycles),
 		strconv.FormatUint(doc.Seed, 10), doc.Arrivals, doc.Admission)

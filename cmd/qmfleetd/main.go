@@ -14,6 +14,22 @@
 //	         [-manager relaxed] [-admit all|cap=K[,queue=N]|budget=U[,queue=N]]
 //	         [-workers 0] [-batch 32] [-max-levels 0] [-noise 0.3]
 //	         [-json final.json] [-http addr] [-kill-after N]
+//	         [-trace out.json] [-linger 0s]
+//
+// With -http the daemon serves /stats (JSON observables), /metrics
+// (Prometheus text exposition of the engine's allocation-free
+// instrument registry), /debug/pprof/* (the standard profiles) and a
+// real /healthz: 503 whenever the last snapshot write failed,
+// otherwise 200 with the checkpoint age (in engine events) and the
+// admission backlog. -trace records engine events (arrivals,
+// admissions, sheds, binds, completions, steals, parks, checkpoints,
+// swaps) into a bounded ring stamped with virtual instants and event
+// counters — never wall clocks — and writes them as Chrome trace JSON
+// (chrome://tracing, Perfetto) on exit. Metrics and tracing never
+// change results: the engine is property-tested byte-identical with
+// observability on and off. -linger keeps the HTTP endpoints up for a
+// grace period after the run completes, so scrapers can collect the
+// final state.
 //
 // Each input line is one event, in simulated-time order:
 //
@@ -47,18 +63,21 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strconv"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sim"
 )
@@ -79,9 +98,13 @@ type observables struct {
 	Ingested       int    `json:"ingested_events"`
 	EngineEvents   int64  `json:"engine_events"`
 	Population     int    `json:"population"`
+	Backlog        int    `json:"backlog"`
 	ActiveBundle   string `json:"active_bundle"`
 	Swaps          int    `json:"swaps"`
 	LastCheckpoint int64  `json:"last_checkpoint_events"`
+	// LastCheckpointError is the failure of the most recent snapshot
+	// attempt ("" = healthy); /healthz serves 503 while it is set.
+	LastCheckpointError string `json:"last_checkpoint_error,omitempty"`
 }
 
 // daemon carries the serving state threaded through ingest, replay,
@@ -105,8 +128,19 @@ type daemon struct {
 	arrivalsT []core.Time
 	bundleOf  []int32 // per stream: index into order
 
-	lastCkpt int64
-	obs      atomic.Pointer[observables]
+	lastCkpt    int64
+	lastCkptErr string
+	obs         atomic.Pointer[observables]
+
+	// Observability: the static instrument registry, the engine metric
+	// bundle wired into OpenLiveConfig, the checkpoint-store bundle, the
+	// daemon's own ingest counters, and the optional event-trace ring.
+	reg       *obs.Registry
+	met       *obs.FleetMetrics
+	ingestEv  *obs.Counter
+	swapEv    *obs.Counter
+	replayLen *obs.Gauge
+	tr        *obs.Trace
 }
 
 func main() {
@@ -125,8 +159,10 @@ func main() {
 	maxLevels := flag.Int("max-levels", 0, "widest quality-level count any served bundle may have (0 = the startup bundle's)")
 	noise := flag.Float64("noise", 0.3, "content model jitter amplitude")
 	jsonPath := flag.String("json", "", "write the final report JSON here (atomic rename)")
-	httpAddr := flag.String("http", "", "serve /healthz and /stats on this address")
+	httpAddr := flag.String("http", "", "serve /healthz, /stats, /metrics and /debug/pprof on this address")
 	killAfter := flag.Int("kill-after", 0, "fault injection: checkpoint and exit(3) after ingesting N events")
+	tracePath := flag.String("trace", "", "write a Chrome trace JSON of engine events here on exit")
+	linger := flag.Duration("linger", 0, "keep -http endpoints up this long after the run completes")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -152,11 +188,20 @@ func main() {
 		stateDir: *stateDir,
 		bundles:  map[uint64]*controller.Bundle{},
 	}
+	d.reg = obs.NewRegistry("qmfleetd")
+	d.met = obs.NewFleetMetrics(d.reg)
+	cmet := obs.NewCheckpointMetrics(d.reg, func() int64 { return time.Now().UnixNano() })
+	d.ingestEv = d.reg.Counter("ingest_events", "NDJSON input events ingested.", obs.SerialOrder)
+	d.swapEv = d.reg.Counter("bundle_swaps", "Hot controller-bundle swaps applied.", obs.SerialOrder)
+	d.replayLen = d.reg.Gauge("resume_replay_events", "Event-file lines replayed by the last resume.", obs.SerialOrder)
+	if *tracePath != "" {
+		d.tr = obs.NewTrace(1 << 16)
+	}
 	if *stateDir != "" {
 		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
 			log.Fatal(err)
 		}
-		d.store = &checkpoint.Store{Dir: *stateDir, Logf: log.Printf}
+		d.store = &checkpoint.Store{Dir: *stateDir, Logf: log.Printf, Met: cmet}
 	}
 
 	boot, bootHash, err := d.loadBundle(*bundlePath)
@@ -176,6 +221,7 @@ func main() {
 
 	d.live = fleet.NewOpenLive(fleet.OpenLiveConfig{
 		Admit: admit, Workers: *workers, BatchCycles: *batch, Lookahead: *lookahead, MaxLevels: levels,
+		Obs: d.met, Trace: d.tr,
 	})
 
 	if *resume {
@@ -207,6 +253,7 @@ func main() {
 		select {
 		case s := <-sig:
 			d.checkpointNow("signal " + s.String())
+			d.writeTrace(*tracePath)
 			os.Exit(0)
 		default:
 		}
@@ -219,6 +266,7 @@ func main() {
 		}
 		if *killAfter > 0 && d.ingested >= *killAfter {
 			d.checkpointNow("injected kill")
+			d.writeTrace(*tracePath)
 			log.Printf("kill-after %d: simulating crash (exit 3) at %d engine events", *killAfter, d.live.Events())
 			os.Exit(3)
 		}
@@ -232,8 +280,25 @@ func main() {
 		log.Fatal(err)
 	}
 	d.report(res, *jsonPath, *eventsPath, admit.Name(), *workers, *batch)
+	d.writeTrace(*tracePath)
+	if *linger > 0 && *httpAddr != "" {
+		log.Printf("lingering %v for scrapers on %s", *linger, *httpAddr)
+		time.Sleep(*linger)
+	}
 	if err := res.FleetResult().Err(); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// writeTrace renders the event ring as Chrome trace JSON, atomically.
+// A trace that fails to write must not fail the run: it is an
+// observability artifact, not a result.
+func (d *daemon) writeTrace(path string) {
+	if d.tr == nil || path == "" {
+		return
+	}
+	if err := checkpoint.WriteAtomic(path, d.tr.WriteChrome); err != nil {
+		log.Printf("trace: %v", err)
 	}
 }
 
@@ -244,6 +309,7 @@ func (d *daemon) ingest(raw []byte) error {
 		return fmt.Errorf("bad event: %w", err)
 	}
 	d.ingested++
+	d.ingestEv.Inc()
 	switch ev.Op {
 	case "arrive":
 		s, err := buildStream(d.active, d.manager, ev, d.noise)
@@ -265,6 +331,8 @@ func (d *daemon) ingest(raw []byte) error {
 		}
 		d.activate(b, h)
 		d.swaps++
+		d.swapEv.Inc()
+		d.tr.Rec(obs.EvSwap, obs.NoTime, obs.NoStream, obs.NoWorker, int64(h))
 		return nil
 	default:
 		return fmt.Errorf("unknown op %q", ev.Op)
@@ -353,7 +421,11 @@ func (d *daemon) activate(b *controller.Bundle, h uint64) {
 	d.order = append(d.order, h)
 }
 
-// checkpointNow snapshots the engine and saves it to the store.
+// checkpointNow snapshots the engine and saves it to the store. A
+// failed save is recorded, not fatal: the daemon keeps serving and
+// /healthz reports 503 until a later snapshot succeeds — crash
+// recovery is degraded to the last durable snapshot, which is exactly
+// what the store's fallback walk already handles.
 func (d *daemon) checkpointNow(why string) {
 	if d.store == nil {
 		return
@@ -373,9 +445,13 @@ func (d *daemon) checkpointNow(why string) {
 	}
 	path, err := d.store.Save(snap)
 	if err != nil {
-		log.Fatalf("checkpoint (%s): %v", why, err)
+		d.lastCkptErr = err.Error()
+		d.publish()
+		log.Printf("checkpoint (%s): %v", why, err)
+		return
 	}
 	d.lastCkpt = cap.Events
+	d.lastCkptErr = ""
 	d.publish()
 	log.Printf("checkpoint (%s): %s at %d engine events, %d ingested", why, path, cap.Events, d.ingested)
 }
@@ -453,33 +529,57 @@ func (d *daemon) tryResume(eventsPath string) error {
 	d.ingested = snap.Meta.ArrivalCursor
 	d.lastCkpt = snap.Capture.Events
 	d.swaps = len(d.order) - 1
+	d.replayLen.Set(int64(snap.Meta.ArrivalCursor))
 	log.Printf("resumed from %s: %d engine events, %d ingested events, %d streams",
 		path, snap.Capture.Events, d.ingested, len(d.streams))
 	return nil
 }
 
-// publish replaces the HTTP-served observables snapshot.
+// publish replaces the HTTP-served observables snapshot. It runs on
+// the engine's owner goroutine, which is what lets it read owner-only
+// engine state (Backlog, Events, Population); the HTTP handlers read
+// only the atomically swapped snapshot.
 func (d *daemon) publish() {
 	d.obs.Store(&observables{
-		Ingested:       d.ingested,
-		EngineEvents:   d.live.Events(),
-		Population:     d.live.Population(),
-		ActiveBundle:   fmt.Sprintf("%016x", d.activeH),
-		Swaps:          d.swaps,
-		LastCheckpoint: d.lastCkpt,
+		Ingested:            d.ingested,
+		EngineEvents:        d.live.Events(),
+		Population:          d.live.Population(),
+		Backlog:             d.live.Backlog(),
+		ActiveBundle:        fmt.Sprintf("%016x", d.activeH),
+		Swaps:               d.swaps,
+		LastCheckpoint:      d.lastCkpt,
+		LastCheckpointError: d.lastCkptErr,
 	})
 }
 
 func (d *daemon) serveHTTP(addr string) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		o := d.obs.Load()
+		if o.LastCheckpointError != "" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "unhealthy: last checkpoint failed: %s\n", o.LastCheckpointError)
+			return
+		}
 		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
+		fmt.Fprintf(w, "ok checkpoint_age_events=%d backlog=%d population=%d\n",
+			o.EngineEvents-o.LastCheckpoint, o.Backlog, o.Population)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(d.obs.Load())
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := d.reg.WriteProm(w); err != nil {
+			log.Printf("metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	if err := http.ListenAndServe(addr, mux); err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@ var EnginePackages = map[string]bool{
 	"repro/internal/regions":   true,
 	"repro/internal/multitask": true,
 	"repro/internal/metrics":   true,
+	"repro/internal/obs":       true,
 }
 
 // engineScoped reports whether the pass's package is under the engine

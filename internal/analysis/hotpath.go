@@ -39,6 +39,8 @@ func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			checkHotCall(pass, n)
+		case *ast.IndexExpr:
+			checkMapAccess(pass, n)
 		case *ast.FuncLit:
 			checkClosureCapture(pass, fn, n)
 			return false // the literal runs elsewhere; don't scan its body twice
@@ -100,6 +102,24 @@ func checkHotCall(pass *Pass, call *ast.CallExpr) {
 			checkBoxing(pass, pt, arg)
 		}
 	}
+}
+
+// checkMapAccess flags indexing a map inside a hot function. A lookup
+// hashes on every call and a store can grow the table mid-run; both
+// break the steady-state cost model the annotation asserts. The
+// instrument bundles in internal/obs exist precisely so hot code holds
+// direct *Counter/*Gauge pointers — a map-backed metrics lookup
+// (metrics[name].Inc()) on the hot path is the anti-pattern this
+// rejects. Slice and array indexing pass through untouched.
+func checkMapAccess(pass *Pass, idx *ast.IndexExpr) {
+	t := pass.Info.TypeOf(idx.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	pass.Reportf(idx.Pos(), "map access in hot path hashes per call and may allocate; hold direct pointers (e.g. pre-registered instruments), or justify with //detlint:allow")
 }
 
 // checkBoxing flags storing a non-pointer-shaped concrete value into an

@@ -62,6 +62,40 @@ func amortizedAppend(h []int, v int) []int {
 	return append(h, v)
 }
 
+// counter mimics an obs instrument: a direct pointer is the legal way
+// to meter a hot path.
+type counter struct{ n int64 }
+
+func (c *counter) inc() { c.n++ }
+
+//detlint:hotpath
+func mapBackedMetricsHook(metrics map[string]*counter) {
+	metrics["arrivals"].inc() // want "map access in hot path hashes per call"
+}
+
+//detlint:hotpath
+func mapStoreInHotPath(seen map[int]bool, k int) {
+	seen[k] = true // want "map access in hot path hashes per call"
+}
+
+//detlint:hotpath
+func fmtMetricsHook(c *counter, name string) {
+	c.inc()
+	fmt.Printf("metric %s = %d\n", name, c.n) // want "fmt.Printf in hot path allocates"
+}
+
+//detlint:hotpath
+func directInstrumentOK(c *counter, vals []int, i int) {
+	_ = vals[i] // slice indexing stays legal
+	c.inc()
+}
+
+//detlint:hotpath
+func coldStartMapOK(metrics map[string]*counter) {
+	//detlint:allow hotpathalloc one-time wiring before the steady state begins
+	metrics["arrivals"].inc()
+}
+
 func record(x any) { sink = x }
 
 // coldPathIsFree has no directive, so nothing in it is checked.

@@ -15,6 +15,7 @@ import (
 	"repro/internal/arrivals"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -319,6 +320,54 @@ func TestStoreFallback(t *testing.T) {
 
 	if s, path, err := (&Store{Dir: t.TempDir()}).LoadLatest(fp); s != nil || path != "" || err != nil {
 		t.Fatalf("empty store must be a clean fresh start, got %v %q %v", s, path, err)
+	}
+}
+
+// TestStoreMetrics: a Store with Met wired counts snapshots written,
+// bytes encoded, encode latency observations, prunes and LoadLatest
+// fallbacks — the counters qmfleetd's /metrics and /healthz read.
+func TestStoreMetrics(t *testing.T) {
+	cap := captureMidRun(t, testConfig(t, 12, 53), 4)
+	reg := obs.NewRegistry("t")
+	var clock int64
+	met := obs.NewCheckpointMetrics(reg, func() int64 { clock += 1000; return clock })
+	st := &Store{Dir: t.TempDir(), Keep: 2, Met: met}
+	var paths []string
+	for _, ev := range []int64{5, 15, 25} {
+		c := *cap
+		c.Events = ev
+		path, err := st.Save(&Snapshot{Meta: Meta{Fingerprint: "f"}, Capture: &c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	if got := met.Snapshots.Value(); got != 3 {
+		t.Fatalf("snapshots = %d, want 3", got)
+	}
+	if got := met.Pruned.Value(); got != 1 {
+		t.Fatalf("pruned = %d, want 1 (Keep=2 over 3 saves)", got)
+	}
+	if met.Bytes.Value() <= 0 {
+		t.Fatal("bytes counter did not advance")
+	}
+	if got := met.Encode.Count(); got != 3 {
+		t.Fatalf("encode observations = %d, want 3", got)
+	}
+	// Corrupt the newest snapshot: the fallback walk must count it.
+	newest := paths[len(paths)-1]
+	raw, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newest, NewFaultPlan(3).BitFlip(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if s, _, err := st.LoadLatest("f"); err != nil || s == nil || s.Capture.Events != 15 {
+		t.Fatalf("fallback load failed: %v %v", s, err)
+	}
+	if got := met.Fallbacks.Value(); got != 1 {
+		t.Fatalf("fallbacks = %d, want 1", got)
 	}
 }
 

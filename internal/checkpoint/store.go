@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // AtomicFile is an io.Writer whose target path either keeps its
@@ -119,6 +121,23 @@ type Store struct {
 	// Logf, when non-nil, receives a line for each corrupt or foreign
 	// snapshot LoadLatest skips. nil skips silently.
 	Logf func(format string, args ...any)
+	// Met, when non-nil, receives store-level counters: snapshots
+	// written and pruned, bytes encoded, encode latency, LoadLatest
+	// fallbacks. nil disables instrumentation.
+	Met *obs.CheckpointMetrics
+}
+
+// countingWriter tallies the bytes reaching the underlying writer, so
+// Save can report snapshot sizes without buffering the encoding.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
 }
 
 func (st *Store) logf(format string, args ...any) {
@@ -137,8 +156,25 @@ func (st *Store) Path(events int64) string {
 // returning the written path.
 func (st *Store) Save(s *Snapshot) (string, error) {
 	path := st.Path(s.Events())
-	if err := WriteAtomic(path, func(w io.Writer) error { return Encode(w, s) }); err != nil {
+	var start int64
+	if m := st.Met; m != nil && m.NowNanos != nil {
+		start = m.NowNanos()
+	}
+	var written int64
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		cw := &countingWriter{w: w}
+		err := Encode(cw, s)
+		written = cw.n
+		return err
+	}); err != nil {
 		return "", fmt.Errorf("checkpoint: save %s: %w", path, err)
+	}
+	if m := st.Met; m != nil {
+		m.Snapshots.Inc()
+		m.Bytes.Add(written)
+		if m.NowNanos != nil {
+			m.Encode.Observe(m.NowNanos() - start)
+		}
 	}
 	st.prune()
 	return path, nil
@@ -157,7 +193,11 @@ func (st *Store) prune() {
 	}
 	names := st.list()
 	for _, name := range names[:max(0, len(names)-keep)] {
-		os.Remove(filepath.Join(st.Dir, name))
+		if os.Remove(filepath.Join(st.Dir, name)) == nil {
+			if m := st.Met; m != nil {
+				m.Pruned.Inc()
+			}
+		}
 	}
 }
 
@@ -215,10 +255,16 @@ func (st *Store) LoadLatest(fingerprint string) (*Snapshot, string, error) {
 		f.Close()
 		if err != nil {
 			st.logf("checkpoint: skipping %s: %v", path, err)
+			if m := st.Met; m != nil {
+				m.Fallbacks.Inc()
+			}
 			continue
 		}
 		if s.Meta.Fingerprint != fingerprint {
 			st.logf("checkpoint: skipping %s: fingerprint %q does not match this run", path, s.Meta.Fingerprint)
+			if m := st.Met; m != nil {
+				m.Fallbacks.Inc()
+			}
 			continue
 		}
 		return s, path, nil

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -106,6 +107,7 @@ func (f *openFrontier) checkpoint() *OpenCapture {
 	f.exec.drain(f, false)
 	c := f.capture()
 	f.exec.release()
+	f.tr.Rec(obs.EvCheckpoint, f.lastT, obs.NoStream, obs.NoWorker, f.events)
 	return c
 }
 

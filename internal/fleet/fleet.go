@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/controller"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -57,6 +58,12 @@ type Config struct {
 	// stream. Run rejects it: retained records and streamed export are
 	// redundant — export the retained trace instead.
 	Export func(k int, name string) sim.Sink
+	// Obs, when non-nil, enables the scheduler's metric hooks (batches
+	// advanced, steals). Results are byte-identical with it on or off.
+	Obs *obs.FleetMetrics
+	// Trace, when non-nil, records scheduler events (steals) into a
+	// bounded ring.
+	Trace *obs.Trace
 }
 
 // StreamResult pairs a stream with its trace (or per-stream error).
@@ -139,7 +146,11 @@ func run(cfg Config, stats bool) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	tbl.Run(cfg.Workers, cfg.BatchCycles)
+	slots := make([]int32, tbl.Len())
+	for k := range slots {
+		slots[k] = int32(k)
+	}
+	tbl.runSlots(slots, cfg.Workers, cfg.BatchCycles, cfg.Obs, cfg.Trace)
 	return tbl.Result(), nil
 }
 

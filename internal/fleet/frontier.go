@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/multitask"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -184,6 +185,15 @@ type openFrontier struct {
 	arena *openArena
 	res   *OpenResult
 	exec  openExec
+
+	// met and tr are the optional observability hooks (OpenConfig.Obs /
+	// .Trace). Both are nil-tolerant: met gates each metric group behind
+	// one branch, and obs instruments are individually nil-safe, so the
+	// disabled path costs a single predictable-not-taken branch per
+	// event group. Nothing below ever reads them back — observability on
+	// ≡ off stays byte-identical by construction and is property-tested.
+	met *obs.FleetMetrics
+	tr  *obs.Trace
 }
 
 // openRunContinuous is the wave-free OpenRun/OpenRunStats engine.
@@ -215,9 +225,10 @@ func frontierForRun(cfg *OpenConfig, stats bool) (*openFrontier, error) {
 	}
 	if workers := sim.EffectiveWorkers(f.n, cfg.Workers); workers == 1 {
 		sc.inline.batch = batch
+		sc.inline.met = f.met
 		f.exec = &sc.inline
 	} else {
-		f.exec = newOpenSched(f.arena, workers, batch, sc)
+		f.exec = newOpenSched(f.arena, workers, batch, sc, f.met, f.tr)
 	}
 	return f, nil
 }
@@ -279,7 +290,8 @@ func validateOpen(cfg *OpenConfig, stats bool) error {
 func newFrontier(cfg *OpenConfig, sc *OpenScratch, stats bool) *openFrontier {
 	n := len(cfg.Streams)
 	f := &sc.frontier
-	*f = openFrontier{streams: cfg.Streams, sc: sc, stats: stats, n: n, arr: cfg.Arrivals}
+	*f = openFrontier{streams: cfg.Streams, sc: sc, stats: stats, n: n, arr: cfg.Arrivals,
+		met: cfg.Obs, tr: cfg.Trace}
 	f.adm = cfg.Admit
 	if f.adm == nil {
 		f.adm = AdmitAll{}
@@ -400,6 +412,9 @@ func (f *openFrontier) step(watermark core.Time) bool {
 			// the executor was never woken for — then block and
 			// re-evaluate.
 			f.flushStarts()
+			if m := f.met; m != nil {
+				m.BlockingDrains.Inc()
+			}
 			f.exec.drain(f, true)
 			continue
 		}
@@ -419,6 +434,9 @@ func (f *openFrontier) step(watermark core.Time) bool {
 				e := depPop(&f.dep)
 				f.inServe--
 				f.cpuLoad -= f.util[e.k]
+				if m := f.met; m != nil {
+					m.Departures.Inc()
+				}
 			}
 			// Offer the freed capacity to the backlog in FIFO order; a
 			// Shed verdict for the head is treated as Delay (shedding is
@@ -433,16 +451,26 @@ func (f *openFrontier) step(watermark core.Time) bool {
 					f.blHead = 0
 				}
 				f.blLen--
+				if m := f.met; m != nil {
+					m.Backlog.Set(int64(f.blLen))
+				}
 				f.admit(k, tD)
 			}
 			f.events++
+			if m := f.met; m != nil {
+				m.Events.Inc()
+			}
 			return true
 		}
 		f.advanceTo(tA)
 		for f.ai < f.n && f.arr[f.order[f.ai]] == tA {
 			k := f.order[f.ai]
 			f.ai++
+			f.tr.Rec(obs.EvArrive, tA, k, obs.NoWorker, 0)
 			v := f.adm.Decide(Load{T: tA, InService: f.inServe, Backlog: f.blLen, CPULoad: f.cpuLoad}, f.util[k])
+			if m := f.met; m != nil {
+				m.Arrivals.Inc()
+			}
 			switch v {
 			case Admit:
 				f.admit(k, tA)
@@ -452,11 +480,24 @@ func (f *openFrontier) step(watermark core.Time) bool {
 				if f.blLen > f.res.MaxBacklog {
 					f.res.MaxBacklog = f.blLen
 				}
+				if m := f.met; m != nil {
+					m.Delayed.Inc()
+					m.Backlog.Set(int64(f.blLen))
+					m.BacklogMax.SetMax(int64(f.blLen))
+				}
+				f.tr.Rec(obs.EvDelay, tA, k, obs.NoWorker, int64(f.blLen))
 			default:
 				f.res.Lifecycles[k].Shed = true
+				if m := f.met; m != nil {
+					m.Shed.Inc()
+				}
+				f.tr.Rec(obs.EvShed, tA, k, obs.NoWorker, 0)
 			}
 		}
 		f.events++
+		if m := f.met; m != nil {
+			m.Events.Inc()
+		}
 		return true
 	}
 }
@@ -468,11 +509,19 @@ func (f *openFrontier) finishRun() {
 	// — no departure will ever free more capacity — so they are shed at
 	// the end of the run, exactly as in the spec.
 	for ; f.blLen > 0; f.blLen-- {
-		f.res.Lifecycles[f.backlog[f.blHead]].Shed = true
+		k := f.backlog[f.blHead]
+		f.res.Lifecycles[k].Shed = true
+		if m := f.met; m != nil {
+			m.Shed.Inc()
+		}
+		f.tr.Rec(obs.EvShed, f.lastT, k, obs.NoWorker, 0)
 		f.blHead++
 		if f.blHead == len(f.backlog) {
 			f.blHead = 0
 		}
+	}
+	if m := f.met; m != nil {
+		m.Backlog.Set(0)
 	}
 	for _, lc := range f.res.Lifecycles {
 		if lc.Shed {
@@ -516,6 +565,9 @@ func (f *openFrontier) advanceTo(t core.Time) {
 	if t > f.lastT {
 		f.res.BacklogIntegral += float64(t-f.lastT) * float64(f.blLen)
 		f.lastT = t
+		if m := f.met; m != nil {
+			m.BacklogIntegral.Set(f.res.BacklogIntegral)
+		}
 	}
 }
 
@@ -527,7 +579,12 @@ func (f *openFrontier) admit(k int32, t core.Time) {
 	f.res.Lifecycles[k].Admitted = t
 	f.inServe++
 	f.cpuLoad += f.util[k]
+	if m := f.met; m != nil {
+		m.Admitted.Inc()
+	}
+	f.tr.Rec(obs.EvAdmit, t, k, obs.NoWorker, int64(f.inServe))
 	slot := f.arena.bind(&f.streams[k], int(k))
+	f.tr.Rec(obs.EvBind, t, k, obs.NoWorker, int64(slot))
 	if f.arena.err(slot) != nil {
 		// The stream occupies no simulated time: its departure is t
 		// itself, known without execution.
@@ -553,6 +610,9 @@ func (f *openFrontier) admit(k int32, t core.Time) {
 // it waits on may be parked) and before step yields to its caller.
 func (f *openFrontier) flushStarts() {
 	if f.starts > 0 {
+		if m := f.met; m != nil {
+			m.FlushSize.Observe(int64(f.starts))
+		}
 		f.exec.start(f.starts)
 		f.starts = 0
 	}
@@ -590,6 +650,7 @@ func (f *openFrontier) finish(slot int32) {
 	}
 	depPush(&f.dep, depEvent{t: d, k: k})
 	f.final[k] = true
+	f.tr.Rec(obs.EvComplete, d, k, obs.NoWorker, int64(slot))
 }
 
 // blPush appends to the FIFO backlog ring, growing it amortized.
@@ -622,6 +683,7 @@ func (f *openFrontier) persistScratch() {
 // the concurrent pool with fully deterministic execution interleaving.
 type inlineExec struct {
 	batch int
+	met   *obs.FleetMetrics
 }
 
 // start is a no-op: there is no pool to wake, and the frontier already
@@ -642,6 +704,9 @@ func (e *inlineExec) drain(f *openFrontier, block bool) {
 			}
 			live = true
 			tbl, idx := a.slotTbl[slot], a.slotIdx[slot]
+			if m := e.met; m != nil {
+				m.Batches.Inc()
+			}
 			if advance(&tbl.streams[idx], e.batch) {
 				f.finish(int32(slot))
 				finished = true

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -29,6 +30,12 @@ type OpenLiveConfig struct {
 	// arena, which cannot be widened once slots are live. Feeding a
 	// stream with more levels is an error.
 	MaxLevels int
+	// Obs, when non-nil, enables the engine's metric hooks exactly as
+	// OpenConfig.Obs does: results are byte-identical with it on or off.
+	Obs *obs.FleetMetrics
+	// Trace, when non-nil, records engine events into a bounded ring
+	// exactly as OpenConfig.Trace does.
+	Trace *obs.Trace
 }
 
 // OpenLive is the incremental form of OpenRunStats: the same
@@ -59,7 +66,7 @@ type OpenLive struct {
 func NewOpenLive(cfg OpenLiveConfig) *OpenLive {
 	sc := NewOpenScratch()
 	f := &sc.frontier
-	*f = openFrontier{sc: sc, stats: true, maxLevels: cfg.MaxLevels}
+	*f = openFrontier{sc: sc, stats: true, maxLevels: cfg.MaxLevels, met: cfg.Obs, tr: cfg.Trace}
 	f.adm = cfg.Admit
 	if f.adm == nil {
 		f.adm = AdmitAll{}
@@ -81,9 +88,10 @@ func NewOpenLive(cfg OpenLiveConfig) *OpenLive {
 	}
 	if workers := sim.EffectiveWorkers(math.MaxInt, cfg.Workers); workers == 1 {
 		sc.inline.batch = batch
+		sc.inline.met = f.met
 		f.exec = &sc.inline
 	} else {
-		f.exec = newOpenSched(f.arena, workers, batch, sc)
+		f.exec = newOpenSched(f.arena, workers, batch, sc, f.met, f.tr)
 	}
 	return &OpenLive{sc: sc, f: f}
 }
@@ -170,6 +178,11 @@ func (ol *OpenLive) Events() int64 { return ol.f.events }
 
 // Population returns the number of streams fed so far.
 func (ol *OpenLive) Population() int { return ol.f.n }
+
+// Backlog returns the number of delayed streams currently queued for
+// admission — the readiness signal a serving driver exposes. Like every
+// OpenLive method it belongs to the owner goroutine.
+func (ol *OpenLive) Backlog() int { return ol.f.blLen }
 
 // Checkpoint pauses execution at a cycle-batch quiescence point and
 // returns a deep capture of the run, then lets the pool resume. The

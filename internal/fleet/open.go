@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/multitask"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -53,6 +54,20 @@ type OpenConfig struct {
 	// The returned OpenResult then aliases the scratch and is valid only
 	// until its next run. The serial spec ignores it.
 	Scratch *OpenScratch
+	// Obs, when non-nil, enables the engine's metric hooks: the frontier
+	// feeds the serial-order instruments (arrivals, verdicts, backlog
+	// accounting, event groups) and the executor feeds the
+	// shape-dependent ones (batches, steals, parks, ring occupancy).
+	// Observability on ≡ off is byte-identical — results never depend on
+	// it — and the serial-order metric values are themselves identical
+	// at any (workers, batch, lookahead); both are property-tested. The
+	// serial spec ignores it.
+	Obs *obs.FleetMetrics
+	// Trace, when non-nil, records lifecycle events (arrive, admit,
+	// shed, bind, complete, steal, park, checkpoint) into the bounded
+	// virtual-time ring. Like Obs it never affects results. The serial
+	// spec ignores it.
+	Trace *obs.Trace
 }
 
 // OpenResult collects an open-system run: the per-stream outcomes (in

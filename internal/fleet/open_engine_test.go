@@ -7,6 +7,7 @@ import (
 	"repro/internal/arrivals"
 	"repro/internal/core"
 	"repro/internal/multitask"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -229,5 +230,13 @@ func TestOpenSteadyStateAllocationFree(t *testing.T) {
 	run() // warm the scratch: chunks, heaps and result slabs allocate once
 	if allocs := testing.AllocsPerRun(32, run); allocs != 0 {
 		t.Fatalf("steady-state open run allocates %.2f times per run, want 0", allocs)
+	}
+
+	// The metric hooks must not cost the property: the same steady
+	// state with the full instrument bundle enabled stays at zero.
+	cfg.Obs = obs.NewFleetMetrics(obs.NewRegistry("t"))
+	run()
+	if allocs := testing.AllocsPerRun(32, run); allocs != 0 {
+		t.Fatalf("steady-state open run with metrics allocates %.2f times per run, want 0", allocs)
 	}
 }

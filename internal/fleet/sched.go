@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -46,6 +47,8 @@ type sched struct {
 	tbl   *StreamTable
 	slots []int32 // the table slots under this run; status is indexed in step
 	batch int
+	met   *obs.FleetMetrics // optional observability (Config.Obs); nil = dark
+	tr    *obs.Trace
 	// status holds one claim word per stream, CASed by whichever worker
 	// advances it.
 	//detlint:atomic
@@ -75,6 +78,12 @@ func (tbl *StreamTable) Run(workers, batch int) {
 // machinery that drains a closed fleet, whatever mix of fresh and
 // recycled slots they landed in.
 func (tbl *StreamTable) RunSlots(slots []int32, workers, batch int) {
+	tbl.runSlots(slots, workers, batch, nil, nil)
+}
+
+// runSlots is RunSlots with the optional observability hooks threaded
+// through — the closed fleet driver passes Config.Obs/.Trace here.
+func (tbl *StreamTable) runSlots(slots []int32, workers, batch int, met *obs.FleetMetrics, tr *obs.Trace) {
 	n := len(slots)
 	if n == 0 {
 		return
@@ -99,6 +108,9 @@ func (tbl *StreamTable) RunSlots(slots []int32, workers, batch int) {
 		for len(live) > 0 {
 			out := live[:0]
 			for _, k := range live {
+				if met != nil {
+					met.Batches.Inc()
+				}
 				if !advance(&tbl.streams[k], batch) {
 					out = append(out, k)
 				}
@@ -108,7 +120,8 @@ func (tbl *StreamTable) RunSlots(slots []int32, workers, batch int) {
 		return
 	}
 
-	s := &sched{tbl: tbl, slots: slots, batch: batch, status: make([]atomic.Int32, n)}
+	s := &sched{tbl: tbl, slots: slots, batch: batch, met: met, tr: tr,
+		status: make([]atomic.Int32, n)}
 	for i, k := range slots {
 		if tbl.errs[k] != nil {
 			s.status[i].Store(streamDone)
@@ -121,10 +134,10 @@ func (tbl *StreamTable) RunSlots(slots []int32, workers, batch int) {
 		// so shard k's streams are adjacent in every slab.
 		lo := w * n / workers
 		hi := (w + 1) * n / workers
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			s.worker(lo, hi)
-		}()
+			s.worker(w, lo, hi)
+		}(w)
 	}
 	wg.Wait()
 }
@@ -162,6 +175,8 @@ type openSched struct {
 	sc      *OpenScratch
 	batch   int
 	workers int
+	met     *obs.FleetMetrics // optional observability (OpenConfig.Obs); nil = dark
+	tr      *obs.Trace
 
 	mu     sync.Mutex
 	work   *sync.Cond // workers park here for the next injection
@@ -273,8 +288,8 @@ func (r *completionRing) pop() (int32, bool) {
 // live in the scratch so a warm steady state publishes without
 // allocating; cursors are reset here because an aborted run can leave
 // completions behind.
-func newOpenSched(a *openArena, workers, batch int, sc *OpenScratch) *openSched {
-	s := &openSched{a: a, sc: sc, batch: batch, workers: workers}
+func newOpenSched(a *openArena, workers, batch int, sc *OpenScratch, met *obs.FleetMetrics, tr *obs.Trace) *openSched {
+	s := &openSched{a: a, sc: sc, batch: batch, workers: workers, met: met, tr: tr}
 	s.work = sync.NewCond(&s.mu)
 	s.comp = sync.NewCond(&s.mu)
 	s.quiet = sync.NewCond(&s.mu)
@@ -404,8 +419,15 @@ func (s *openSched) drain(f *openFrontier, block bool) {
 // single SPSC push with no lock; the compWait check afterwards wakes a
 // frontier that went to sleep concurrently (see compWait).
 func (s *openSched) publish(w int, slot int32) {
-	if !s.rings[w].push(slot) {
+	r := &s.rings[w]
+	if !r.push(slot) {
 		s.publishSlow(w, slot)
+	}
+	if s.met != nil {
+		// Approximate occupancy: both cursors may move between the two
+		// loads, but the high-water is a shape-dependent signal, not an
+		// invariant.
+		s.met.RingHighWater.SetMax(r.tail.Load() - r.head.Load())
 	}
 	if s.compWait.Load() != 0 {
 		s.mu.Lock()
@@ -430,6 +452,9 @@ func (s *openSched) publishSlow(w int, slot int32) {
 	}
 	s.mu.Lock()
 	if !r.push(slot) {
+		if s.met != nil {
+			s.met.OverflowParks.Inc()
+		}
 		s.over[w] = slot
 		s.overflow.Add(1)
 		s.parked++
@@ -515,6 +540,14 @@ func (s *openSched) runOpen(w int) {
 		slot, ok := s.claim(w)
 		if !ok {
 			s.mu.Lock()
+			if !s.done && s.gen == gen && !s.paused {
+				// About to park (not merely racing a wake): one
+				// transition, however many spurious wakeups follow.
+				if s.met != nil {
+					s.met.Parks.Inc()
+				}
+				s.tr.Rec(obs.EvPark, obs.NoTime, obs.NoStream, int32(w), int64(gen))
+			}
 			for !s.done && s.gen == gen && !s.paused {
 				s.parked++
 				if s.parked == s.workers {
@@ -531,6 +564,9 @@ func (s *openSched) runOpen(w int) {
 			continue
 		}
 		tbl, idx := s.a.slotTbl[slot], s.a.slotIdx[slot]
+		if s.met != nil {
+			s.met.Batches.Inc()
+		}
 		if advance(&tbl.streams[idx], s.batch) {
 			s.a.status[slot].v.Store(slotDone)
 			s.publish(w, slot)
@@ -562,6 +598,10 @@ func (s *openSched) claim(w int) (int32, bool) {
 			i -= n
 		}
 		if s.a.status[i].v.Load() == slotReady && s.a.status[i].v.CompareAndSwap(slotReady, slotClaimed) {
+			if s.met != nil {
+				s.met.Steals.Inc()
+			}
+			s.tr.Rec(obs.EvSteal, obs.NoTime, s.a.slotStream[i], int32(w), int64(i))
 			return int32(i), true
 		}
 	}
@@ -569,7 +609,7 @@ func (s *openSched) claim(w int) (int32, bool) {
 }
 
 // worker drains the shard [lo, hi) and then steals.
-func (s *sched) worker(lo, hi int) {
+func (s *sched) worker(w, lo, hi int) {
 	// Shard phase: sweep the owned shard in batch rounds. Streams are
 	// claimed per batch, so a drained thief can pick up the remains of
 	// a loaded shard between two of its owner's batches.
@@ -588,6 +628,9 @@ func (s *sched) worker(lo, hi int) {
 				continue
 			}
 			progressed = true
+			if s.met != nil {
+				s.met.Batches.Inc()
+			}
 			if advance(&s.tbl.streams[s.slots[k]], s.batch) {
 				s.status[k].Store(streamDone)
 			} else {
@@ -631,7 +674,17 @@ func (s *sched) worker(lo, hi int) {
 				continue
 			}
 			stole = true
-			for !advance(&s.tbl.streams[s.slots[k]], s.batch) {
+			if s.met != nil {
+				s.met.Steals.Inc()
+			}
+			s.tr.Rec(obs.EvSteal, obs.NoTime, s.slots[k], int32(w), int64(k))
+			for {
+				if s.met != nil {
+					s.met.Batches.Inc()
+				}
+				if advance(&s.tbl.streams[s.slots[k]], s.batch) {
+					break
+				}
 			}
 			s.status[k].Store(streamDone)
 		}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// promRegistry builds a fixed registry with one instrument of each
+// kind, set to known values — shared by the golden and round-trip
+// tests.
+func promRegistry() *Registry {
+	r := NewRegistry("qmtest")
+	c := r.Counter("admitted", "Streams admitted.", SerialOrder)
+	g := r.Gauge("backlog", "Backlog depth.", SerialOrder)
+	f := r.FloatGauge("integral", "Backlog integral.", SerialOrder)
+	h := r.Histogram("flush", "Flush sizes.", ShapeDependent, []int64{1, 4})
+	c.Add(42)
+	g.Set(7)
+	f.Set(1.5)
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(9)
+	return r
+}
+
+// TestWritePromGolden pins the exposition bytes: Prometheus text
+// format v0.0.4, determinism labels, cumulative histogram buckets.
+func TestWritePromGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := promRegistry().WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP qmtest_admitted_total Streams admitted.
+# TYPE qmtest_admitted_total counter
+qmtest_admitted_total{determinism="serial-order"} 42
+# HELP qmtest_backlog Backlog depth.
+# TYPE qmtest_backlog gauge
+qmtest_backlog{determinism="serial-order"} 7
+# HELP qmtest_integral Backlog integral.
+# TYPE qmtest_integral gauge
+qmtest_integral{determinism="serial-order"} 1.5
+# HELP qmtest_flush Flush sizes.
+# TYPE qmtest_flush histogram
+qmtest_flush_bucket{determinism="shape-dependent",le="1"} 1
+qmtest_flush_bucket{determinism="shape-dependent",le="4"} 2
+qmtest_flush_bucket{determinism="shape-dependent",le="+Inf"} 3
+qmtest_flush_sum{determinism="shape-dependent"} 13
+qmtest_flush_count{determinism="shape-dependent"} 3
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestParsePromRoundTrip feeds the writer's output back through the
+// parser: every series must come back with its value intact — the
+// property the CI scrape assertion relies on.
+func TestParsePromRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := promRegistry().WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseProm(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parse of our own exposition failed: %v", err)
+	}
+	wantValues := map[string]float64{
+		"qmtest_admitted_total": 42,
+		"qmtest_backlog":        7,
+		"qmtest_integral":       1.5,
+		"qmtest_flush_sum":      13,
+		"qmtest_flush_count":    3,
+	}
+	for name, want := range wantValues {
+		s, ok := FindSample(samples, name)
+		if !ok {
+			t.Fatalf("sample %s missing from round trip", name)
+		}
+		if s.Value != want {
+			t.Fatalf("%s = %v, want %v", name, s.Value, want)
+		}
+	}
+	// The +Inf bucket must equal the count, per the format's contract.
+	var inf, count float64
+	for _, s := range samples {
+		if s.Name == "qmtest_flush_bucket" && strings.Contains(s.Series, `le="+Inf"`) {
+			inf = s.Value
+		}
+		if s.Name == "qmtest_flush_count" {
+			count = s.Value
+		}
+	}
+	if inf != count || count == 0 {
+		t.Fatalf("+Inf bucket %v != count %v", inf, count)
+	}
+	if escapeHelp("a\\b\nc") != `a\\b\nc` {
+		t.Fatal("help escaping broken")
+	}
+}
+
+func TestParsePromRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"no value", "# TYPE m counter\nm{}"},
+		{"bad value", "# TYPE m counter\nm{} abc"},
+		{"unbalanced braces", "# TYPE m counter\nm{x=\"1\" 3"},
+		{"bad name", "# TYPE m counter\n2m 3"},
+		{"unquoted label", "# TYPE m counter\nm{x=1} 3"},
+		{"untyped sample", "m 3"},
+		{"bad type", "# TYPE m zebra\nm 3"},
+		{"malformed type", "# TYPE m\nm 3"},
+		{"malformed help", "# HELP \nm 3"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseProm(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: parse accepted %q", tc.name, tc.in)
+		}
+	}
+}
+
+func TestParsePromAcceptsHistogramSeries(t *testing.T) {
+	in := `# TYPE m histogram
+m_bucket{le="1"} 1
+m_bucket{le="+Inf"} 2
+m_sum 3
+m_count 2
+`
+	samples, err := ParseProm(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples, want 4", len(samples))
+	}
+}

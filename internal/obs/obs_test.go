@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestCounterGaugeSemantics(t *testing.T) {
+	r := NewRegistry("t")
+	c := r.Counter("things", "things.", SerialOrder)
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("depth", "depth.", SerialOrder)
+	g.Set(7)
+	g.SetMax(3) // below: no-op
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	g.SetMax(11)
+	if got := g.Value(); got != 11 {
+		t.Fatalf("gauge after SetMax = %d, want 11", got)
+	}
+	f := r.FloatGauge("load", "load.", SerialOrder)
+	f.Set(2.5)
+	if got := f.Value(); got != 2.5 {
+		t.Fatalf("float gauge = %v, want 2.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry("t")
+	h := r.Histogram("sizes", "sizes.", ShapeDependent, []int64{1, 4, 16})
+	for _, v := range []int64{0, 1, 2, 4, 5, 16, 17, 1000} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 8 {
+		t.Fatalf("count = %d, want 8", got)
+	}
+	if got := h.Sum(); got != 1045 {
+		t.Fatalf("sum = %d, want 1045", got)
+	}
+	counts, _ := h.snapshot()
+	want := []int64{2, 2, 2, 2} // ≤1, (1,4], (4,16], +Inf
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, counts[i], want[i], counts)
+		}
+	}
+}
+
+// TestNilInstrumentsAreNoOps pins the nil-receiver contract the
+// instrumented engine leans on: disabled observability must be a plain
+// branch, never a panic.
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var f *FloatGauge
+	var h *Histogram
+	var tr *Trace
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.SetMax(2)
+	f.Set(1.5)
+	h.Observe(9)
+	tr.Rec(EvAdmit, 10, 0, NoWorker, 0)
+	if c.Value() != 0 || g.Value() != 0 || f.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if tr.Len() != 0 || tr.Seq() != 0 || tr.Events() != nil {
+		t.Fatal("nil trace must read empty")
+	}
+}
+
+func TestRegistryRejectsProgrammerErrors(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry("t")
+	r.Counter("dup", "first.", SerialOrder)
+	mustPanic("duplicate", func() { r.Counter("dup", "second.", SerialOrder) })
+	bare := NewRegistry("")
+	mustPanic("bad name", func() { r.Gauge("no spaces", "bad.", SerialOrder) })
+	mustPanic("digit first", func() { bare.Gauge("9lives", "bad.", SerialOrder) })
+	mustPanic("empty bounds", func() { r.Histogram("h1", "bad.", SerialOrder, nil) })
+	mustPanic("unsorted bounds", func() { r.Histogram("h2", "bad.", SerialOrder, []int64{4, 2}) })
+	mustPanic("bad prefix", func() { NewRegistry("9x") })
+}
+
+// TestHotOpsAllocationFree is the zero-alloc contract, measured: every
+// operation an engine hot path may issue performs no heap allocation.
+func TestHotOpsAllocationFree(t *testing.T) {
+	r := NewRegistry("t")
+	c := r.Counter("c", "c.", SerialOrder)
+	g := r.Gauge("g", "g.", SerialOrder)
+	f := r.FloatGauge("f", "f.", SerialOrder)
+	h := r.Histogram("h", "h.", ShapeDependent, []int64{1, 8, 64})
+	tr := NewTrace(64)
+	cases := []struct {
+		name string
+		op   func()
+	}{
+		{"counter-add", func() { c.Add(2) }},
+		{"counter-inc", func() { c.Inc() }},
+		{"gauge-set", func() { g.Set(3) }},
+		{"gauge-setmax", func() { g.SetMax(9) }},
+		{"floatgauge-set", func() { f.Set(1.25) }},
+		{"histogram-observe", func() { h.Observe(17) }},
+		{"trace-rec", func() { tr.Rec(EvSteal, NoTime, 3, 1, 42) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(100, tc.op); allocs != 0 {
+			t.Errorf("%s allocates %.2f times per op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func TestCounterAutoTotalSuffix(t *testing.T) {
+	r := NewRegistry("app")
+	r.Counter("events", "events.", SerialOrder)
+	r.Counter("done_total", "done.", SerialOrder)
+	ms := r.Metrics()
+	if ms[0].Name != "app_events_total" {
+		t.Fatalf("counter name = %q, want app_events_total", ms[0].Name)
+	}
+	if ms[1].Name != "app_done_total" {
+		t.Fatalf("counter name = %q, want app_done_total (no double suffix)", ms[1].Name)
+	}
+}
