@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/arrivals"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/fleet"
@@ -76,6 +77,11 @@ type fleetBenchRow struct {
 	// admission policy that shaped the run; closed rows omit them.
 	Arrivals string `json:"arrivals,omitempty"`
 	Admit    string `json:"admit,omitempty"`
+	// Cluster rows additionally record the scale-out width and routing
+	// policy; single-engine rows omit them. Workers is per-instance for
+	// these rows.
+	Instances int    `json:"instances,omitempty"`
+	Route     string `json:"route,omitempty"`
 }
 
 // fleetBenchBatch reads the batch size under test from
@@ -195,6 +201,111 @@ func BenchmarkFleetThroughput(b *testing.B) {
 				return err
 			}
 			return res.Err()
+		})
+	}
+
+	if len(order) == 0 {
+		return // sub-benchmark filter excluded everything
+	}
+	rows := make([]fleetBenchRow, 0, len(order))
+	for _, name := range order {
+		rows = append(rows, byName[name])
+	}
+	mergeFleetBenchRows(b, fleetBenchFile(batch), rows)
+}
+
+// E13 — routed scale-out throughput: the large open workload (64
+// streams, dense Poisson arrivals, admit-all — the same configuration
+// as the open-large rows) spread across M engine instances by the
+// round-robin router, each instance running its own worker. The total
+// arrival rate is fixed, so the sweep measures how throughput scales
+// with cluster width at constant offered load: flat on a single-core
+// host (the router plus M instances time-slice one CPU), dropping
+// ns/action with cores on a real runner — benchguard's speedup gate in
+// the multi-core CI job asserts instances=4 beats instances=1 there.
+// Round-robin is the stateless policy, so the instance pipelines never
+// synchronize and the rows isolate scale-out cost from routing-state
+// barriers. Each width reuses a cluster.Scratch across iterations, so
+// the rows report the router's steady state, not first-run slab growth.
+func BenchmarkFleetCluster(b *testing.B) {
+	batch := fleetBenchBatch(b)
+	large := experiment.Paper(1)
+	large.Cycles = 4
+	large.Relaxed().Decide(0, 0) // build the shared decision plan outside the timed region
+	const streams = 64
+	proc := arrivals.Poisson{MeanGap: large.Period / 8, Seed: 11}
+	times, err := proc.Times(streams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	adm := fleet.AdmitAll{}
+	actionsPerOp := streams * large.Cycles * large.Sys.NumActions()
+
+	var order []string
+	byName := map[string]fleetBenchRow{}
+	for _, m := range []int{1, 2, 4, 8} {
+		m := m
+		name := fmt.Sprintf("cluster-instances=%d", m)
+		b.Run(name, func(b *testing.B) {
+			scratch := cluster.NewScratch()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				strs, err := large.FleetStreams(1, streams)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cres, err := cluster.Run(cluster.Config{
+					Streams:     strs,
+					Arrivals:    times,
+					Instances:   m,
+					Route:       cluster.RoundRobin{},
+					Admit:       adm,
+					Workers:     1,
+					BatchCycles: batch,
+					Seed:        1,
+					Scratch:     scratch,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := cres.Err(); err != nil {
+					b.Fatal(err)
+				}
+				admitted := 0
+				for _, inst := range cres.Instances {
+					admitted += inst.Admitted
+				}
+				if admitted != streams {
+					b.Fatalf("admitted %d of %d streams", admitted, streams)
+				}
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
+			total := float64(b.N) * float64(actionsPerOp)
+			row := fleetBenchRow{
+				Name:            name,
+				Streams:         streams,
+				Workers:         1,
+				BatchCycles:     batch,
+				Cycles:          large.Cycles,
+				NumCPU:          runtime.NumCPU(),
+				Gomaxprocs:      runtime.GOMAXPROCS(0),
+				ActionsPerOp:    actionsPerOp,
+				NsPerAction:     float64(elapsed.Nanoseconds()) / total,
+				AllocsPerAction: float64(after.Mallocs-before.Mallocs) / total,
+				Arrivals:        proc.Name(),
+				Admit:           adm.Name(),
+				Instances:       m,
+				Route:           cluster.RoundRobin{}.Name(),
+			}
+			b.ReportMetric(row.NsPerAction, "ns/action")
+			b.ReportMetric(row.AllocsPerAction, "allocs/action")
+			if _, seen := byName[name]; !seen {
+				order = append(order, name)
+			}
+			byName[name] = row
 		})
 	}
 

@@ -7,11 +7,14 @@
 //
 // Usage:
 //
-//	promassert [-in scrape.prom] [-min name:floor]...
+//	promassert [-in scrape.prom] [-min name:floor]... [-min 'name{k="v"}:floor']...
 //
 // -in names the exposition file (default stdin). Each -min (repeatable)
-// requires a sample whose name matches (label sets are ignored; the
-// first sample of the family is compared) with a value ≥ floor.
+// requires a sample whose name matches with a value ≥ floor; a bare
+// name compares the family's first sample, while a name carrying label
+// pairs (e.g. qm_arrivals_total{instance="0"}) compares the first
+// series with every listed pair — the form the cluster's per-instance
+// series are asserted with.
 //
 // Exit status: 0 when the exposition parses and every -min assertion
 // holds, 1 when parsing fails or an assertion misses, 2 on usage
@@ -75,32 +78,64 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	misses := 0
 	for _, m := range mins {
-		name, floorStr, ok := strings.Cut(m, ":")
-		if !ok || name == "" {
+		// The floor follows the last colon, so label bodies (and the
+		// colon names Prometheus permits) stay intact.
+		cut := strings.LastIndex(m, ":")
+		if cut <= 0 {
 			return fail(exitUsage, "-min wants name:floor, got %q", m)
 		}
+		spec, floorStr := m[:cut], m[cut+1:]
 		floor, err := strconv.ParseFloat(floorStr, 64)
 		if err != nil {
 			return fail(exitUsage, "-min %s: bad floor: %v", m, err)
 		}
-		s, found := obs.FindSample(samples, name)
+		name, pairs, err := splitSeriesSpec(spec)
+		if err != nil {
+			return fail(exitUsage, "-min %s: %v", m, err)
+		}
+		s, found := obs.FindSeries(samples, name, pairs)
 		if !found {
 			misses++
-			fmt.Fprintf(stderr, "promassert: no sample of family %q in the exposition\n", name)
+			fmt.Fprintf(stderr, "promassert: no sample of family %q in the exposition\n", spec)
 			continue
 		}
 		verdict := "ok"
 		if s.Value < floor {
 			misses++
 			verdict = "FAIL"
-			fmt.Fprintf(stderr, "promassert: %s = %v, below the %v floor\n", name, s.Value, floor)
+			fmt.Fprintf(stderr, "promassert: %s = %v, below the %v floor\n", spec, s.Value, floor)
 		}
-		fmt.Fprintf(stdout, "%s = %v (floor %v) %s\n", name, s.Value, floor, verdict)
+		fmt.Fprintf(stdout, "%s = %v (floor %v) %s\n", spec, s.Value, floor, verdict)
 	}
 	if misses > 0 {
 		return exitFailed
 	}
 	return exitOK
+}
+
+// splitSeriesSpec splits a -min series spec into the bare metric name
+// and its `k="v"` label pairs (empty for a bare name).
+func splitSeriesSpec(spec string) (string, []string, error) {
+	i := strings.Index(spec, "{")
+	if i < 0 {
+		if spec == "" {
+			return "", nil, fmt.Errorf("empty metric name")
+		}
+		return spec, nil, nil
+	}
+	if i == 0 || !strings.HasSuffix(spec, "}") {
+		return "", nil, fmt.Errorf("malformed series spec %q", spec)
+	}
+	var pairs []string
+	for _, p := range strings.Split(spec[i+1:len(spec)-1], ",") {
+		p = strings.TrimSpace(p)
+		k, v, ok := strings.Cut(p, "=")
+		if !ok || k == "" || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return "", nil, fmt.Errorf("malformed label pair %q", p)
+		}
+		pairs = append(pairs, p)
+	}
+	return spec[:i], pairs, nil
 }
 
 // minList is the repeatable name:floor flag value behind -min.

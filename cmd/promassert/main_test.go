@@ -91,3 +91,41 @@ func TestBadMinSpecIsUsage(t *testing.T) {
 		}
 	}
 }
+
+func TestLabeledSeriesAssertions(t *testing.T) {
+	labeled := `# HELP qm_arrivals_total Streams arrived.
+# TYPE qm_arrivals_total counter
+qm_arrivals_total{determinism="serial-order",instance="0"} 12
+qm_arrivals_total{determinism="serial-order",instance="1"} 9
+`
+	status, out, _ := runTool(t,
+		"-in", promFile(t, labeled),
+		"-min", `qm_arrivals_total{instance="1"}:9`)
+	if status != exitOK {
+		t.Fatalf("status %d, want %d (%s)", status, exitOK, out)
+	}
+	// The labeled floor binds to its series, not the family's first.
+	status, _, errOut := runTool(t,
+		"-in", promFile(t, labeled),
+		"-min", `qm_arrivals_total{instance="1"}:10`)
+	if status != exitFailed {
+		t.Fatalf("status %d, want %d", status, exitFailed)
+	}
+	if !strings.Contains(errOut, "below the 10 floor") {
+		t.Fatalf("missing floor diagnostic in %q", errOut)
+	}
+	// A nonexistent instance is a miss even though the family exists.
+	status, _, _ = runTool(t,
+		"-in", promFile(t, labeled),
+		"-min", `qm_arrivals_total{instance="7"}:1`)
+	if status != exitFailed {
+		t.Fatalf("status %d, want %d", status, exitFailed)
+	}
+	// Malformed specs are usage errors.
+	status, _, _ = runTool(t,
+		"-in", promFile(t, labeled),
+		"-min", `qm_arrivals_total{instance=0}:1`)
+	if status != exitUsage {
+		t.Fatalf("status %d, want %d", status, exitUsage)
+	}
+}

@@ -12,6 +12,7 @@
 //	        [-retain] [-csv records.csv] [-json fleet.json]
 //	        [-arrivals fixed|poisson|bursty|trace:file.csv]
 //	        [-rate 1] [-burst 4] [-admit all|cap=K[,queue=N]|budget=U[,queue=N]]
+//	        [-instances 1] [-route round-robin|least-backlog|weighted|affinity]
 //	        [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //	        [-metrics out.prom] [-trace out.json]
 //	        [-mix encoder|workloads | -bundle controller.json [-manager relaxed]]
@@ -23,6 +24,16 @@
 // (queueing and shedding included) and depart when done; the report
 // gains lifecycle, backlog and sojourn sections. A fixed seed produces
 // byte-identical traces and admission decisions at any -workers/-batch.
+//
+// -instances > 1 scales an open run out across M parallel engine
+// instances behind the virtual-time router (internal/cluster): each
+// arriving stream is assigned to an instance by the -route policy, every
+// instance runs its own -workers pool and -admit controller, and the
+// report gains per-instance and fairness sections. Routing decisions are
+// a pure function of the serial event order, so results stay
+// byte-identical at any -workers/-batch/-lookahead — and identical to
+// the single-goroutine router spec. With -metrics, every fleet
+// instrument gains one instance="i" series per instance.
 //
 // -metrics writes the run's engine counters (admission verdicts,
 // batches, steals, parks, ring occupancy, checkpoint-store activity) as
@@ -55,6 +66,7 @@ import (
 
 	"repro/internal/arrivals"
 	"repro/internal/checkpoint"
+	"repro/internal/cluster"
 	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/experiment"
@@ -83,6 +95,8 @@ func main() {
 	rate := flag.Float64("rate", 1, "mean arrivals per stream period (fixed/poisson/bursty)")
 	burst := flag.Float64("burst", 4, "burstiness of the bursty process: peak-to-mean arrival-rate ratio ≥ 1")
 	admitSpec := flag.String("admit", "all", "admission policy: all, cap=K[,queue=N] or budget=U[,queue=N] (with -arrivals)")
+	instances := flag.Int("instances", 1, "parallel engine instances behind the virtual-time router (with -arrivals)")
+	routeSpec := flag.String("route", "round-robin", "routing policy across instances: round-robin, least-backlog, weighted or affinity (with -instances)")
 	jsonPath := flag.String("json", "", "persist the run (config, fleet summary, open-system summary) as JSON for cmd/figures")
 	ckptDir := flag.String("checkpoint", "", "checkpoint the run into this directory (open stats runs only); with -resume, continue from the newest valid snapshot")
 	every := flag.Int64("every", 64, "engine event groups between checkpoints (with -checkpoint)")
@@ -141,11 +155,38 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *instances <= 0 {
+		log.Fatalf("-instances must be a positive instance count, got %d", *instances)
+	}
+	policy, err := cluster.ParsePolicy(*routeSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *instances > 1 {
+		if *arrivalsSpec == "" {
+			log.Fatal("-instances scales out the open engine; add -arrivals")
+		}
+		if *retain {
+			log.Fatal("-instances runs the zero-retention stats path; drop -retain")
+		}
+		if *csvPath != "" {
+			log.Fatal("-csv streams a single engine's records; drop it or -instances")
+		}
+		if *ckptDir != "" {
+			log.Fatal("-checkpoint snapshots a single engine; drop it or -instances")
+		}
+		if *tracePath != "" {
+			log.Fatal("-trace records a single engine's events; drop it or -instances")
+		}
+	}
 	// Open-system flags must not be silently ignored: an explicitly set
 	// -rate/-burst/-admit without the arrival process (or with one that
 	// does not consume it) would report a run the user did not ask for.
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["route"] && *instances <= 1 {
+		log.Fatalf("-route %s routes across instances; add -instances", *routeSpec)
+	}
 	if *arrivalsSpec == "" {
 		for _, name := range []string{"rate", "burst"} {
 			if set[name] {
@@ -179,7 +220,7 @@ func main() {
 	cfg.Workers = *workers
 	cfg.BatchCycles = *batch
 	cfg.Lookahead = *lookahead
-	if reg != nil {
+	if reg != nil && *instances == 1 {
 		cfg.Obs = obs.NewFleetMetrics(reg)
 	}
 	cfg.Trace = etr
@@ -286,7 +327,36 @@ func main() {
 	var table string
 	var flat *fleet.Result
 	var fsum metrics.FleetSummary
-	if proc != nil {
+	if proc != nil && *instances > 1 {
+		var obsBundles []*obs.FleetMetrics
+		if reg != nil {
+			obsBundles = make([]*obs.FleetMetrics, *instances)
+			for i := range obsBundles {
+				obsBundles[i] = obs.NewFleetMetrics(reg.WithLabels("instance", strconv.Itoa(i)))
+			}
+		}
+		cres, err := cluster.Run(cluster.Config{
+			Streams:     cfg.Streams,
+			Arrivals:    cfg.Arrivals,
+			Instances:   *instances,
+			Route:       policy,
+			Admit:       admitter,
+			Workers:     *workers,
+			BatchCycles: *batch,
+			Lookahead:   *lookahead,
+			Seed:        *seed,
+			Obs:         obsBundles,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		flat = cres.FleetResult()
+		fsum = report.Aggregate(flat)
+		cs := cres.Summarize()
+		table = report.ClusterTable(&cs, flat, fsum)
+		doc.Open = &cs.Global
+		doc.Cluster = &cs
+	} else if proc != nil {
 		var res *fleet.OpenResult
 		var err error
 		if *ckptDir != "" {
@@ -378,6 +448,9 @@ func main() {
 	system := "closed system"
 	if proc != nil {
 		system = fmt.Sprintf("open system, %s, admit %s", doc.Arrivals, doc.Admission)
+		if *instances > 1 {
+			system += fmt.Sprintf(", %d instances, route %s", *instances, *routeSpec)
+		}
 	}
 	fmt.Printf("fleet               %d streams × %d cycles, %d workers, batch %d (%s; %s)\n",
 		*streams, *cycles, doc.Workers, *batch, label, mode)

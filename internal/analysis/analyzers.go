@@ -7,6 +7,7 @@ package analysis
 var EnginePackages = map[string]bool{
 	"repro/internal/sim":       true,
 	"repro/internal/fleet":     true,
+	"repro/internal/cluster":   true,
 	"repro/internal/arrivals":  true,
 	"repro/internal/regions":   true,
 	"repro/internal/multitask": true,

@@ -97,11 +97,12 @@ func checkSeedExpr(pass *Pass, seed ast.Expr) {
 }
 
 // approvedSeedDerivation reports whether fn is one of the sanctioned
-// seed-keying functions: fleet.DeriveSeed, sim.Mix64, or any
-// splitmix-named helper (the arrivals package's sequential stream).
+// seed-keying functions: fleet.DeriveSeed, the subsystem-keyed
+// fleet.ForSubsystem split, sim.Mix64, or any splitmix-named helper
+// (the arrivals package's sequential stream).
 func approvedSeedDerivation(fn *types.Func) bool {
 	switch fn.Name() {
-	case "DeriveSeed", "Mix64":
+	case "DeriveSeed", "ForSubsystem", "Mix64":
 		return true
 	}
 	return strings.Contains(strings.ToLower(fn.Name()), "splitmix")

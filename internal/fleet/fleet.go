@@ -162,6 +162,32 @@ func DeriveSeed(base uint64, stream int) uint64 {
 	return sim.Mix64(base + 0x9E3779B97F4A7C15*(uint64(stream)+1))
 }
 
+// ForSubsystem splits one base seed into a named subsystem's own seed
+// domain: the subsystem name is folded in with FNV-1a before the
+// splitmix64 avalanche, so every subsystem draws from a provably
+// distinct stream and — the load-bearing property — adding a draw in
+// one subsystem can never shift the sequence of another. This is the
+// keyed split a cluster needs: the router's policy draws, each
+// instance's workload seeds and the arrival process all derive from the
+// same user-facing base seed without any coupling:
+//
+//	router   := ForSubsystem(base, "cluster/router")
+//	workload := DeriveSeed(ForSubsystem(base, "cluster/workload"), k)
+//
+// ForSubsystem(base, name) is a pure function; goldens pin the mapping
+// so a silent derivation change cannot re-seed every published result.
+func ForSubsystem(base uint64, subsystem string) uint64 {
+	// FNV-1a 64 over the subsystem name: cheap, dependency-free, and a
+	// different fold than DeriveSeed's index arithmetic, so (base, k)
+	// and (base, name) splits cannot collide structurally.
+	h := uint64(0xCBF29CE484222325)
+	for i := 0; i < len(subsystem); i++ {
+		h ^= uint64(subsystem[i])
+		h *= 0x100000001B3
+	}
+	return sim.Mix64(base ^ sim.Mix64(h))
+}
+
 // Options configure FromBundle's stream construction.
 type Options struct {
 	// Manager selects the per-stream Quality Manager instantiated from

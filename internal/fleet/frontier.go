@@ -73,6 +73,18 @@ type OpenScratch struct {
 	traces []sim.Trace
 	stats  []sim.StatsSink
 	hist   []int
+
+	// liveStreams and liveArr are the incremental driver's (OpenLive)
+	// population slabs: the batch entry points take the population from
+	// the caller, the live form accretes it feed by feed and parks the
+	// grown backing arrays here between runs.
+	liveStreams []Stream
+	liveArr     []core.Time
+	// live is the scratch-resident OpenLive header NewOpenLive hands
+	// back, so a warm incremental run (a cluster instance per routed
+	// window, say) allocates nothing at all — not even the driver
+	// struct. Like res, it is valid only until the scratch's next run.
+	live OpenLive
 }
 
 // NewOpenScratch returns an empty scratch; it warms up over the first

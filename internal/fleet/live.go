@@ -36,6 +36,13 @@ type OpenLiveConfig struct {
 	// Trace, when non-nil, records engine events into a bounded ring
 	// exactly as OpenConfig.Trace does.
 	Trace *obs.Trace
+	// Scratch, when non-nil, amortizes the run's working memory exactly
+	// as OpenConfig.Scratch does: slot-arena chunks, heaps, population
+	// slabs and result slabs are reused, so a warm steady-state live run
+	// at Workers = 1 is allocation-free end to end. The same aliasing
+	// rule applies — the sealed OpenResult is valid only until the
+	// scratch's next run.
+	Scratch *OpenScratch
 }
 
 // OpenLive is the incremental form of OpenRunStats: the same
@@ -64,7 +71,10 @@ type OpenLive struct {
 // NewOpenLive starts an empty incremental run with a running (idle)
 // executor pool.
 func NewOpenLive(cfg OpenLiveConfig) *OpenLive {
-	sc := NewOpenScratch()
+	sc := cfg.Scratch
+	if sc == nil {
+		sc = NewOpenScratch()
+	}
 	f := &sc.frontier
 	*f = openFrontier{sc: sc, stats: true, maxLevels: cfg.MaxLevels, met: cfg.Obs, tr: cfg.Trace}
 	f.adm = cfg.Admit
@@ -77,6 +87,13 @@ func NewOpenLive(cfg OpenLiveConfig) *OpenLive {
 	}
 	sc.arena.reset(0, true, nil, cfg.MaxLevels)
 	f.arena = &sc.arena
+	// The population and result slabs restart empty but keep their
+	// backing arrays: a warm scratch makes every appendStream below a
+	// capacity-reusing append.
+	sc.order, sc.util, sc.minFin, sc.final = sc.order[:0], sc.util[:0], sc.minFin[:0], sc.final[:0]
+	sc.lifecycles, sc.streams = sc.lifecycles[:0], sc.streams[:0]
+	sc.traces, sc.stats, sc.hist = sc.traces[:0], sc.stats[:0], sc.hist[:0]
+	sc.liveStreams, sc.liveArr = sc.liveStreams[:0], sc.liveArr[:0]
 	sc.res = OpenResult{}
 	f.res = &sc.res
 	f.dep = sc.dep[:0]
@@ -93,7 +110,11 @@ func NewOpenLive(cfg OpenLiveConfig) *OpenLive {
 	} else {
 		f.exec = newOpenSched(f.arena, workers, batch, sc, f.met, f.tr)
 	}
-	return &OpenLive{sc: sc, f: f}
+	// The returned header lives in the scratch: a warm NewOpenLive
+	// performs no allocation whatsoever.
+	ol := &sc.live
+	*ol = OpenLive{sc: sc, f: f, streams: sc.liveStreams, arrivals: sc.liveArr}
+	return ol
 }
 
 // Feed appends one stream with its arrival instant and advances the
@@ -137,6 +158,7 @@ func (ol *OpenLive) appendStream(s Stream, t core.Time) {
 	k := f.n
 	ol.streams = append(ol.streams, s)
 	ol.arrivals = append(ol.arrivals, t)
+	sc.liveStreams, sc.liveArr = ol.streams, ol.arrivals
 	u, mf := streamWeight(&ol.streams[k].Runner, true)
 	sc.order = append(sc.order, int32(k))
 	sc.util = append(sc.util, u)
@@ -146,7 +168,12 @@ func (ol *OpenLive) appendStream(s Stream, t core.Time) {
 	sc.streams = append(sc.streams, StreamResult{Name: s.Name})
 	sc.traces = append(sc.traces, sim.Trace{})
 	sc.stats = append(sc.stats, sim.StatsSink{})
-	sc.hist = append(sc.hist, make([]int, f.maxLevels)...)
+	for i := 0; i < f.maxLevels; i++ {
+		// Element-wise, not append(…, make(…)…): the spread form builds
+		// a temporary slice per feed and would cost the warm scratch its
+		// allocation-free steady state.
+		sc.hist = append(sc.hist, 0)
+	}
 	f.n = k + 1
 	f.streams, f.arr = ol.streams, ol.arrivals
 	f.order, f.util, f.minFin, f.final = sc.order, sc.util, sc.minFin, sc.final
@@ -183,6 +210,38 @@ func (ol *OpenLive) Population() int { return ol.f.n }
 // admission — the readiness signal a serving driver exposes. Like every
 // OpenLive method it belongs to the owner goroutine.
 func (ol *OpenLive) Backlog() int { return ol.f.blLen }
+
+// InService returns the number of streams admitted and not yet departed
+// in serial-event-order terms — together with Backlog and CPULoad, the
+// watermark-consistent load a cluster router reads to place the next
+// arrival.
+func (ol *OpenLive) InService() int { return ol.f.inServe }
+
+// CPULoad returns the summed multitask utilization of the in-service
+// streams — the committed fraction of the simulated CPU budget, in the
+// same serial-order terms as InService.
+func (ol *OpenLive) CPULoad() float64 { return ol.f.cpuLoad }
+
+// Advance processes every event group the fed prefix fully determines
+// at instants up to and including the watermark, blocking (bounded, via
+// the departure-bound gate) only when an in-flight completion gates a
+// decision. After Advance(t), Backlog/InService/CPULoad report the
+// serial-order state with every departure, promotion and fed arrival at
+// instants ≤ t accounted for — a pure function of the fed sequence,
+// independent of (workers, batch, lookahead). Feeding an arrival at an
+// instant ≤ a previously advanced watermark is an order error, exactly
+// as feeding out of arrival order is.
+func (ol *OpenLive) Advance(watermark core.Time) error {
+	if ol.closed {
+		return errors.New("fleet: Advance on a closed OpenLive")
+	}
+	if watermark > ol.lastFed {
+		ol.lastFed = watermark
+	}
+	for ol.f.step(watermark) {
+	}
+	return nil
+}
 
 // Checkpoint pauses execution at a cycle-batch quiescence point and
 // returns a deep capture of the run, then lets the pool resume. The

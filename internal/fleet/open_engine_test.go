@@ -239,4 +239,38 @@ func TestOpenSteadyStateAllocationFree(t *testing.T) {
 	if allocs := testing.AllocsPerRun(32, run); allocs != 0 {
 		t.Fatalf("steady-state open run with metrics allocates %.2f times per run, want 0", allocs)
 	}
+
+	// The incremental driver inherits the contract through
+	// OpenLiveConfig.Scratch: a warm feed-by-feed run — create, feed,
+	// advance, state reads, close — is just as allocation-free, which is
+	// what makes a cluster instance's steady state free in turn.
+	sc := NewOpenScratch()
+	maxLevels := 0
+	for k := range streams {
+		maxLevels = max(maxLevels, streams[k].Runner.Sys.NumLevels())
+	}
+	live := func() {
+		ol := NewOpenLive(OpenLiveConfig{Admit: cfg.Admit, Workers: 1, MaxLevels: maxLevels, Scratch: sc})
+		for k, s := range streams {
+			if err := ol.Advance(times[k] - 1); err != nil {
+				t.Fatal(err)
+			}
+			_ = ol.Backlog() + ol.InService()
+			_ = ol.CPULoad()
+			if err := ol.Feed(s, times[k]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := ol.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Admitted != len(streams) {
+			t.Fatalf("admitted %d of %d", res.Admitted, len(streams))
+		}
+	}
+	live()
+	if allocs := testing.AllocsPerRun(32, live); allocs != 0 {
+		t.Fatalf("steady-state live run allocates %.2f times per run, want 0", allocs)
+	}
 }

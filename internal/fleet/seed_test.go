@@ -1,0 +1,64 @@
+package fleet
+
+import "testing"
+
+// TestForSubsystemGoldens pins the subsystem seed derivation to
+// concrete values: a silent change to the FNV fold or the avalanche
+// would re-seed every published cluster result, so the mapping is
+// golden-tested exactly like DeriveSeed's.
+func TestForSubsystemGoldens(t *testing.T) {
+	golden := []struct {
+		base uint64
+		name string
+		want uint64
+	}{
+		{0, "cluster/router", 0xCA831897A9AED295},
+		{42, "cluster/router", 0xF1D26420CB6F8731},
+		{42, "cluster/workload", 0x7E5D44E8753F8382},
+		{42, "cluster/arrivals", 0x98ACA5D6FE3C2D63},
+		{3735928559, "fleet/content", 0x630508C266AE7430},
+	}
+	for _, g := range golden {
+		if got := ForSubsystem(g.base, g.name); got != g.want {
+			t.Errorf("ForSubsystem(%d, %q) = %#016X, want %#016X", g.base, g.name, got, g.want)
+		}
+	}
+}
+
+// TestForSubsystemPairwiseDistinct is the decorrelation property the
+// keyed split exists for: across a grid of (instance, subsystem) seed
+// derivations — subsystem splits, per-stream DeriveSeed chains under
+// each subsystem, and the flat DeriveSeed chain they must not collide
+// with — every derived seed is distinct. A collision would silently
+// couple two components' draw sequences.
+func TestForSubsystemPairwiseDistinct(t *testing.T) {
+	const base = 97
+	subsystems := []string{"cluster/router", "cluster/workload", "cluster/arrivals", "obs/sampling"}
+	seen := map[uint64]string{}
+	record := func(seed uint64, who string) {
+		t.Helper()
+		if prev, dup := seen[seed]; dup {
+			t.Fatalf("seed collision: %s and %s both derive %#016X", prev, who, seed)
+		}
+		seen[seed] = who
+	}
+	record(base, "base")
+	for _, name := range subsystems {
+		sub := ForSubsystem(base, name)
+		record(sub, name)
+		// Each subsystem's per-stream chain must be internally distinct
+		// and disjoint from every other subsystem's chain and from the
+		// flat DeriveSeed chain off the same base.
+		for k := 0; k < 32; k++ {
+			record(DeriveSeed(sub, k), name+"/stream")
+		}
+	}
+	for k := 0; k < 32; k++ {
+		record(DeriveSeed(base, k), "flat/stream")
+	}
+	// The split must depend on the base too: the same subsystem under
+	// different bases gives different seeds.
+	if ForSubsystem(1, "cluster/router") == ForSubsystem(2, "cluster/router") {
+		t.Fatal("ForSubsystem ignores its base seed")
+	}
+}

@@ -1,0 +1,65 @@
+package metrics
+
+// InstanceSummary is one engine instance's slice of a cluster run: how
+// many streams the router placed there and the instance's own
+// open-system summary over exactly those streams.
+type InstanceSummary struct {
+	Instance int         `json:"instance"`
+	Routed   int         `json:"routed"`
+	Open     OpenSummary `json:"open"`
+}
+
+// ClusterSummary aggregates a routed scale-out run: the global
+// open-system summary over the merged population (lifecycles in global
+// arrival order, backlog integral summed across instances), the
+// per-instance summaries, and the Jain fairness index of the routed
+// counts — 1 when the policy spread arrivals perfectly evenly, 1/M when
+// it funnelled everything to a single instance of M.
+type ClusterSummary struct {
+	Instances   int               `json:"instances"`
+	Route       string            `json:"route"`
+	Fairness    float64           `json:"fairness"`
+	Global      OpenSummary       `json:"global"`
+	PerInstance []InstanceSummary `json:"per_instance"`
+}
+
+// JainFairness computes Jain's fairness index (Σx)² / (n·Σx²) over the
+// per-instance routed counts: scale-free, bounded in [1/n, 1], and 1
+// exactly when all counts are equal. An all-zero allocation is vacuously
+// fair (1).
+func JainFairness(x []int) float64 {
+	var sum, sq float64
+	for _, v := range x {
+		f := float64(v)
+		sum += f
+		sq += f * f
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(x)) * sq)
+}
+
+// SummarizeCluster computes the cluster summary from the merged global
+// observations, the per-instance observations and the routed counts.
+// global's backlog quantities follow the cluster merge convention:
+// BacklogIntegral is the sum across instances (each queues
+// independently), MaxBacklog the deepest any single instance's queue
+// got.
+func SummarizeCluster(route string, global OpenObservations, perInstance []OpenObservations, routed []int) ClusterSummary {
+	cs := ClusterSummary{
+		Instances:   len(perInstance),
+		Route:       route,
+		Fairness:    JainFairness(routed),
+		Global:      SummarizeOpen(global),
+		PerInstance: make([]InstanceSummary, len(perInstance)),
+	}
+	for i := range perInstance {
+		cs.PerInstance[i] = InstanceSummary{
+			Instance: i,
+			Routed:   routed[i],
+			Open:     SummarizeOpen(perInstance[i]),
+		}
+	}
+	return cs
+}

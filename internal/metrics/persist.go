@@ -33,6 +33,9 @@ type FleetDoc struct {
 
 	Summary FleetSummary `json:"summary"`
 	Open    *OpenSummary `json:"open,omitempty"`
+	// Cluster is the routed scale-out section (per-instance summaries,
+	// fairness), present when the run spread across engine instances.
+	Cluster *ClusterSummary `json:"cluster,omitempty"`
 }
 
 // WriteJSON persists the doc as indented JSON.

@@ -14,45 +14,70 @@ import (
 const detLabel = "determinism"
 
 // WriteProm renders every registered metric in Prometheus text
-// exposition format v0.0.4, in registration order. Values are read
-// with atomic loads, so scraping a live engine is safe; the rendering
-// itself is cold-path and allocates freely.
+// exposition format v0.0.4, grouped per family: HELP and TYPE appear
+// once per metric name (at its first registration), followed by every
+// series of that family — labeled views (per-instance series) collapse
+// into one valid block. Values are read with atomic loads, so scraping
+// a live engine is safe; the rendering itself is cold-path and
+// allocates freely. Called on a labeled view, it renders the whole
+// root registry.
 func (r *Registry) WriteProm(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	for i := range r.metrics {
-		d := &r.metrics[i]
-		if !d.valid {
+	metrics := r.base().metrics
+	done := map[string]bool{}
+	for i := range metrics {
+		if name := metrics[i].Name; metrics[i].valid && !done[name] {
+			done[name] = true
+			writePromFamily(bw, metrics, name)
+		}
+	}
+	return bw.Flush()
+}
+
+// writePromFamily renders one family: the HELP/TYPE header from its
+// first series, then every series of the name in registration order.
+func writePromFamily(bw *bufio.Writer, metrics []Desc, name string) {
+	first := true
+	for i := range metrics {
+		d := &metrics[i]
+		if d.Name != name || !d.valid {
 			continue
 		}
-		fmt.Fprintf(bw, "# HELP %s %s\n", d.Name, escapeHelp(d.Help))
-		labels := `{` + detLabel + `="` + d.Det.String() + `"}`
+		if first {
+			first = false
+			fmt.Fprintf(bw, "# HELP %s %s\n", d.Name, escapeHelp(d.Help))
+			switch d.kind {
+			case kindCounter:
+				fmt.Fprintf(bw, "# TYPE %s counter\n", d.Name)
+			case kindGauge, kindFloatGauge:
+				fmt.Fprintf(bw, "# TYPE %s gauge\n", d.Name)
+			case kindHistogram:
+				fmt.Fprintf(bw, "# TYPE %s histogram\n", d.Name)
+			}
+		}
+		labels := `{` + detLabel + `="` + d.Det.String() + `"` + d.labels + `}`
 		switch d.kind {
 		case kindCounter:
-			fmt.Fprintf(bw, "# TYPE %s counter\n", d.Name)
 			fmt.Fprintf(bw, "%s%s %d\n", d.Name, labels, d.c.Value())
 		case kindGauge:
-			fmt.Fprintf(bw, "# TYPE %s gauge\n", d.Name)
 			fmt.Fprintf(bw, "%s%s %d\n", d.Name, labels, d.g.Value())
 		case kindFloatGauge:
-			fmt.Fprintf(bw, "# TYPE %s gauge\n", d.Name)
 			fmt.Fprintf(bw, "%s%s %s\n", d.Name, labels,
 				strconv.FormatFloat(d.fg.Value(), 'g', -1, 64))
 		case kindHistogram:
-			fmt.Fprintf(bw, "# TYPE %s histogram\n", d.Name)
 			counts, sum := d.h.snapshot()
 			var cum int64
 			for j, bound := range d.h.bounds {
 				cum += counts[j]
-				fmt.Fprintf(bw, "%s_bucket{%s=%q,le=%q} %d\n",
-					d.Name, detLabel, d.Det.String(), strconv.FormatInt(bound, 10), cum)
+				fmt.Fprintf(bw, "%s_bucket{%s=%q%s,le=%q} %d\n",
+					d.Name, detLabel, d.Det.String(), d.labels, strconv.FormatInt(bound, 10), cum)
 			}
 			cum += counts[len(counts)-1]
-			fmt.Fprintf(bw, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", d.Name, detLabel, d.Det.String(), cum)
+			fmt.Fprintf(bw, "%s_bucket{%s=%q%s,le=\"+Inf\"} %d\n", d.Name, detLabel, d.Det.String(), d.labels, cum)
 			fmt.Fprintf(bw, "%s_sum%s %d\n", d.Name, labels, sum)
 			fmt.Fprintf(bw, "%s_count%s %d\n", d.Name, labels, cum)
 		}
 	}
-	return bw.Flush()
 }
 
 // escapeHelp escapes backslashes and newlines per the exposition
@@ -209,6 +234,29 @@ func checkTyped(typed map[string]string, name string) error {
 func FindSample(samples []Sample, name string) (Sample, bool) {
 	for _, s := range samples {
 		if s.Name == name {
+			return s, true
+		}
+	}
+	return Sample{}, false
+}
+
+// FindSeries returns the first sample matching the bare name whose
+// series carries every given `k="v"` label pair — the labeled lookup
+// (instance="0") the CI assertion tool uses against per-instance
+// series. An empty pair list degenerates to FindSample.
+func FindSeries(samples []Sample, name string, pairs []string) (Sample, bool) {
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for _, p := range pairs {
+			if !strings.Contains(s.Series, p) {
+				ok = false
+				break
+			}
+		}
+		if ok {
 			return s, true
 		}
 	}

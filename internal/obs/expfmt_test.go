@@ -132,3 +132,72 @@ m_count 2
 		t.Fatalf("got %d samples, want 4", len(samples))
 	}
 }
+
+// TestWithLabelsExposition pins the labeled-view mechanics end to end:
+// two instance views of one root registry register the same family, the
+// exposition groups both series under one HELP/TYPE block (interleaved
+// registration order notwithstanding), the parser round-trips it, and
+// FindSeries resolves each instance's series by its label pair.
+func TestWithLabelsExposition(t *testing.T) {
+	root := NewRegistry("qmtest")
+	i0 := root.WithLabels("instance", "0")
+	i1 := root.WithLabels("instance", "1")
+	a0 := i0.Counter("admitted", "Streams admitted.", SerialOrder)
+	b0 := i0.Gauge("backlog", "Backlog depth.", SerialOrder)
+	a1 := i1.Counter("admitted", "Streams admitted.", SerialOrder)
+	b1 := i1.Gauge("backlog", "Backlog depth.", SerialOrder)
+	a0.Add(3)
+	a1.Add(5)
+	b0.Set(1)
+	b1.Set(2)
+
+	var sb strings.Builder
+	if err := i1.WriteProm(&sb); err != nil { // a view renders the whole root
+		t.Fatal(err)
+	}
+	want := `# HELP qmtest_admitted_total Streams admitted.
+# TYPE qmtest_admitted_total counter
+qmtest_admitted_total{determinism="serial-order",instance="0"} 3
+qmtest_admitted_total{determinism="serial-order",instance="1"} 5
+# HELP qmtest_backlog Backlog depth.
+# TYPE qmtest_backlog gauge
+qmtest_backlog{determinism="serial-order",instance="0"} 1
+qmtest_backlog{determinism="serial-order",instance="1"} 2
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("labeled exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	samples, err := ParseProm(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := FindSeries(samples, "qmtest_admitted_total", []string{`instance="1"`})
+	if !ok || s.Value != 5 {
+		t.Fatalf("FindSeries(instance=1) = %+v, %v", s, ok)
+	}
+	if _, ok := FindSeries(samples, "qmtest_admitted_total", []string{`instance="9"`}); ok {
+		t.Fatal("FindSeries matched a nonexistent instance")
+	}
+	if len(root.Metrics()) != 4 {
+		t.Fatalf("root sees %d series, want 4", len(root.Metrics()))
+	}
+
+	// Re-registering a family member with the same labels, or the same
+	// name as a different kind, is a programmer error on any view.
+	for name, fn := range map[string]func(){
+		"duplicate series": func() { i0.Counter("admitted", "dup", SerialOrder) },
+		"kind mismatch":    func() { root.Gauge("admitted_total", "kind", SerialOrder) },
+		"det label key":    func() { root.WithLabels("determinism", "x") },
+		"quoted value":     func() { root.WithLabels("instance", `a"b`) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

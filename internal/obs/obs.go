@@ -219,18 +219,32 @@ const (
 )
 
 // Desc is one registered metric: its full exposition name, help text,
-// determinism class and payload.
+// determinism class and payload. Metrics registered through a labeled
+// view additionally carry the view's pre-rendered label pairs; the same
+// name may appear once per distinct label set (one family, many
+// series).
 type Desc struct {
 	Name string // full name including the registry prefix
 	Help string
 	Det  Determinism
 
-	kind  metricKind
-	c     *Counter
-	g     *Gauge
-	fg    *FloatGauge
-	h     *Histogram
-	valid bool
+	labels string // pre-rendered `,k="v"` pairs from the registering view
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	fg     *FloatGauge
+	h      *Histogram
+	valid  bool
+}
+
+// Labels returns the metric's extra label pairs as rendered in the
+// exposition (`instance="0"`, comma-separated), empty for metrics
+// registered on the root registry.
+func (d *Desc) Labels() string {
+	if d.labels == "" {
+		return ""
+	}
+	return d.labels[1:] // drop the leading comma of the render form
 }
 
 // Registry is a static metric registry: metrics are registered once at
@@ -238,8 +252,18 @@ type Desc struct {
 // and thereafter live in a flat slice — exposition walks the slice in
 // registration order, and the hot path holds direct pointers, so no
 // map is ever consulted after setup.
+//
+// WithLabels derives a labeled view: metrics registered through it land
+// in the same root slice (one WriteProm serves them all) as separate
+// series of the shared family — the mechanism a cluster uses to give
+// each engine instance its own instance="i" series of every fleet
+// instrument.
 type Registry struct {
-	prefix  string
+	prefix string
+	labels string
+	// root points to the registry owning the metric slice; nil on the
+	// root itself.
+	root    *Registry
 	metrics []Desc
 }
 
@@ -250,6 +274,37 @@ func NewRegistry(prefix string) *Registry {
 		panic("obs: invalid registry prefix " + prefix)
 	}
 	return &Registry{prefix: prefix}
+}
+
+// WithLabels returns a view of the registry that stamps every metric
+// registered through it with an extra label pair. Views share the
+// root's metric slice: the family (name, help, type) is registered
+// once, each view contributes its own series, and the root's WriteProm
+// renders everything grouped per family. The value must not contain
+// quotes, backslashes or newlines (no escaping on the hot-path side).
+func (r *Registry) WithLabels(key, value string) *Registry {
+	if !validMetricName(key) || key == detLabel {
+		panic("obs: invalid label key " + key)
+	}
+	for i := 0; i < len(value); i++ {
+		switch value[i] {
+		case '"', '\\', '\n':
+			panic("obs: label value needs escaping: " + value)
+		}
+	}
+	return &Registry{
+		prefix: r.prefix,
+		labels: r.labels + "," + key + `="` + value + `"`,
+		root:   r.base(),
+	}
+}
+
+// base resolves the registry owning the metric slice.
+func (r *Registry) base() *Registry {
+	if r.root != nil {
+		return r.root
+	}
+	return r
 }
 
 // Counter registers and returns a counter. Names are suffixed with
@@ -296,9 +351,10 @@ func (r *Registry) Histogram(name, help string, det Determinism, bounds []int64)
 	return h
 }
 
-// Metrics returns the registered descriptors in registration order.
+// Metrics returns the registered descriptors in registration order,
+// including every labeled view's series.
 func (r *Registry) Metrics() []Desc {
-	return r.metrics
+	return r.base().metrics
 }
 
 func (r *Registry) full(name string) string {
@@ -312,13 +368,24 @@ func (r *Registry) register(d Desc) {
 	if !validMetricName(d.Name) {
 		panic("obs: invalid metric name " + d.Name)
 	}
-	for i := range r.metrics {
-		if r.metrics[i].Name == d.Name {
+	d.labels = r.labels
+	root := r.base()
+	for i := range root.metrics {
+		prev := &root.metrics[i]
+		if prev.Name != d.Name {
+			continue
+		}
+		if prev.labels == d.labels {
 			panic("obs: duplicate metric " + d.Name)
+		}
+		// Same family from another labeled view: the kind must agree or
+		// the family's TYPE line would lie for one of the series.
+		if prev.kind != d.kind {
+			panic("obs: metric " + d.Name + " re-registered with a different type")
 		}
 	}
 	d.valid = true
-	r.metrics = append(r.metrics, d)
+	root.metrics = append(root.metrics, d)
 }
 
 // validMetricName enforces the Prometheus identifier grammar

@@ -87,7 +87,42 @@ func FleetDocText(doc *metrics.FleetDoc) string {
 	if doc.Open != nil {
 		writeOpenSummary(&b, *doc.Open)
 	}
+	if doc.Cluster != nil {
+		writeClusterSummary(&b, doc.Cluster)
+	}
 	return b.String()
+}
+
+// ClusterTable formats a routed scale-out run: the routing headline
+// (instances, policy, fairness), one row per engine instance, the
+// merged global aggregate, and then the usual cross-stream quality
+// aggregation over the streams that ran. cs, flat and fs must be the
+// run's cluster summary, executed-stream projection and fleet
+// aggregate, computed once by the caller exactly as with OpenTable.
+func ClusterTable(cs *metrics.ClusterSummary, flat *fleet.Result, fs metrics.FleetSummary) string {
+	var b strings.Builder
+	writeClusterSummary(&b, cs)
+	fmt.Fprintln(&b, "\n== cluster — global aggregate ==")
+	writeOpenSummary(&b, cs.Global)
+	fmt.Fprintf(&b, "span                %v (last departure at %v)\n\n", cs.Global.Span, cs.Global.Final)
+	b.WriteString(FleetTable(flat, fs))
+	return b.String()
+}
+
+// writeClusterSummary renders the routed scale-out section shared by
+// the live report (ClusterTable) and the persisted-doc view
+// (FleetDocText).
+func writeClusterSummary(w io.Writer, cs *metrics.ClusterSummary) {
+	fmt.Fprintln(w, "== cluster — routed scale-out ==")
+	fmt.Fprintf(w, "routing             %d instances, policy %s, fairness %.3f\n",
+		cs.Instances, cs.Route, cs.Fairness)
+	fmt.Fprintf(w, "%-4s %7s %9s %6s %12s %12s %12s\n",
+		"inst", "routed", "admitted", "shed", "backlog max", "wait p90", "sojourn p90")
+	for _, is := range cs.PerInstance {
+		fmt.Fprintf(w, "%-4d %7d %9d %6d %12d %12v %12v\n",
+			is.Instance, is.Routed, is.Open.Admitted, is.Open.Shed,
+			is.Open.MaxBacklog, is.Open.WaitP90, is.Open.SojournP90)
+	}
 }
 
 // writeOpenSummary renders the open-system aggregate lines shared by the
